@@ -1,0 +1,377 @@
+// Benchmarks: one Benchmark family per evaluation experiment (E1..E10 in
+// DESIGN.md §4 / EXPERIMENTS.md). Each family measures a representative
+// point of its experiment with testing.B semantics; the full sweeps —
+// thread counts, key ranges, widths — are produced by cmd/benchbst.
+//
+// Run all:     go test -bench=. -benchmem
+// One family:  go test -bench=BenchmarkE6 -benchmem
+package repro_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// throughputTargets are the structures compared in E1/E2.
+var throughputTargets = []string{
+	harness.TargetPNBBST, harness.TargetNBBST, harness.TargetLockBST, harness.TargetSkipList,
+}
+
+// scanTargets are the structures with consistent scans compared in E3/E6.
+var scanTargets = []string{
+	harness.TargetPNBBST, harness.TargetLockBST, harness.TargetSnapCollector,
+}
+
+// prefilled builds an instance holding n/2 random keys from [0, n).
+func prefilled(tb testing.TB, target string, n int64) harness.Instance {
+	tb.Helper()
+	inst := harness.NewInstance(target)
+	rng := workload.NewRNG(7)
+	inserted := int64(0)
+	for inserted < n/2 {
+		if inst.Insert(rng.Intn(n)) {
+			inserted++
+		}
+	}
+	return inst
+}
+
+// runMix drives a workload mix through b.RunParallel on a prefilled set.
+func runMix(b *testing.B, target string, keys int64, mix workload.Mix) {
+	inst := prefilled(b, target, keys)
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := workload.NewRNG(seed.Add(1))
+		for pb.Next() {
+			k := rng.Intn(keys)
+			switch mix.Draw(rng) {
+			case workload.OpInsert:
+				inst.Insert(k)
+			case workload.OpDelete:
+				inst.Delete(k)
+			case workload.OpFind:
+				inst.Contains(k)
+			case workload.OpScan:
+				hi := k + mix.ScanWidth - 1
+				if hi >= keys {
+					hi = keys - 1
+				}
+				inst.Scan(k, hi)
+			}
+		}
+	})
+}
+
+// BenchmarkE1UpdateOnly — experiment E1: 50% insert / 50% delete over a
+// 64K key range, all four structures.
+func BenchmarkE1UpdateOnly(b *testing.B) {
+	for _, tgt := range throughputTargets {
+		b.Run(tgt, func(b *testing.B) {
+			runMix(b, tgt, 1<<16, workload.Mix{InsertPct: 50, DeletePct: 50})
+		})
+	}
+}
+
+// BenchmarkE2ReadMostly — experiment E2: 9i/1d/90f over 64K keys.
+func BenchmarkE2ReadMostly(b *testing.B) {
+	for _, tgt := range throughputTargets {
+		b.Run(tgt, func(b *testing.B) {
+			runMix(b, tgt, 1<<16, workload.Mix{InsertPct: 9, DeletePct: 1})
+		})
+	}
+}
+
+// BenchmarkE3MixedScan — experiment E3: 25i/25d/50 scans of width 100
+// over 64K keys, on the three consistent-scan structures.
+func BenchmarkE3MixedScan(b *testing.B) {
+	for _, tgt := range scanTargets {
+		b.Run(tgt, func(b *testing.B) {
+			runMix(b, tgt, 1<<16, workload.Mix{InsertPct: 25, DeletePct: 25, ScanPct: 50, ScanWidth: 100})
+		})
+	}
+}
+
+// BenchmarkE4ScanWidth — experiment E4: PNB-BST scan cost by width; the
+// reported ns/op should grow roughly linearly with width past the path
+// cost, and keys/op is reported as a custom metric.
+func BenchmarkE4ScanWidth(b *testing.B) {
+	const keys = 1 << 16
+	for _, width := range []int64{10, 100, 1_000, 10_000} {
+		b.Run(itoa(width), func(b *testing.B) {
+			inst := prefilled(b, harness.TargetPNBBST, keys)
+			rng := workload.NewRNG(3)
+			var got int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := rng.Intn(keys - width)
+				got += int64(inst.Scan(a, a+width-1))
+			}
+			b.ReportMetric(float64(got)/float64(b.N), "keys/scan")
+		})
+	}
+}
+
+// BenchmarkE5Overhead — experiment E5: the persistence tax, PNB vs NB on
+// identical single-threaded update streams (compare the two ns/op).
+func BenchmarkE5Overhead(b *testing.B) {
+	for _, tgt := range []string{harness.TargetPNBBST, harness.TargetNBBST} {
+		b.Run(tgt, func(b *testing.B) {
+			const keys = 1 << 16
+			inst := prefilled(b, tgt, keys)
+			rng := workload.NewRNG(9)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := rng.Intn(keys)
+				if i%2 == 0 {
+					inst.Insert(k)
+				} else {
+					inst.Delete(k)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6ScanLatency — experiment E6: full-range scan cost while an
+// update storm runs in the background; compare ns/op (one op = one full
+// scan) across the three consistent-scan structures. PNB-BST's scans are
+// wait-free, so their cost tracks tree size, not update pressure.
+func BenchmarkE6ScanLatency(b *testing.B) {
+	const keys = 1 << 15
+	for _, tgt := range scanTargets {
+		b.Run(tgt, func(b *testing.B) {
+			inst := prefilled(b, tgt, keys)
+			var stop atomic.Bool
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				rng := workload.NewRNG(11)
+				for !stop.Load() {
+					k := rng.Intn(keys)
+					if rng.Intn(2) == 0 {
+						inst.Insert(k)
+					} else {
+						inst.Delete(k)
+					}
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst.Scan(0, keys-1)
+			}
+			b.StopTimer()
+			stop.Store(true)
+			<-done
+		})
+	}
+}
+
+// BenchmarkE7Allocs — experiment E7: allocations per operation (run with
+// -benchmem; the B/op and allocs/op columns are the table).
+func BenchmarkE7Allocs(b *testing.B) {
+	const keys = 1 << 16
+	type op struct {
+		name string
+		run  func(inst harness.Instance, rng *workload.RNG, i int64)
+	}
+	ops := []op{
+		// Fresh keys above the prefill range: both halves of the pair
+		// succeed, so the measurement reflects a full update cycle rather
+		// than mostly failed (allocation-free) attempts.
+		{"insdel-pair", func(inst harness.Instance, _ *workload.RNG, i int64) {
+			k := keys + i%keys
+			inst.Insert(k)
+			inst.Delete(k)
+		}},
+		{"find", func(inst harness.Instance, rng *workload.RNG, _ int64) {
+			inst.Contains(rng.Intn(keys))
+		}},
+		{"scan100", func(inst harness.Instance, rng *workload.RNG, _ int64) {
+			a := rng.Intn(keys - 100)
+			inst.Scan(a, a+99)
+		}},
+	}
+	for _, tgt := range throughputTargets {
+		for _, o := range ops {
+			b.Run(tgt+"/"+o.name, func(b *testing.B) {
+				inst := prefilled(b, tgt, keys)
+				rng := workload.NewRNG(13)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					o.run(inst, rng, int64(i))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE8Disjoint — experiment E8: disjoint partitions vs shared
+// uniform keys under parallel updates on the PNB-BST.
+func BenchmarkE8Disjoint(b *testing.B) {
+	const keys = 1 << 16
+	for _, disjoint := range []bool{true, false} {
+		name := "shared"
+		if disjoint {
+			name = "disjoint"
+		}
+		b.Run(name, func(b *testing.B) {
+			inst := prefilled(b, harness.TargetPNBBST, keys)
+			var worker atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker.Add(1)
+				rng := workload.NewRNG(w)
+				// 64 notional partitions keep the slice width constant
+				// regardless of GOMAXPROCS.
+				gen := workload.KeyGen(workload.Uniform{Lo: 0, Hi: keys})
+				if disjoint {
+					gen = workload.Partition{Lo: 0, Hi: keys, Worker: int(w % 64), N: 64}
+				}
+				for pb.Next() {
+					k := gen.Key(rng)
+					if rng.Intn(2) == 0 {
+						inst.Insert(k)
+					} else {
+						inst.Delete(k)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkE9Handshake — experiment E9: update cost with and without
+// phase churn from a background scanner; the aborts/op metric shows the
+// handshake firing (and its ns/op cost staying modest).
+func BenchmarkE9Handshake(b *testing.B) {
+	const keys = 1 << 14
+	for _, scans := range []bool{false, true} {
+		name := "quiet"
+		if scans {
+			name = "scanner-active"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := core.New()
+			rng := workload.NewRNG(17)
+			for i := 0; i < keys/2; i++ {
+				tr.Insert(rng.Intn(keys))
+			}
+			var stop atomic.Bool
+			done := make(chan struct{})
+			if scans {
+				go func() {
+					defer close(done)
+					for !stop.Load() {
+						tr.RangeCount(0, 1024)
+					}
+				}()
+			} else {
+				close(done)
+			}
+			tr.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := rng.Intn(keys)
+				if i%2 == 0 {
+					tr.Insert(k)
+				} else {
+					tr.Delete(k)
+				}
+			}
+			b.StopTimer()
+			stop.Store(true)
+			<-done
+			st := tr.Stats()
+			b.ReportMetric(float64(st.HandshakeAborts)/float64(b.N), "aborts/op")
+		})
+	}
+}
+
+// BenchmarkE10Snapshot — experiment E10: snapshot + full iteration cost
+// by tree size, with a background updater (ns/op is one full snapshot
+// iteration; keys/op reported).
+func BenchmarkE10Snapshot(b *testing.B) {
+	for _, size := range []int64{1 << 10, 1 << 14, 1 << 17} {
+		b.Run(itoa(size), func(b *testing.B) {
+			tr := core.New()
+			rng := workload.NewRNG(19)
+			inserted := int64(0)
+			for inserted < size {
+				if tr.Insert(rng.Intn(size * 2)) {
+					inserted++
+				}
+			}
+			var stop atomic.Bool
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				r := workload.NewRNG(23)
+				for !stop.Load() {
+					k := r.Intn(size * 2)
+					if r.Intn(2) == 0 {
+						tr.Insert(k)
+					} else {
+						tr.Delete(k)
+					}
+				}
+			}()
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := tr.Snapshot()
+				n := 0
+				snap.Range(core.MinKey, core.MaxKey, func(int64) bool { n++; return true })
+				total += int64(n)
+			}
+			b.StopTimer()
+			stop.Store(true)
+			<-done
+			b.ReportMetric(float64(total)/float64(b.N), "keys/op")
+		})
+	}
+}
+
+func itoa(v int64) string {
+	switch {
+	case v >= 1<<20 && v%(1<<20) == 0:
+		return itoa(v/(1<<20)) + "Mi"
+	case v >= 1<<10 && v%(1<<10) == 0:
+		return itoa(v/(1<<10)) + "Ki"
+	}
+	// small numbers
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if i == len(buf) {
+		return "0"
+	}
+	return string(buf[i:])
+}
+
+// TestBenchSanity keeps `go test ./...` exercising this file's helpers
+// cheaply (the benchmarks themselves only run under -bench).
+func TestBenchSanity(t *testing.T) {
+	if got := itoa(1 << 16); got != "64Ki" {
+		t.Fatalf("itoa(65536) = %q", got)
+	}
+	if got := itoa(1 << 20); got != "1Mi" {
+		t.Fatalf("itoa(1Mi) = %q", got)
+	}
+	if got := itoa(10000); got != "10000" {
+		t.Fatalf("itoa(10000) = %q", got)
+	}
+	inst := prefilled(t, harness.TargetPNBBST, 1<<10)
+	if n := inst.Scan(0, 1<<10-1); n != 1<<9 {
+		t.Fatalf("prefill = %d keys, want %d", n, 1<<9)
+	}
+}

@@ -1,0 +1,175 @@
+// Package bst is the public API of the PNB-BST reproduction: concurrent
+// sets of int64 keys with linearizable Insert, Delete, Contains and —
+// for the PNB-BST — wait-free linearizable RangeScan and Snapshot.
+//
+// The primary type is Tree (the paper's PNB-BST). Three baseline
+// implementations of the Set interface are provided for comparison and
+// benchmarking: the NB-BST it is built on, a lock-based tree, and a
+// lock-free skip list (optionally with snap-collector scans).
+//
+// Quickstart:
+//
+//	t := bst.New()
+//	t.Insert(42)
+//	t.Insert(7)
+//	keys := t.RangeScan(0, 100) // [7 42], wait-free, linearizable
+//	s := t.Snapshot()           // frozen point-in-time view
+//	t.Delete(7)
+//	s.Contains(7)               // still true in the snapshot
+//
+// Keys may be any int64 up to MaxKey (the top two values of the key
+// space are reserved sentinels); methods panic on reserved keys.
+package bst
+
+import (
+	"repro/internal/core"
+	"repro/internal/lockbst"
+	"repro/internal/nbbst"
+	"repro/internal/skiplist"
+	"repro/internal/snapcollector"
+)
+
+// MaxKey is the largest key storable in any of the sets.
+const MaxKey = core.MaxKey
+
+// MinKey is the smallest storable key.
+const MinKey = core.MinKey
+
+// Set is the common interface of all implementations. Insert, Delete and
+// Contains are linearizable on every implementation. RangeScan is
+// linearizable and wait-free on the PNB-BST, linearizable but blocking on
+// the locked tree, almost-consistent on the snap-collector set, and
+// quiescently consistent only on the NB-BST and plain skip list (see the
+// constructors).
+type Set interface {
+	// Insert adds k, reporting whether it was absent.
+	Insert(k int64) bool
+	// Delete removes k, reporting whether it was present.
+	Delete(k int64) bool
+	// Contains reports whether k is present.
+	Contains(k int64) bool
+	// RangeScan returns the keys in [a, b], ascending.
+	RangeScan(a, b int64) []int64
+	// Len returns the number of keys.
+	Len() int
+}
+
+// Tree is the paper's PNB-BST. It implements Set and additionally offers
+// wait-free Snapshot, allocation-free RangeScanFunc/RangeCount, and
+// instrumentation counters. All methods are safe for concurrent use.
+type Tree struct {
+	t *core.Tree
+}
+
+// Snapshot is a wait-free immutable point-in-time view of a Tree.
+type Snapshot = core.Snapshot
+
+// Stats is a copy of a Tree's instrumentation counters.
+type Stats = core.StatsSnapshot
+
+// New returns an empty PNB-BST.
+func New() *Tree { return &Tree{t: core.New()} }
+
+// Insert adds k, reporting whether it was absent. Non-blocking.
+func (t *Tree) Insert(k int64) bool { return t.t.Insert(k) }
+
+// Delete removes k, reporting whether it was present. Non-blocking.
+func (t *Tree) Delete(k int64) bool { return t.t.Delete(k) }
+
+// Contains reports whether k is present. Non-blocking.
+func (t *Tree) Contains(k int64) bool { return t.t.Find(k) }
+
+// RangeScan returns the keys in [a, b], ascending. Wait-free and
+// linearizable.
+func (t *Tree) RangeScan(a, b int64) []int64 { return t.t.RangeScan(a, b) }
+
+// RangeScanFunc streams the keys in [a, b] in ascending order to visit
+// without allocating; visit returning false stops early. Wait-free.
+func (t *Tree) RangeScanFunc(a, b int64, visit func(k int64) bool) {
+	t.t.RangeScanFunc(a, b, visit)
+}
+
+// RangeCount returns the number of keys in [a, b] without allocating.
+// Wait-free.
+func (t *Tree) RangeCount(a, b int64) int { return t.t.RangeCount(a, b) }
+
+// Keys returns all keys, ascending. Wait-free.
+func (t *Tree) Keys() []int64 { return t.t.Keys() }
+
+// Len returns the number of keys. Wait-free.
+func (t *Tree) Len() int { return t.t.Len() }
+
+// Min returns the smallest key in the set, if any. Wait-free.
+func (t *Tree) Min() (int64, bool) { return t.t.Min() }
+
+// Max returns the largest key in the set, if any. Wait-free.
+func (t *Tree) Max() (int64, bool) { return t.t.Max() }
+
+// Succ returns the smallest key >= k, if any. Wait-free.
+func (t *Tree) Succ(k int64) (int64, bool) { return t.t.Succ(k) }
+
+// Pred returns the largest key <= k, if any. Wait-free.
+func (t *Tree) Pred(k int64) (int64, bool) { return t.t.Pred(k) }
+
+// Snapshot returns a frozen point-in-time view supporting wait-free
+// Contains, Range, RangeScan, Keys and Len. The snapshot stays valid (and
+// constant) regardless of later updates to the tree.
+func (t *Tree) Snapshot() *Snapshot { return t.t.Snapshot() }
+
+// Stats returns the tree's instrumentation counters (retries, helps,
+// handshake aborts, phases opened).
+func (t *Tree) Stats() Stats { return t.t.Stats() }
+
+// ResetStats zeroes the instrumentation counters.
+func (t *Tree) ResetStats() { t.t.ResetStats() }
+
+// --- Baselines -----------------------------------------------------------
+
+// nbSet adapts the NB-BST baseline to Set. Its RangeScan is only
+// quiescently consistent (NB-BST is the paper's no-range-query baseline).
+type nbSet struct{ t *nbbst.Tree }
+
+func (s nbSet) Insert(k int64) bool          { return s.t.Insert(k) }
+func (s nbSet) Delete(k int64) bool          { return s.t.Delete(k) }
+func (s nbSet) Contains(k int64) bool        { return s.t.Find(k) }
+func (s nbSet) RangeScan(a, b int64) []int64 { return s.t.RangeScanUnsafe(a, b) }
+func (s nbSet) Len() int                     { return s.t.Len() }
+
+// NewNonBlockingBaseline returns the NB-BST of Ellen et al. (PODC 2010),
+// the structure PNB-BST extends. Insert/Delete/Contains are linearizable
+// and non-blocking; RangeScan is a best-effort traversal that is NOT
+// linearizable under concurrent updates.
+func NewNonBlockingBaseline() Set { return nbSet{t: nbbst.New()} }
+
+// lockSet adapts the lock-based tree to Set.
+type lockSet struct{ t *lockbst.Tree }
+
+func (s lockSet) Insert(k int64) bool          { return s.t.Insert(k) }
+func (s lockSet) Delete(k int64) bool          { return s.t.Delete(k) }
+func (s lockSet) Contains(k int64) bool        { return s.t.Find(k) }
+func (s lockSet) RangeScan(a, b int64) []int64 { return s.t.RangeScan(a, b) }
+func (s lockSet) Len() int                     { return s.t.Len() }
+
+// NewLocked returns a readers-writer-locked leaf-oriented BST: every
+// operation is linearizable, but scans block updates and vice versa.
+func NewLocked() Set { return lockSet{t: lockbst.New()} }
+
+// slSet adapts the plain skip list to Set.
+type slSet struct{ l *skiplist.List }
+
+func (s slSet) Insert(k int64) bool          { return s.l.Insert(k) }
+func (s slSet) Delete(k int64) bool          { return s.l.Delete(k) }
+func (s slSet) Contains(k int64) bool        { return s.l.Find(k) }
+func (s slSet) RangeScan(a, b int64) []int64 { return s.l.RangeScanUnsafe(a, b) }
+func (s slSet) Len() int                     { return s.l.Len() }
+
+// NewSkipList returns a lock-free skip list set. Insert/Delete/Contains
+// are linearizable and non-blocking; RangeScan is a best-effort
+// bottom-level traversal that is NOT linearizable under concurrency.
+func NewSkipList() Set { return slSet{l: skiplist.New()} }
+
+// NewSnapCollector returns a skip list whose RangeScan uses the
+// Petrank–Timnat snap-collector protocol: non-blocking (but not
+// wait-free) nearly-consistent scans, the related-work comparator for
+// the PNB-BST's RangeScan.
+func NewSnapCollector() Set { return snapcollector.New() }

@@ -1,0 +1,86 @@
+package bst
+
+import "repro/internal/pnbmap"
+
+// Map is a persistent non-blocking BST map from int64 keys to values of
+// type V — the key-value extension of the paper's set (DESIGN.md §3). It
+// adds a Put-replace operation: binding a new value to an existing key
+// installs a fresh leaf whose prev pointer keeps the old value readable
+// in earlier phases, so snapshots observe the value that was bound when
+// they were taken.
+//
+// Put, Delete and Get are non-blocking; EntriesFunc, RangeCount and
+// MapSnapshot reads are wait-free and linearizable. All methods are safe
+// for concurrent use.
+type Map[V any] struct {
+	m *pnbmap.Map[V]
+}
+
+// MapEntry is one key-value pair returned by map scans.
+type MapEntry[V any] struct {
+	Key int64
+	Val V
+}
+
+// MapSnapshot is a frozen point-in-time view of a Map.
+type MapSnapshot[V any] struct {
+	s *pnbmap.Snapshot[V]
+}
+
+// NewMap returns an empty map.
+func NewMap[V any]() *Map[V] { return &Map[V]{m: pnbmap.New[V]()} }
+
+// Put binds k to v, reporting whether an existing binding was replaced.
+func (m *Map[V]) Put(k int64, v V) (replaced bool) { return m.m.Put(k, v) }
+
+// Get returns the value bound to k, if any.
+func (m *Map[V]) Get(k int64) (V, bool) { return m.m.Get(k) }
+
+// Contains reports whether k is bound.
+func (m *Map[V]) Contains(k int64) bool { return m.m.Contains(k) }
+
+// Delete unbinds k, reporting whether it was bound.
+func (m *Map[V]) Delete(k int64) bool { return m.m.Delete(k) }
+
+// Entries returns the entries with keys in [a, b], ascending by key.
+// Wait-free and linearizable.
+func (m *Map[V]) Entries(a, b int64) []MapEntry[V] {
+	var out []MapEntry[V]
+	m.m.RangeScanFunc(a, b, func(k int64, v V) bool {
+		out = append(out, MapEntry[V]{k, v})
+		return true
+	})
+	return out
+}
+
+// EntriesFunc streams entries in [a, b] ascending without allocating;
+// visit returning false stops early. Wait-free.
+func (m *Map[V]) EntriesFunc(a, b int64, visit func(k int64, v V) bool) {
+	m.m.RangeScanFunc(a, b, visit)
+}
+
+// RangeCount returns the number of bound keys in [a, b]. Wait-free.
+func (m *Map[V]) RangeCount(a, b int64) int { return m.m.RangeCount(a, b) }
+
+// Keys returns all bound keys, ascending. Wait-free.
+func (m *Map[V]) Keys() []int64 { return m.m.Keys() }
+
+// Len returns the number of bound keys. Wait-free.
+func (m *Map[V]) Len() int { return m.m.Len() }
+
+// Snapshot returns a frozen point-in-time view of the map.
+func (m *Map[V]) Snapshot() *MapSnapshot[V] { return &MapSnapshot[V]{s: m.m.Snapshot()} }
+
+// Seq returns the snapshot's phase number.
+func (s *MapSnapshot[V]) Seq() uint64 { return s.s.Seq() }
+
+// Get returns the value bound to k at the snapshot's phase.
+func (s *MapSnapshot[V]) Get(k int64) (V, bool) { return s.s.Get(k) }
+
+// Range streams the snapshot's entries in [a, b], ascending.
+func (s *MapSnapshot[V]) Range(a, b int64, visit func(k int64, v V) bool) {
+	s.s.Range(a, b, visit)
+}
+
+// Len returns the number of keys bound at the snapshot's phase.
+func (s *MapSnapshot[V]) Len() int { return s.s.Len() }

@@ -1,0 +1,127 @@
+package bst_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/bst"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := bst.NewMap[string]()
+	if m.Put(1, "one") {
+		t.Fatal("first Put reported replace")
+	}
+	if !m.Put(1, "uno") {
+		t.Fatal("second Put did not report replace")
+	}
+	if v, ok := m.Get(1); !ok || v != "uno" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if !m.Contains(1) || m.Contains(2) {
+		t.Fatal("contains wrong")
+	}
+	m.Put(2, "two")
+	m.Put(5, "five")
+	es := m.Entries(1, 4)
+	if len(es) != 2 || es[0].Val != "uno" || es[1].Val != "two" {
+		t.Fatalf("Entries = %v", es)
+	}
+	if m.RangeCount(0, 10) != 3 || m.Len() != 3 {
+		t.Fatal("counts wrong")
+	}
+	if got := m.Keys(); len(got) != 3 || got[2] != 5 {
+		t.Fatalf("Keys = %v", got)
+	}
+	if !m.Delete(1) || m.Delete(1) {
+		t.Fatal("delete semantics")
+	}
+}
+
+func TestMapSnapshotVersionedValues(t *testing.T) {
+	m := bst.NewMap[int]()
+	m.Put(7, 1)
+	s1 := m.Snapshot()
+	m.Put(7, 2)
+	s2 := m.Snapshot()
+	m.Delete(7)
+
+	if v, ok := s1.Get(7); !ok || v != 1 {
+		t.Fatalf("s1.Get = %d,%v", v, ok)
+	}
+	if v, ok := s2.Get(7); !ok || v != 2 {
+		t.Fatalf("s2.Get = %d,%v", v, ok)
+	}
+	if _, ok := m.Get(7); ok {
+		t.Fatal("live map still has 7")
+	}
+	if s1.Len() != 1 || s2.Len() != 1 || m.Len() != 0 {
+		t.Fatal("lens wrong")
+	}
+	if s1.Seq() >= s2.Seq() {
+		t.Fatal("snapshot phases not increasing")
+	}
+	n := 0
+	s2.Range(0, 100, func(k int64, v int) bool {
+		if k != 7 || v != 2 {
+			t.Fatalf("s2 entry %d=%d", k, v)
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("s2.Range visited %d", n)
+	}
+}
+
+func TestMapEntriesFuncEarlyStop(t *testing.T) {
+	m := bst.NewMap[int64]()
+	for i := int64(0); i < 50; i++ {
+		m.Put(i, i*i)
+	}
+	n := 0
+	m.EntriesFunc(0, 49, func(k, v int64) bool {
+		if v != k*k {
+			t.Fatalf("entry %d=%d", k, v)
+		}
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestMapConcurrentCounters(t *testing.T) {
+	// Each worker owns a key and monotonically increments its value via
+	// Put-replace; concurrent readers must never see a value decrease.
+	m := bst.NewMap[int64]()
+	const workers = 4
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for w := 0; w < workers; w++ {
+		m.Put(int64(w), 0)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(k int64) {
+			defer wg.Done()
+			for v := int64(1); !stop.Load(); v++ {
+				m.Put(k, v)
+			}
+		}(int64(w))
+	}
+	last := make([]int64, workers)
+	for i := 0; i < 20000; i++ {
+		k := int64(i % workers)
+		if v, ok := m.Get(k); ok {
+			if v < last[k] {
+				t.Fatalf("key %d went backwards: %d then %d", k, last[k], v)
+			}
+			last[k] = v
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+// Command benchbst regenerates the evaluation of the PNB-BST
+// reproduction (experiments E1..E10, see DESIGN.md §4 and
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	benchbst -list
+//	benchbst -experiment E1 [-duration 2s] [-threads 8] [-csv]
+//	benchbst -all -quick
+//
+// With -all every experiment runs in order. -quick shrinks key ranges
+// and durations for a fast smoke pass; published numbers should use the
+// defaults (or longer -duration) on an otherwise idle machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments and exit")
+		expID    = flag.String("experiment", "", "experiment id to run (E1..E10)")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "smoke-scale: short durations, small key ranges")
+		duration = flag.Duration("duration", 2*time.Second, "measurement window per data point")
+		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "top of the thread sweep")
+		seed     = flag.Uint64("seed", 42, "base PRNG seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Duration:   *duration,
+		MaxThreads: *threads,
+		Seed:       *seed,
+		Quick:      *quick,
+		CSV:        *csv,
+		Out:        os.Stdout,
+	}
+	if *quick && !flagSet("duration") {
+		opts.Duration = 200 * time.Millisecond
+	}
+
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			fmt.Printf("\n### %s — %s\n", e.ID, e.Title)
+			e.Run(opts)
+		}
+	case *expID != "":
+		e, err := experiments.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("\n### %s — %s\n", e.ID, e.Title)
+		e.Run(opts)
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -experiment <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

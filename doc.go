@@ -1,0 +1,9 @@
+// Package repro is a Go reproduction of "Persistent Non-Blocking Binary
+// Search Trees Supporting Wait-Free Range Queries" (Fatourou & Ruppert,
+// SPAA 2019).
+//
+// Use the public API in repro/bst. The benchmark families in
+// bench_test.go correspond one-to-one to the experiments in DESIGN.md §4
+// (cmd/benchbst regenerates the full tables and figures; the benchmarks
+// here measure single representative points with testing.B semantics).
+package repro

@@ -1,0 +1,97 @@
+// Analytics: the paper's motivating big-data scenario — a shared
+// in-memory index ingesting a stream of events while analytic range
+// queries run concurrently, wait-free, without blocking the ingest path.
+//
+// Writers insert event timestamps (microseconds) into the tree; an
+// analytics goroutine repeatedly computes windowed event counts over the
+// last second using RangeCount, and a reporting goroutine takes
+// consistent snapshots to compute exact histograms. Neither reader ever
+// blocks a writer.
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/bst"
+)
+
+const (
+	ingestors  = 4
+	runFor     = 2 * time.Second
+	windowSize = 100 * time.Millisecond
+)
+
+func main() {
+	index := bst.New()
+	start := time.Now()
+	var ingested atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Ingest: each writer inserts strictly increasing, writer-unique
+	// microsecond timestamps (ts*ingestors + id keeps keys distinct).
+	for w := 0; w < ingestors; w++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for !stop.Load() {
+				ts := time.Since(start).Microseconds()
+				index.Insert(ts*ingestors + id)
+				time.Sleep(50 * time.Microsecond) // ~20k events/s/writer
+			}
+		}(int64(w))
+	}
+
+	// Live analytics: windowed counts via wait-free counting scans.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			now := time.Since(start).Microseconds()
+			lo := (now - windowSize.Microseconds()) * ingestors
+			count := index.RangeCount(lo, now*ingestors+ingestors-1)
+			fmt.Printf("[analytics] last %v: %5d events (total ingested so far: %d)\n",
+				windowSize, count, index.Len())
+			time.Sleep(250 * time.Millisecond)
+		}
+	}()
+
+	// Periodic exact report over a frozen snapshot: bucket events into
+	// 100ms bins. The snapshot guarantees the histogram is internally
+	// consistent even though ingest continues.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			time.Sleep(700 * time.Millisecond)
+			snap := index.Snapshot()
+			bins := map[int64]int{}
+			snap.Range(0, bst.MaxKey, func(k int64) bool {
+				bins[(k/ingestors)/windowSize.Microseconds()]++
+				return true
+			})
+			fmt.Printf("[report]    snapshot of %d events across %d bins (sum check: %d)\n",
+				snap.Len(), len(bins), sum(bins))
+		}
+	}()
+
+	time.Sleep(runFor)
+	stop.Store(true)
+	wg.Wait()
+	ingested.Store(int64(index.Len()))
+	fmt.Printf("done: %d events ingested, final index size %d\n",
+		ingested.Load(), index.Len())
+}
+
+func sum(bins map[int64]int) int {
+	n := 0
+	for _, c := range bins {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/seqset"
+)
+
+// TestConcurrentDisjointPartitions gives each goroutine its own key range;
+// per-partition results must then match a sequential oracle exactly, and
+// the global invariants must hold at quiescence. This exercises the
+// paper's disjoint-access-parallel claim.
+func TestConcurrentDisjointPartitions(t *testing.T) {
+	tr := New()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const span = 200
+	var wg sync.WaitGroup
+	oracles := make([]*seqset.Set, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * span)
+			oracle := seqset.New()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 5000; i++ {
+				k := base + int64(rng.Intn(span))
+				switch rng.Intn(3) {
+				case 0:
+					if got, want := tr.Insert(k), oracle.Insert(k); got != want {
+						t.Errorf("w%d Insert(%d) = %v, want %v", w, k, got, want)
+						return
+					}
+				case 1:
+					if got, want := tr.Delete(k), oracle.Delete(k); got != want {
+						t.Errorf("w%d Delete(%d) = %v, want %v", w, k, got, want)
+						return
+					}
+				case 2:
+					if got, want := tr.Find(k), oracle.Contains(k); got != want {
+						t.Errorf("w%d Find(%d) = %v, want %v", w, k, got, want)
+						return
+					}
+				}
+			}
+			oracles[w] = oracle
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := seqset.New()
+	for _, o := range oracles {
+		for _, k := range o.Keys() {
+			want.Insert(k)
+		}
+	}
+	if got := tr.Keys(); !equalKeys(got, want.Keys()) {
+		t.Fatalf("final keys mismatch: got %d keys, want %d", len(got), want.Len())
+	}
+}
+
+// TestConcurrentSharedKeys hammers a small shared key space from many
+// goroutines, tracking a global balance per key: the number of successful
+// inserts minus successful deletes of k must equal 1 if k ends present,
+// 0 if absent. This is a linearizability consequence that needs no
+// timestamps.
+func TestConcurrentSharedKeys(t *testing.T) {
+	tr := New()
+	const keyspace = 64
+	workers := 2 * runtime.GOMAXPROCS(0)
+	var balance [keyspace]atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 4000; i++ {
+				k := int64(rng.Intn(keyspace))
+				if rng.Intn(2) == 0 {
+					if tr.Insert(k) {
+						balance[k].Add(1)
+					}
+				} else {
+					if tr.Delete(k) {
+						balance[k].Add(-1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < keyspace; k++ {
+		b := balance[k].Load()
+		present := tr.Find(k)
+		if present && b != 1 {
+			t.Errorf("key %d present but balance %d", k, b)
+		}
+		if !present && b != 0 {
+			t.Errorf("key %d absent but balance %d", k, b)
+		}
+	}
+}
+
+// TestScanSeesMonotonePrefix: one writer inserts 0,1,2,... in order while
+// scanners run. Because insert i completes before insert i+1 begins, a
+// linearizable scan that contains key i must contain every j < i — any
+// gap proves the scan missed a committed earlier update (exactly what the
+// handshaking mechanism prevents).
+func TestScanSeesMonotonePrefix(t *testing.T) {
+	tr := New()
+	const n = 6000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < n; i++ {
+			tr.Insert(i)
+		}
+	}()
+	var scans int
+	for {
+		select {
+		case <-done:
+			if scans == 0 {
+				t.Log("writer finished before any scan; test vacuous on this run")
+			}
+			return
+		default:
+		}
+		keys := tr.RangeScan(0, n-1)
+		scans++
+		for i := 1; i < len(keys); i++ {
+			if keys[i] != keys[i-1]+1 {
+				t.Fatalf("scan %d has gap: %d then %d (missed a committed insert)", scans, keys[i-1], keys[i])
+			}
+		}
+		if len(keys) > 0 && keys[0] != 0 {
+			t.Fatalf("scan %d missing prefix start: first key %d", scans, keys[0])
+		}
+	}
+}
+
+// TestScanSeesMonotoneDeletions: mirror image — one writer deletes
+// 0,1,2,... in order; a scan whose smallest key is m must not contain any
+// key < m... more precisely it must see a suffix m..n-1.
+func TestScanSeesMonotoneDeletions(t *testing.T) {
+	tr := New()
+	const n = 6000
+	for i := int64(0); i < n; i++ {
+		tr.Insert(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < n; i++ {
+			tr.Delete(i)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		keys := tr.RangeScan(0, n-1)
+		for i := 1; i < len(keys); i++ {
+			if keys[i] != keys[i-1]+1 {
+				t.Fatalf("scan has gap after deletes: %d then %d", keys[i-1], keys[i])
+			}
+		}
+		if len(keys) > 0 && keys[len(keys)-1] != n-1 {
+			t.Fatalf("scan lost the suffix end: last key %d", keys[len(keys)-1])
+		}
+	}
+}
+
+// TestConcurrentScansAndUpdates runs updaters and scanners together over a
+// shared space and checks only well-formedness of every scan (sorted,
+// unique, in range) plus quiescent invariants — a smoke test that the
+// helping/abort machinery doesn't corrupt or wedge anything.
+func TestConcurrentScansAndUpdates(t *testing.T) {
+	tr := New()
+	const keyspace = 1000
+	var stop atomic.Bool
+	var wg, scanWg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for !stop.Load() {
+				k := int64(rng.Intn(keyspace))
+				if rng.Intn(2) == 0 {
+					tr.Insert(k)
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		scanWg.Add(1)
+		go func(s int) {
+			defer scanWg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + s)))
+			for i := 0; i < 200; i++ {
+				a := int64(rng.Intn(keyspace))
+				b := a + int64(rng.Intn(200))
+				keys := tr.RangeScan(a, b)
+				for j := range keys {
+					if keys[j] < a || keys[j] > b {
+						t.Errorf("scan returned out-of-range key %d not in [%d,%d]", keys[j], a, b)
+						return
+					}
+					if j > 0 && keys[j] <= keys[j-1] {
+						t.Errorf("scan not strictly ascending: %d after %d", keys[j], keys[j-1])
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	scanWg.Wait() // scanners do fixed work
+	stop.Store(true)
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSnapshotStability takes snapshots while updaters churn and
+// verifies each snapshot returns identical results when read repeatedly
+// and concurrently.
+func TestConcurrentSnapshotStability(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 500; i++ {
+		tr.Insert(i)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for !stop.Load() {
+				k := int64(rng.Intn(1000))
+				if rng.Intn(2) == 0 {
+					tr.Insert(k)
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 30; i++ {
+		snap := tr.Snapshot()
+		first := snap.Keys()
+		var inner sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			inner.Add(1)
+			go func() {
+				defer inner.Done()
+				if got := snap.Keys(); !equalKeys(got, first) {
+					t.Errorf("snapshot read diverged: %d vs %d keys", len(got), len(first))
+				}
+			}()
+		}
+		inner.Wait()
+		if t.Failed() {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHighContentionSingleKey: all goroutines fight over one key. The
+// balance argument from TestConcurrentSharedKeys must hold, and the run
+// must terminate (non-blocking progress under maximal contention).
+func TestHighContentionSingleKey(t *testing.T) {
+	tr := New()
+	var balance atomic.Int64
+	var wg sync.WaitGroup
+	workers := 2 * runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				if (i+w)%2 == 0 {
+					if tr.Insert(7) {
+						balance.Add(1)
+					}
+				} else {
+					if tr.Delete(7) {
+						balance.Add(-1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b := balance.Load()
+	present := tr.Find(7)
+	if present && b != 1 || !present && b != 0 {
+		t.Fatalf("balance %d, present %v", b, present)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentVersionHistory records (seq, oracle) pairs under a single
+// writer with concurrent scanners, then checks historical versions at
+// quiescence. The writer is sequential so its oracle is exact; scanners
+// only add phase churn (forcing handshake aborts and prev-chain growth).
+func TestConcurrentVersionHistory(t *testing.T) {
+	tr := New()
+	oracle := seqset.New()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for !stop.Load() {
+				tr.RangeCount(0, 500)
+			}
+		}(s)
+	}
+	type rec struct {
+		seq  uint64
+		keys []int64
+	}
+	var recs []rec
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		k := int64(rng.Intn(400))
+		if rng.Intn(2) == 0 {
+			tr.Insert(k)
+			oracle.Insert(k)
+		} else {
+			tr.Delete(k)
+			oracle.Delete(k)
+		}
+		if i%100 == 0 {
+			s := tr.Snapshot()
+			recs = append(recs, rec{s.Seq(), oracle.Keys()})
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for _, r := range recs {
+		if got := tr.VersionKeys(r.seq); !equalKeys(got, r.keys) {
+			t.Fatalf("T_%d = %d keys, want %d", r.seq, len(got), len(r.keys))
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/seqset"
+)
+
+// FuzzOpsVsOracle decodes arbitrary bytes into an operation script and
+// cross-checks every return value, every scan, and the final structure
+// against the sequential oracle. Run with `go test -fuzz=FuzzOpsVsOracle`
+// for continuous fuzzing; the seed corpus below runs under plain `go
+// test` and covers each opcode and mixed scripts.
+func FuzzOpsVsOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 5, 0})                                     // single insert
+	f.Add([]byte{0, 5, 0, 1, 5, 0})                            // insert then delete
+	f.Add([]byte{0, 5, 0, 2, 5, 0, 3, 0, 60})                  // insert, find, scan
+	f.Add([]byte{0, 1, 0, 0, 2, 0, 0, 3, 0, 1, 2, 0, 3, 0, 9}) // mixed
+	f.Add([]byte{3, 0, 255, 3, 255, 0})                        // scans incl. inverted
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr := New()
+		oracle := seqset.New()
+		var snaps []*Snapshot
+		var snapKeys [][]int64
+		for i := 0; i+2 < len(raw); i += 3 {
+			k := int64(raw[i+1])
+			switch raw[i] % 5 {
+			case 0:
+				if tr.Insert(k) != oracle.Insert(k) {
+					t.Fatalf("Insert(%d) diverged", k)
+				}
+			case 1:
+				if tr.Delete(k) != oracle.Delete(k) {
+					t.Fatalf("Delete(%d) diverged", k)
+				}
+			case 2:
+				if tr.Find(k) != oracle.Contains(k) {
+					t.Fatalf("Find(%d) diverged", k)
+				}
+			case 3:
+				b := k + int64(raw[i+2])
+				if !equalKeys(tr.RangeScan(k, b), oracle.RangeScan(k, b)) {
+					t.Fatalf("RangeScan(%d,%d) diverged", k, b)
+				}
+			case 4:
+				snaps = append(snaps, tr.Snapshot())
+				snapKeys = append(snapKeys, oracle.Keys())
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if !equalKeys(tr.Keys(), oracle.Keys()) {
+			t.Fatal("final keys diverged")
+		}
+		for i, s := range snaps {
+			if !equalKeys(s.Keys(), snapKeys[i]) {
+				t.Fatalf("snapshot %d diverged", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package core
+
+// Iterator is a pull-based in-order cursor over a Snapshot. Like every
+// snapshot read it is wait-free and observes exactly the keys of the
+// snapshot's phase, regardless of concurrent updates to the live tree.
+//
+// The iterator maintains an explicit descent stack instead of recursing,
+// so callers can interleave Next with other work and abandon iteration at
+// any point without cost.
+type Iterator struct {
+	t     *Tree
+	seq   uint64
+	lo    int64
+	hi    int64
+	stack []*node // nodes whose left subtree is done but right is pending, plus pending leaves
+	cur   int64
+	valid bool
+}
+
+// Iter returns an iterator over the snapshot's keys in [a, b], ascending.
+func (s *Snapshot) Iter(a, b int64) *Iterator {
+	if b > MaxKey {
+		b = MaxKey
+	}
+	it := &Iterator{t: s.t, seq: s.seq, lo: a, hi: b}
+	if a <= b {
+		it.descend(s.t.root)
+	}
+	return it
+}
+
+// descend pushes the left spine of the subtree rooted at n, pruned to
+// [lo, hi], helping in-progress updates exactly as ScanHelper does.
+func (it *Iterator) descend(n *node) {
+	for {
+		if n.leaf {
+			it.stack = append(it.stack, n)
+			return
+		}
+		if in := n.update.Load().info; inProgress(in) {
+			it.t.help(in)
+		}
+		if it.lo > n.key { // whole window right of the split key
+			n = readChild(n, false, it.seq)
+			continue
+		}
+		if it.hi >= n.key {
+			// Right subtree intersects the window: revisit n after the
+			// left subtree is exhausted.
+			it.stack = append(it.stack, n)
+		}
+		n = readChild(n, true, it.seq)
+	}
+}
+
+// Next advances to the next key, reporting whether one exists.
+func (it *Iterator) Next() bool {
+	for len(it.stack) > 0 {
+		n := it.stack[len(it.stack)-1]
+		it.stack = it.stack[:len(it.stack)-1]
+		if n.leaf {
+			if n.key >= it.lo && n.key <= it.hi {
+				it.cur = n.key
+				it.valid = true
+				return true
+			}
+			continue
+		}
+		// n's left side is done; continue into its right subtree.
+		it.descend(readChild(n, false, it.seq))
+	}
+	it.valid = false
+	return false
+}
+
+// Key returns the key at the current position; valid only after a Next
+// that returned true.
+func (it *Iterator) Key() int64 {
+	if !it.valid {
+		panic("core: Iterator.Key called before a successful Next")
+	}
+	return it.cur
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/seqset"
+)
+
+func collect(it *Iterator) []int64 {
+	var out []int64
+	for it.Next() {
+		out = append(out, it.Key())
+	}
+	return out
+}
+
+func TestIteratorEmpty(t *testing.T) {
+	tr := New()
+	it := tr.Snapshot().Iter(MinKey, MaxKey)
+	if it.Next() {
+		t.Fatal("Next on empty snapshot returned true")
+	}
+}
+
+func TestIteratorFullAndWindowed(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i += 2 {
+		tr.Insert(i)
+	}
+	snap := tr.Snapshot()
+	if got := collect(snap.Iter(MinKey, MaxKey)); len(got) != 50 {
+		t.Fatalf("full iteration = %d keys", len(got))
+	}
+	got := collect(snap.Iter(10, 20))
+	want := []int64{10, 12, 14, 16, 18, 20}
+	if !equalKeys(got, want) {
+		t.Fatalf("windowed iteration = %v, want %v", got, want)
+	}
+	if got := collect(snap.Iter(11, 11)); got != nil {
+		t.Fatalf("empty window = %v", got)
+	}
+	if got := collect(snap.Iter(20, 10)); got != nil {
+		t.Fatalf("inverted window = %v", got)
+	}
+}
+
+func TestIteratorMatchesRangeScan(t *testing.T) {
+	tr := New()
+	oracle := seqset.New()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 3000; i++ {
+		k := int64(rng.Intn(500))
+		if rng.Intn(3) < 2 {
+			tr.Insert(k)
+			oracle.Insert(k)
+		} else {
+			tr.Delete(k)
+			oracle.Delete(k)
+		}
+	}
+	snap := tr.Snapshot()
+	for trial := 0; trial < 50; trial++ {
+		a := int64(rng.Intn(500))
+		b := a + int64(rng.Intn(100))
+		if !equalKeys(collect(snap.Iter(a, b)), oracle.RangeScan(a, b)) {
+			t.Fatalf("iterator diverged from oracle on [%d,%d]", a, b)
+		}
+	}
+}
+
+func TestIteratorStableUnderChurn(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 500; i++ {
+		tr.Insert(i)
+	}
+	snap := tr.Snapshot()
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		k := int64(500)
+		for !stop.Load() {
+			tr.Insert(k)
+			tr.Delete(k - 500)
+			k++
+		}
+	}()
+	it := snap.Iter(MinKey, MaxKey)
+	n := int64(0)
+	for it.Next() {
+		if it.Key() != n {
+			t.Fatalf("iterator saw %d, want %d (churn leaked into snapshot)", it.Key(), n)
+		}
+		n++
+	}
+	stop.Store(true)
+	<-done
+	if n != 500 {
+		t.Fatalf("iterated %d keys, want 500", n)
+	}
+}
+
+func TestIteratorKeyPanicsBeforeNext(t *testing.T) {
+	tr := New()
+	tr.Insert(1)
+	it := tr.Snapshot().Iter(MinKey, MaxKey)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Key before Next did not panic")
+		}
+	}()
+	it.Key()
+}
+
+func TestIteratorInterleavedUse(t *testing.T) {
+	// Two iterators over the same snapshot advance independently.
+	tr := New()
+	for i := int64(0); i < 20; i++ {
+		tr.Insert(i)
+	}
+	snap := tr.Snapshot()
+	a, b := snap.Iter(0, 19), snap.Iter(0, 19)
+	a.Next()
+	a.Next()
+	b.Next()
+	if a.Key() != 1 || b.Key() != 0 {
+		t.Fatalf("independent cursors broken: a=%d b=%d", a.Key(), b.Key())
+	}
+}

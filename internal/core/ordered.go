@@ -1,0 +1,87 @@
+package core
+
+// Ordered-set queries. Each opens a new phase (like RangeScan) and walks
+// the frozen version tree T_seq, helping in-progress updates exactly as
+// ScanHelper does, so each is wait-free with cost O(tree path). They are
+// the "processing while traversing" usage the paper highlights.
+
+// Min returns the smallest key in the set, if any. Wait-free.
+func (t *Tree) Min() (int64, bool) {
+	var k int64
+	found := false
+	t.RangeScanFunc(MinKey, MaxKey, func(x int64) bool {
+		k, found = x, true
+		return false
+	})
+	return k, found
+}
+
+// Max returns the largest key in the set, if any. Wait-free.
+func (t *Tree) Max() (int64, bool) { return t.Pred(MaxKey) }
+
+// Succ returns the smallest key >= k, if any. Wait-free: an
+// early-stopping scan of [k, MaxKey].
+func (t *Tree) Succ(k int64) (int64, bool) {
+	var got int64
+	found := false
+	t.RangeScanFunc(k, MaxKey, func(x int64) bool {
+		got, found = x, true
+		return false
+	})
+	return got, found
+}
+
+// Pred returns the largest key <= k, if any. Wait-free: it walks the
+// search path of k in T_seq remembering the last node where the walk
+// turned right (whose left subtree then holds only keys <= k); the
+// answer is either the arrival leaf or the rightmost leaf of that
+// pivot's left subtree.
+//
+// Pivots always carry finite keys (the walk can only turn right at a
+// node with key <= k <= MaxKey), so their left subtrees contain no
+// sentinel leaves and the rightmost leaf is a valid answer.
+func (t *Tree) Pred(k int64) (int64, bool) {
+	checkKey(k)
+	seq := t.counter.Load()
+	t.counter.Add(1)
+	t.stats.scans.Add(1)
+
+	var pivot *node // last internal node where the walk went right
+	n := t.root
+	for !n.leaf {
+		t.helpIfPending(n)
+		if k < n.key {
+			n = readChild(n, true, seq)
+		} else {
+			pivot = n
+			n = readChild(n, false, seq)
+		}
+	}
+	if n.key <= k && n.key <= MaxKey {
+		return n.key, true
+	}
+	if pivot == nil {
+		return 0, false // never turned right: every key exceeds k
+	}
+	leaf := t.rightmostLeaf(readChild(pivot, true, seq), seq)
+	return leaf.key, true
+}
+
+// rightmostLeaf descends right children of T_seq to the subtree's
+// largest leaf, helping pending updates on the way.
+func (t *Tree) rightmostLeaf(n *node, seq uint64) *node {
+	for !n.leaf {
+		t.helpIfPending(n)
+		n = readChild(n, false, seq)
+	}
+	return n
+}
+
+// helpIfPending helps the update frozen on n, if one is in progress
+// (never the dummy, whose state is Abort).
+func (t *Tree) helpIfPending(n *node) {
+	if in := n.update.Load().info; inProgress(in) {
+		t.stats.helps.Add(1)
+		t.help(in)
+	}
+}

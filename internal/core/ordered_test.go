@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderedQueriesEmpty(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty")
+	}
+	if _, ok := tr.Succ(0); ok {
+		t.Fatal("Succ on empty")
+	}
+	if _, ok := tr.Pred(0); ok {
+		t.Fatal("Pred on empty")
+	}
+}
+
+func TestOrderedQueriesBasic(t *testing.T) {
+	tr := New()
+	for _, k := range []int64{10, 20, 30} {
+		tr.Insert(k)
+	}
+	check := func(name string, got int64, ok bool, want int64, wantOK bool) {
+		t.Helper()
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("%s = %d,%v want %d,%v", name, got, ok, want, wantOK)
+		}
+	}
+	g, ok := tr.Min()
+	check("Min", g, ok, 10, true)
+	g, ok = tr.Max()
+	check("Max", g, ok, 30, true)
+	g, ok = tr.Succ(15)
+	check("Succ(15)", g, ok, 20, true)
+	g, ok = tr.Succ(20)
+	check("Succ(20)", g, ok, 20, true)
+	g, ok = tr.Succ(31)
+	check("Succ(31)", g, ok, 0, false)
+	g, ok = tr.Pred(15)
+	check("Pred(15)", g, ok, 10, true)
+	g, ok = tr.Pred(10)
+	check("Pred(10)", g, ok, 10, true)
+	g, ok = tr.Pred(9)
+	check("Pred(9)", g, ok, 0, false)
+	g, ok = tr.Pred(100)
+	check("Pred(100)", g, ok, 30, true)
+}
+
+func TestOrderedQueriesBoundaries(t *testing.T) {
+	tr := New()
+	tr.Insert(MinKey)
+	tr.Insert(MaxKey)
+	if g, ok := tr.Min(); !ok || g != MinKey {
+		t.Fatalf("Min = %d,%v", g, ok)
+	}
+	if g, ok := tr.Max(); !ok || g != MaxKey {
+		t.Fatalf("Max = %d,%v", g, ok)
+	}
+	if g, ok := tr.Pred(MaxKey - 1); !ok || g != MinKey {
+		t.Fatalf("Pred = %d,%v", g, ok)
+	}
+	if g, ok := tr.Succ(MinKey + 1); !ok || g != MaxKey {
+		t.Fatalf("Succ = %d,%v", g, ok)
+	}
+}
+
+func TestQuickOrderedVsSorted(t *testing.T) {
+	f := func(keys []int16, probes []int16) bool {
+		tr := New()
+		uniq := map[int64]bool{}
+		for _, k := range keys {
+			tr.Insert(int64(k))
+			uniq[int64(k)] = true
+		}
+		var sorted []int64
+		for k := range uniq {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, p := range probes {
+			k := int64(p)
+			// Reference succ/pred from the sorted slice.
+			i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= k })
+			wantSucc, haveSucc := int64(0), false
+			if i < len(sorted) {
+				wantSucc, haveSucc = sorted[i], true
+			}
+			j := sort.Search(len(sorted), func(i int) bool { return sorted[i] > k })
+			wantPred, havePred := int64(0), false
+			if j > 0 {
+				wantPred, havePred = sorted[j-1], true
+			}
+			if g, ok := tr.Succ(k); ok != haveSucc || (ok && g != wantSucc) {
+				return false
+			}
+			if g, ok := tr.Pred(k); ok != havePred || (ok && g != wantPred) {
+				return false
+			}
+		}
+		if len(sorted) > 0 {
+			if g, ok := tr.Min(); !ok || g != sorted[0] {
+				return false
+			}
+			if g, ok := tr.Max(); !ok || g != sorted[len(sorted)-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedQueriesUnderChurn(t *testing.T) {
+	// Keys 0..999 all present except a churning window; Min/Max stay
+	// stable, Succ/Pred around the stable regions stay exact.
+	tr := New()
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(i)
+	}
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(1))
+		for !stop.Load() {
+			k := int64(400 + rng.Intn(200))
+			tr.Delete(k)
+			tr.Insert(k)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		if g, ok := tr.Min(); !ok || g != 0 {
+			t.Fatalf("Min = %d,%v under churn", g, ok)
+		}
+		if g, ok := tr.Max(); !ok || g != 999 {
+			t.Fatalf("Max = %d,%v under churn", g, ok)
+		}
+		if g, ok := tr.Succ(200); !ok || g != 200 {
+			t.Fatalf("Succ(200) = %d,%v under churn", g, ok)
+		}
+		if g, ok := tr.Pred(399); !ok || g != 399 {
+			t.Fatalf("Pred(399) = %d,%v under churn", g, ok)
+		}
+	}
+	stop.Store(true)
+	<-done
+}

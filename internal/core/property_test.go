@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seqset"
+)
+
+// opKind encodes a random set operation for property tests.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opDelete
+	opFind
+	opScan
+)
+
+type scriptOp struct {
+	kind opKind
+	k    int64
+	b    int64 // scan upper bound
+}
+
+// decodeScript turns raw fuzz bytes into a bounded operation script.
+func decodeScript(raw []byte, keyspace int64) []scriptOp {
+	var ops []scriptOp
+	for i := 0; i+2 < len(raw); i += 3 {
+		k := int64(raw[i+1]) % keyspace
+		ops = append(ops, scriptOp{
+			kind: opKind(raw[i] % 4),
+			k:    k,
+			b:    k + int64(raw[i+2])%keyspace,
+		})
+	}
+	return ops
+}
+
+// TestQuickMatchesOracle: any sequential operation script produces the
+// same return values and final contents as the reference set.
+func TestQuickMatchesOracle(t *testing.T) {
+	f := func(raw []byte) bool {
+		tr := New()
+		oracle := seqset.New()
+		for _, op := range decodeScript(raw, 64) {
+			switch op.kind {
+			case opInsert:
+				if tr.Insert(op.k) != oracle.Insert(op.k) {
+					return false
+				}
+			case opDelete:
+				if tr.Delete(op.k) != oracle.Delete(op.k) {
+					return false
+				}
+			case opFind:
+				if tr.Find(op.k) != oracle.Contains(op.k) {
+					return false
+				}
+			case opScan:
+				if !equalKeys(tr.RangeScan(op.k, op.b), oracle.RangeScan(op.k, op.b)) {
+					return false
+				}
+			}
+		}
+		return equalKeys(tr.Keys(), oracle.Keys()) && tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRangeScanIsSortedFilter: for any key set and any interval, a
+// scan equals the sorted key list filtered to the interval.
+func TestQuickRangeScanIsSortedFilter(t *testing.T) {
+	f := func(keys []int16, a, b int16) bool {
+		tr := New()
+		uniq := map[int64]bool{}
+		for _, k := range keys {
+			tr.Insert(int64(k))
+			uniq[int64(k)] = true
+		}
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want []int64
+		for k := range uniq {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		return equalKeys(tr.RangeScan(lo, hi), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVersionsAreImmutable: after any script with snapshots sprinkled
+// in, every recorded version still reports the state the oracle had when
+// the snapshot was taken (copy-on-write never mutates old versions).
+func TestQuickVersionsAreImmutable(t *testing.T) {
+	f := func(raw []byte) bool {
+		tr := New()
+		oracle := seqset.New()
+		type rec struct {
+			snap *Snapshot
+			keys []int64
+		}
+		var recs []rec
+		for i, op := range decodeScript(raw, 48) {
+			switch op.kind {
+			case opInsert:
+				tr.Insert(op.k)
+				oracle.Insert(op.k)
+			case opDelete:
+				tr.Delete(op.k)
+				oracle.Delete(op.k)
+			default:
+				if i%2 == 0 {
+					recs = append(recs, rec{tr.Snapshot(), oracle.Keys()})
+				} else {
+					tr.Find(op.k)
+				}
+			}
+		}
+		for _, r := range recs {
+			if !equalKeys(r.snap.Keys(), r.keys) {
+				return false
+			}
+			if err := tr.CheckVersionInvariants(r.snap.Seq()); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInsertDeleteInverse: inserting then deleting a fresh key leaves
+// the set unchanged, for any starting contents.
+func TestQuickInsertDeleteInverse(t *testing.T) {
+	f := func(keys []int16, x int16) bool {
+		tr := New()
+		for _, k := range keys {
+			tr.Insert(int64(k))
+		}
+		before := tr.Keys()
+		probe := int64(x) + 100000 // outside the int16 starting range
+		if !tr.Insert(probe) {
+			return false
+		}
+		if !tr.Delete(probe) {
+			return false
+		}
+		return equalKeys(tr.Keys(), before) && tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLenAgreesWithKeys: Len, RangeCount and len(Keys()) agree.
+func TestQuickLenAgreesWithKeys(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New()
+		for _, k := range keys {
+			tr.Insert(int64(k))
+		}
+		n := len(tr.Keys())
+		return tr.Len() == n && tr.RangeCount(MinKey, MaxKey) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomizedBatchShuffles: build a set from a permutation, delete a
+// random subset, verify survivors. Exercises deep delete paths (interior
+// sibling copies) with many shapes.
+func TestRandomizedBatchShuffles(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(400)
+		perm := rng.Perm(n)
+		tr := New()
+		for _, k := range perm {
+			tr.Insert(int64(k))
+		}
+		dead := map[int64]bool{}
+		for i := 0; i < n/2; i++ {
+			k := int64(rng.Intn(n))
+			if tr.Delete(k) != !dead[k] {
+				t.Fatalf("seed %d: Delete(%d) wrong", seed, k)
+			}
+			dead[k] = true
+		}
+		for k := int64(0); k < int64(n); k++ {
+			if got := tr.Find(k); got != !dead[k] {
+				t.Fatalf("seed %d: Find(%d) = %v, want %v", seed, k, got, !dead[k])
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/seqset"
+)
+
+func TestRangeScanBasic(t *testing.T) {
+	tr := New()
+	for _, k := range []int64{10, 20, 30, 40, 50} {
+		tr.Insert(k)
+	}
+	cases := []struct {
+		a, b int64
+		want []int64
+	}{
+		{0, 100, []int64{10, 20, 30, 40, 50}},
+		{10, 50, []int64{10, 20, 30, 40, 50}},
+		{15, 45, []int64{20, 30, 40}},
+		{20, 20, []int64{20}},
+		{21, 29, nil},
+		{51, 100, nil},
+		{-10, 9, nil},
+		{50, 10, nil}, // inverted range
+	}
+	for _, c := range cases {
+		got := tr.RangeScan(c.a, c.b)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("RangeScan(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRangeScanExcludesSentinels(t *testing.T) {
+	tr := New()
+	tr.Insert(1)
+	got := tr.RangeScan(MinKey, MaxKey)
+	if !reflect.DeepEqual(got, []int64{1}) {
+		t.Fatalf("full scan = %v, want [1]", got)
+	}
+}
+
+func TestRangeScanFuncEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i)
+	}
+	var seen []int64
+	tr.RangeScanFunc(0, 99, func(k int64) bool {
+		seen = append(seen, k)
+		return len(seen) < 5
+	})
+	if !reflect.DeepEqual(seen, []int64{0, 1, 2, 3, 4}) {
+		t.Fatalf("early-stop scan = %v", seen)
+	}
+}
+
+func TestRangeCount(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 1000; i += 2 {
+		tr.Insert(i)
+	}
+	if got := tr.RangeCount(0, 999); got != 500 {
+		t.Fatalf("RangeCount full = %d, want 500", got)
+	}
+	if got := tr.RangeCount(100, 199); got != 50 {
+		t.Fatalf("RangeCount(100,199) = %d, want 50", got)
+	}
+	if got := tr.RangeCount(1, 1); got != 0 {
+		t.Fatalf("RangeCount(1,1) = %d, want 0", got)
+	}
+}
+
+func TestScanAdvancesPhase(t *testing.T) {
+	tr := New()
+	before := tr.phase()
+	tr.RangeScan(0, 10)
+	if got := tr.phase(); got != before+1 {
+		t.Fatalf("phase after scan = %d, want %d", got, before+1)
+	}
+	tr.Snapshot()
+	if got := tr.phase(); got != before+2 {
+		t.Fatalf("phase after snapshot = %d, want %d", got, before+2)
+	}
+}
+
+func TestRangeScanMatchesOracleUnderChurn(t *testing.T) {
+	// Sequential: interleave updates and scans, checking each scan.
+	tr := New()
+	oracle := seqset.New()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 4000; i++ {
+		k := int64(rng.Intn(300))
+		switch rng.Intn(5) {
+		case 0, 1:
+			tr.Insert(k)
+			oracle.Insert(k)
+		case 2:
+			tr.Delete(k)
+			oracle.Delete(k)
+		default:
+			a := int64(rng.Intn(300))
+			b := a + int64(rng.Intn(100))
+			got := tr.RangeScan(a, b)
+			want := oracle.RangeScan(a, b)
+			if !equalKeys(got, want) {
+				t.Fatalf("step %d: RangeScan(%d,%d) = %v, want %v", i, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSnapshotIsStable(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i * 2)
+	}
+	snap := tr.Snapshot()
+	wantKeys := snap.Keys()
+	if len(wantKeys) != 100 {
+		t.Fatalf("snapshot Len = %d, want 100", len(wantKeys))
+	}
+	// Mutate heavily after the snapshot.
+	for i := int64(0); i < 100; i++ {
+		tr.Delete(i * 2)
+		tr.Insert(i*2 + 1)
+	}
+	if got := snap.Keys(); !equalKeys(got, wantKeys) {
+		t.Fatalf("snapshot changed after updates:\n got %v\nwant %v", got, wantKeys)
+	}
+	if snap.Contains(1) {
+		t.Fatal("snapshot sees post-snapshot insert")
+	}
+	if !snap.Contains(0) {
+		t.Fatal("snapshot lost pre-snapshot key")
+	}
+	if got := snap.Len(); got != 100 {
+		t.Fatalf("snapshot Len after churn = %d, want 100", got)
+	}
+	// The live tree reflects the churn.
+	if tr.Find(0) || !tr.Find(1) {
+		t.Fatal("live tree wrong after churn")
+	}
+}
+
+func TestSnapshotRangeAndEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 50; i++ {
+		tr.Insert(i)
+	}
+	snap := tr.Snapshot()
+	if got := snap.RangeScan(10, 19); len(got) != 10 {
+		t.Fatalf("snapshot RangeScan = %v", got)
+	}
+	n := 0
+	snap.Range(0, 49, func(int64) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop visited %d, want 7", n)
+	}
+	if got := snap.RangeScan(60, 50); got != nil {
+		t.Fatalf("inverted snapshot range = %v", got)
+	}
+}
+
+func TestManySnapshotsSeeDistinctHistory(t *testing.T) {
+	tr := New()
+	var snaps []*Snapshot
+	var want [][]int64
+	oracle := seqset.New()
+	for i := int64(0); i < 50; i++ {
+		tr.Insert(i)
+		oracle.Insert(i)
+		snaps = append(snaps, tr.Snapshot())
+		want = append(want, oracle.Keys())
+		if i%3 == 0 {
+			tr.Delete(i / 2)
+			oracle.Delete(i / 2)
+		}
+	}
+	for i, s := range snaps {
+		if got := s.Keys(); !equalKeys(got, want[i]) {
+			t.Fatalf("snapshot %d: got %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestVersionKeysHistorical(t *testing.T) {
+	// VersionKeys reads T_seq directly (quiescent); every phase boundary
+	// recorded by a Snapshot must match the oracle state at that time.
+	tr := New()
+	oracle := seqset.New()
+	type rec struct {
+		seq  uint64
+		keys []int64
+	}
+	var recs []rec
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 500; i++ {
+		k := int64(rng.Intn(80))
+		if rng.Intn(2) == 0 {
+			tr.Insert(k)
+			oracle.Insert(k)
+		} else {
+			tr.Delete(k)
+			oracle.Delete(k)
+		}
+		if i%25 == 0 {
+			s := tr.Snapshot()
+			recs = append(recs, rec{s.Seq(), oracle.Keys()})
+		}
+	}
+	for _, r := range recs {
+		if got := tr.VersionKeys(r.seq); !equalKeys(got, r.keys) {
+			t.Fatalf("T_%d keys = %v, want %v", r.seq, got, r.keys)
+		}
+		if err := tr.CheckVersionInvariants(r.seq); err != nil {
+			t.Fatalf("T_%d: %v", r.seq, err)
+		}
+	}
+}

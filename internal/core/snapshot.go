@@ -1,0 +1,79 @@
+package core
+
+// Snapshot is a wait-free, immutable point-in-time view of the set: the
+// tree T_seq of the phase that was current when the snapshot was taken.
+// A Snapshot may be read repeatedly and concurrently, long after later
+// updates have modified the tree; all its reads observe the same set.
+//
+// This is the persistence pay-off the paper's title promises: because
+// every node keeps a prev pointer and a phase number, T_seq remains
+// reconstructible forever (old versions stay reachable while a Snapshot
+// references the root; Go's GC reclaims them afterwards).
+type Snapshot struct {
+	t   *Tree
+	seq uint64
+}
+
+// Snapshot ends the current phase exactly like RangeScan does (read the
+// counter, then increment it) and returns a handle on T_seq.
+//
+// Reads through the handle are stable: any phase-<=seq update that was
+// already frozen somewhere resolves the same way for every reader (it is
+// helped to completion on first encounter, and commit/abort is decided
+// once, by the state-field CAS); any phase-<=seq update that had not yet
+// performed its first freeze CAS is doomed to abort by the handshaking
+// check, because the counter has already moved past its phase.
+func (t *Tree) Snapshot() *Snapshot {
+	seq := t.counter.Load()
+	t.counter.Add(1)
+	t.stats.scans.Add(1)
+	return &Snapshot{t: t, seq: seq}
+}
+
+// Seq returns the phase number this snapshot captured.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Contains reports whether k was in the set at the snapshot's phase.
+// Wait-free: it is a point range scan over T_seq.
+func (s *Snapshot) Contains(k int64) bool {
+	checkKey(k)
+	found := false
+	v := func(int64) bool { found = true; return false }
+	s.t.scanInto(s.t.root, s.seq, k, k, &v)
+	return found
+}
+
+// Range visits every key in [a, b] of the snapshot in ascending order;
+// visit returning false stops early. Wait-free.
+func (s *Snapshot) Range(a, b int64, visit func(k int64) bool) {
+	if b > MaxKey {
+		b = MaxKey
+	}
+	if a > b {
+		return
+	}
+	s.t.scanInto(s.t.root, s.seq, a, b, &visit)
+}
+
+// RangeScan returns every key in [a, b] of the snapshot, ascending.
+func (s *Snapshot) RangeScan(a, b int64) []int64 {
+	var out []int64
+	s.Range(a, b, func(k int64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Keys returns every key of the snapshot, ascending.
+func (s *Snapshot) Keys() []int64 { return s.RangeScan(MinKey, MaxKey) }
+
+// Len returns the number of keys in the snapshot.
+func (s *Snapshot) Len() int {
+	n := 0
+	s.Range(MinKey, MaxKey, func(int64) bool {
+		n++
+		return true
+	})
+	return n
+}

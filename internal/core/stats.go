@@ -1,0 +1,48 @@
+package core
+
+import "sync/atomic"
+
+// Stats accumulates coarse operation counters. They live on cold or
+// already-contended paths (retries, helping, aborts, scan starts), so the
+// atomic adds do not perturb the fast path measurably; they exist so the
+// benchmark harness and the E9 ablation can report retry/abort/help rates.
+type Stats struct {
+	retriesInsert   atomic.Uint64
+	retriesDelete   atomic.Uint64
+	retriesFind     atomic.Uint64
+	helps           atomic.Uint64
+	handshakeAborts atomic.Uint64
+	scans           atomic.Uint64
+}
+
+// StatsSnapshot is a plain-value copy of the counters.
+type StatsSnapshot struct {
+	RetriesInsert   uint64 // Insert attempts that had to restart
+	RetriesDelete   uint64 // Delete attempts that had to restart
+	RetriesFind     uint64 // Find traversals that failed validation
+	Helps           uint64 // times one operation helped another
+	HandshakeAborts uint64 // attempts aborted by the handshaking check
+	Scans           uint64 // RangeScans + Snapshots taken (phases opened)
+}
+
+// Stats returns a point-in-time copy of the tree's counters.
+func (t *Tree) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		RetriesInsert:   t.stats.retriesInsert.Load(),
+		RetriesDelete:   t.stats.retriesDelete.Load(),
+		RetriesFind:     t.stats.retriesFind.Load(),
+		Helps:           t.stats.helps.Load(),
+		HandshakeAborts: t.stats.handshakeAborts.Load(),
+		Scans:           t.stats.scans.Load(),
+	}
+}
+
+// ResetStats zeroes all counters.
+func (t *Tree) ResetStats() {
+	t.stats.retriesInsert.Store(0)
+	t.stats.retriesDelete.Store(0)
+	t.stats.retriesFind.Store(0)
+	t.stats.helps.Store(0)
+	t.stats.handshakeAborts.Store(0)
+	t.stats.scans.Store(0)
+}

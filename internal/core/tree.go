@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Tree is a PNB-BST: a linearizable concurrent set of int64 keys with
+// non-blocking Insert/Delete/Find and wait-free RangeScan/Snapshot.
+// The zero value is not usable; call New.
+//
+// All methods are safe for concurrent use by any number of goroutines.
+type Tree struct {
+	_       [64]byte // keep counter off neighbouring allocations' cache lines
+	counter atomic.Uint64
+	_       [64]byte
+
+	root  *node
+	dummy *descriptor
+
+	// disableHandshake removes the paper's handshaking check (Help,
+	// lines 111-113) so that every attempt proceeds as if the counter
+	// still matched. Used ONLY by the E9 ablation experiment to make the
+	// linearizability violation the handshake prevents observable. Never
+	// set this in production use.
+	disableHandshake bool
+
+	stats Stats
+}
+
+// New returns an empty tree, initialized per Figure 2 (lines 28-31): the
+// root is an internal node with key ∞2 whose children are leaves ∞1 and
+// ∞2, all with sequence number 0 and flagged with the dummy Info object
+// (whose state is Abort, i.e. not frozen).
+func New() *Tree {
+	t := &Tree{}
+	dummyInfo := &info{}
+	dummyInfo.state.Store(stateAbort)
+	t.dummy = &descriptor{typ: flag, info: dummyInfo}
+
+	root := &node{key: inf2, seq: 0}
+	root.update.Store(t.dummy)
+	root.left.Store(newLeaf(inf1, 0, t.dummy))
+	root.right.Store(newLeaf(inf2, 0, t.dummy))
+	t.root = root
+	return t
+}
+
+// NewUnsafeNoHandshake returns a tree with the handshaking check disabled.
+// Such a tree is NOT linearizable when range scans run concurrently with
+// updates; it exists solely for the E9 ablation experiment.
+func NewUnsafeNoHandshake() *Tree {
+	t := New()
+	t.disableHandshake = true
+	return t
+}
+
+func checkKey(k int64) {
+	if k > MaxKey {
+		panic(fmt.Sprintf("core: key %d exceeds MaxKey (%d reserved for sentinels)", k, MaxKey))
+	}
+}
+
+// readChild implements ReadChild (lines 43-48): follow the left or right
+// child pointer of p, then chase prev pointers until reaching the first
+// node whose sequence number is at most seq (the "version-seq child").
+func readChild(p *node, left bool, seq uint64) *node {
+	var l *node
+	if left {
+		l = p.left.Load()
+	} else {
+		l = p.right.Load()
+	}
+	for l.seq > seq {
+		l = l.prev
+	}
+	return l
+}
+
+// search implements Search(k, seq) (lines 32-42): traverse a branch of
+// T_seq from the root to a leaf, returning the leaf, its parent and its
+// grandparent (gp is nil when the leaf's parent is the root).
+func (t *Tree) search(k int64, seq uint64) (gp, p, l *node) {
+	l = t.root
+	for !l.leaf {
+		gp = p
+		p = l
+		l = readChild(p, k < p.key, seq)
+	}
+	return gp, p, l
+}
+
+// validateLink implements ValidateLink (lines 49-59): fail (after helping)
+// if parent is frozen, then check that child is still parent's current
+// left/right child. On success it returns the un-frozen update value read
+// from parent, to be used as the expected value of a later freeze CAS.
+func (t *Tree) validateLink(parent, child *node, left bool) (bool, *descriptor) {
+	up := parent.update.Load()
+	if frozen(up) {
+		t.help(up.info)
+		return false, nil
+	}
+	if left {
+		if child != parent.left.Load() {
+			return false, nil
+		}
+	} else {
+		if child != parent.right.Load() {
+			return false, nil
+		}
+	}
+	return true, up
+}
+
+// validateLeaf implements ValidateLeaf (lines 60-68): validate the
+// parent→leaf link and (unless p is the root) the grandparent→parent
+// link, then re-read both update fields to ensure neither changed.
+func (t *Tree) validateLeaf(gp, p, l *node, k int64) (bool, *descriptor, *descriptor) {
+	var gpupdate *descriptor
+	validated, pupdate := t.validateLink(p, l, k < p.key)
+	if validated && p != t.root {
+		validated, gpupdate = t.validateLink(gp, p, k < gp.key)
+	}
+	if validated {
+		validated = p.update.Load() == pupdate &&
+			(p == t.root || gp.update.Load() == gpupdate)
+	}
+	return validated, gpupdate, pupdate
+}
+
+// Find reports whether k is in the set (paper lines 69-82). It is
+// linearizable and non-blocking; it helps an update only when that update
+// has frozen the parent or grandparent of the leaf it arrives at.
+func (t *Tree) Find(k int64) bool {
+	checkKey(k)
+	for {
+		seq := t.counter.Load()
+		gp, p, l := t.search(k, seq)
+		validated, _, _ := t.validateLeaf(gp, p, l, k)
+		if validated {
+			return l.key == k
+		}
+		t.stats.retriesFind.Add(1)
+	}
+}
+
+// Contains is an alias for Find.
+func (t *Tree) Contains(k int64) bool { return t.Find(k) }
+
+// casChild implements CAS-Child (lines 83-88).
+func casChild(parent, old, new *node) {
+	if new.key < parent.key {
+		parent.left.CompareAndSwap(old, new)
+	} else {
+		parent.right.CompareAndSwap(old, new)
+	}
+}
+
+// Insert adds k to the set, returning false if k was already present
+// (paper lines 147-168). Non-blocking.
+func (t *Tree) Insert(k int64) bool {
+	checkKey(k)
+	for {
+		seq := t.counter.Load()
+		gp, p, l := t.search(k, seq)
+		validated, _, pupdate := t.validateLeaf(gp, p, l, k)
+		if !validated {
+			t.stats.retriesInsert.Add(1)
+			continue
+		}
+		if l.key == k {
+			return false // cannot insert duplicate key
+		}
+		// Build the replacement subtree: an internal node whose two
+		// children are a fresh leaf for k and a fresh copy of l
+		// (lines 161-163). The internal node's prev points at l.
+		nl := newLeaf(k, seq, t.dummy)
+		sib := newLeaf(l.key, seq, t.dummy)
+		ni := &node{key: maxKey(k, l.key), seq: seq, prev: l}
+		ni.update.Store(t.dummy)
+		if k < l.key {
+			ni.left.Store(nl)
+			ni.right.Store(sib)
+		} else {
+			ni.left.Store(sib)
+			ni.right.Store(nl)
+		}
+		ok := t.execute(
+			[]*node{p, l},
+			[]*descriptor{pupdate, l.update.Load()},
+			1<<1, // mark = {l}
+			p, l, ni, seq, true)
+		if ok {
+			return true
+		}
+		t.stats.retriesInsert.Add(1)
+	}
+}
+
+// Delete removes k from the set, returning false if k was absent (paper
+// lines 169-195). Unlike NB-BST, the surviving sibling is *copied* (with
+// the current phase and prev = p) rather than re-linked, which keeps the
+// prev/child graph acyclic (paper §4.2). Non-blocking.
+func (t *Tree) Delete(k int64) bool {
+	checkKey(k)
+	for {
+		seq := t.counter.Load()
+		gp, p, l := t.search(k, seq)
+		validated, gpupdate, pupdate := t.validateLeaf(gp, p, l, k)
+		if !validated {
+			t.stats.retriesDelete.Add(1)
+			continue
+		}
+		if l.key != k {
+			return false // key not in the tree
+		}
+		// The sibling is on the opposite side of l under p (line 182):
+		// if l is p's right child (l.key >= p.key) the sibling is the left.
+		sibLeft := l.key >= p.key
+		sibling := readChild(p, sibLeft, seq)
+		validated, _ = t.validateLink(p, sibling, sibLeft)
+		if !validated {
+			t.stats.retriesDelete.Add(1)
+			continue
+		}
+		// Copy the sibling with the current phase; prev points at p, the
+		// node the copy replaces under gp (line 185).
+		newNode := &node{key: sibling.key, seq: seq, prev: p, leaf: sibling.leaf}
+		newNode.update.Store(t.dummy)
+		var supdate *descriptor
+		if !sibling.leaf {
+			newNode.left.Store(sibling.left.Load())
+			newNode.right.Store(sibling.right.Load())
+			// Re-validate that the copied children are still current and
+			// the sibling is unfrozen (lines 186-188).
+			validated, supdate = t.validateLink(sibling, newNode.left.Load(), true)
+			if validated {
+				validated, _ = t.validateLink(sibling, newNode.right.Load(), false)
+			}
+		} else {
+			supdate = sibling.update.Load()
+		}
+		if validated {
+			ok := t.execute(
+				[]*node{gp, p, l, sibling},
+				[]*descriptor{gpupdate, pupdate, l.update.Load(), supdate},
+				1<<1|1<<2|1<<3, // mark = {p, l, sibling}
+				gp, p, newNode, seq, false)
+			if ok {
+				return true
+			}
+		}
+		t.stats.retriesDelete.Add(1)
+	}
+}
+
+// execute implements Execute (lines 92-106): bail out (helping in-progress
+// attempts) if any node to be frozen already is, otherwise publish a fresh
+// Info object by flagging nodes[0] and run help to completion.
+func (t *Tree) execute(nodes []*node, oldUpdate []*descriptor, markMask uint32,
+	par, oldChild, newChild *node, seq uint64, ins bool) bool {
+	for i := range oldUpdate {
+		if frozen(oldUpdate[i]) {
+			if inProgress(oldUpdate[i].info) {
+				t.stats.helps.Add(1)
+				t.help(oldUpdate[i].info)
+			}
+			return false
+		}
+	}
+	in := &info{
+		nodes:     nodes,
+		oldUpdate: oldUpdate,
+		markMask:  markMask,
+		par:       par,
+		oldChild:  oldChild,
+		newChild:  newChild,
+		seq:       seq,
+		ins:       ins,
+	}
+	if nodes[0].update.CompareAndSwap(oldUpdate[0], &descriptor{typ: flag, info: in}) { // freeze (flag) CAS
+		return t.help(in)
+	}
+	return false
+}
+
+// help implements Help (lines 107-128). It first performs the handshaking
+// check: if the phase counter moved past in.seq, a scan may already have
+// traversed the region this attempt would modify, so the attempt aborts
+// pro-actively (lines 111-112). Otherwise it freezes the remaining nodes,
+// applies the child CAS and commits. Any process may help any attempt;
+// only the first freeze CAS per node and the first child CAS can succeed.
+func (t *Tree) help(in *info) bool {
+	if !t.disableHandshake && t.counter.Load() != in.seq {
+		if in.state.CompareAndSwap(stateUndecided, stateAbort) { // abort CAS
+			t.stats.handshakeAborts.Add(1)
+		}
+	} else {
+		in.state.CompareAndSwap(stateUndecided, stateTry) // try CAS
+	}
+	cont := in.state.Load() == stateTry
+	for i := 1; cont && i < len(in.nodes); i++ {
+		typ := flag
+		if in.markMask&(1<<uint(i)) != 0 {
+			typ = mark
+		}
+		in.nodes[i].update.CompareAndSwap(in.oldUpdate[i], &descriptor{typ: typ, info: in}) // freeze CAS
+		cont = in.nodes[i].update.Load().info == in
+	}
+	if cont {
+		casChild(in.par, in.oldChild, in.newChild)
+		in.state.Store(stateCommit) // commit write
+	} else if in.state.Load() == stateTry {
+		in.state.Store(stateAbort) // abort write
+	}
+	return in.state.Load() == stateCommit
+}
+
+func maxKey(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Root sequence accessors used by sibling files and tests.
+
+// phase returns the current value of the shared counter.
+func (t *Tree) phase() uint64 { return t.counter.Load() }

@@ -1,0 +1,114 @@
+// Package core implements PNB-BST, the persistent non-blocking binary
+// search tree with wait-free range queries of Fatourou and Ruppert
+// (SPAA 2019, FORTH ICS TR 470).
+//
+// The tree is leaf-oriented: all keys of the set live in leaves; internal
+// nodes carry routing keys. Insert, Delete and Find are non-blocking
+// (lock-free); RangeScan and Snapshot are wait-free. The structure is
+// persistent: every node records the node it replaced (prev) and the
+// sequence number (phase) of the operation that created it, so the tree
+// as of any earlier phase can be re-traversed.
+//
+// The implementation follows the paper's pseudocode (Figures 2-5)
+// line-by-line; DESIGN.md maps each routine to its pseudocode lines.
+package core
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Key sentinels. The paper stores keys from Key ∪ {∞1, ∞2}; we reserve the
+// top two values of the int64 key space for the sentinels, so user keys
+// must be at most MaxKey.
+const (
+	inf1 = math.MaxInt64 - 1 // ∞1: larger than every user key
+	inf2 = math.MaxInt64     // ∞2: larger than ∞1
+
+	// MaxKey is the largest key a caller may store.
+	MaxKey = inf1 - 1
+	// MinKey is the smallest key a caller may store.
+	MinKey = math.MinInt64
+)
+
+// Info.state values (paper: {⊥, Try, Commit, Abort}).
+const (
+	stateUndecided int32 = iota // ⊥ — attempt not yet through handshaking
+	stateTry                    // handshake passed, freezing in progress
+	stateCommit                 // child CAS applied; update took effect
+	stateAbort                  // attempt abandoned (handshake or freeze failed)
+)
+
+// descType distinguishes flag from mark freezes (paper: Update.type).
+type descType uint8
+
+const (
+	flag descType = iota // node's child pointer is about to change
+	mark                 // node is about to be removed (permanent if committed)
+)
+
+// descriptor is the paper's one-word Update record {type, *Info}. Each
+// value is freshly allocated and immutable, so CAS on the *descriptor
+// pointer is equivalent to CAS on the packed word: the paper's no-ABA
+// argument (Lemma 7) — every successful CAS installs a pointer to an Info
+// created after the expected value was read — holds unchanged.
+type descriptor struct {
+	typ  descType
+	info *info
+}
+
+// info is the paper's Info object (Figure 2, lines 5-14). It describes one
+// attempt of an Insert or Delete so that any process can complete (help)
+// or abort it. All fields except state are immutable after creation.
+type info struct {
+	state atomic.Int32 // ⊥ / Try / Commit / Abort
+
+	nodes     []*node       // nodes to freeze, in freeze order; nodes[0] is flagged first
+	oldUpdate []*descriptor // expected update values for the freeze CASes
+	markMask  uint32        // bit i set ⇒ nodes[i] is marked (mark ⊆ nodes)
+	par       *node         // node whose child pointer changes (an element of nodes)
+	oldChild  *node         // expected child of par
+	newChild  *node         // replacement child; newChild.prev == oldChild
+	seq       uint64        // phase of the attempt
+	ins       bool          // created by Insert (for introspection/stats only)
+}
+
+// node represents both Internal and Leaf nodes (paper Figure 2, lines
+// 15-27). A leaf never has its left/right pointers set; the leaf field
+// discriminates. key, seq, prev and leaf are immutable after creation.
+type node struct {
+	key  int64
+	seq  uint64 // phase of the operation that created this node
+	prev *node  // node this one replaced in its parent (nil for phase-0 nodes and fresh leaves)
+	leaf bool
+
+	update      atomic.Pointer[descriptor]
+	left, right atomic.Pointer[node] // internal nodes only
+}
+
+// newLeaf allocates a leaf initialized as the paper's Insert does
+// (line 161-162): fresh leaves have prev = ⊥.
+func newLeaf(key int64, seq uint64, dummy *descriptor) *node {
+	n := &node{key: key, seq: seq, leaf: true}
+	n.update.Store(dummy)
+	return n
+}
+
+// frozen reports whether a node whose update field holds d is frozen
+// (paper lines 89-91): flagged with an in-progress attempt, or marked by
+// an attempt that has not aborted (a committed mark is permanent).
+func frozen(d *descriptor) bool {
+	s := d.info.state.Load()
+	if d.typ == flag {
+		return s == stateUndecided || s == stateTry
+	}
+	// mark
+	return s == stateUndecided || s == stateTry || s == stateCommit
+}
+
+// inProgress reports whether the attempt described by in has neither
+// committed nor aborted yet.
+func inProgress(in *info) bool {
+	s := in.state.Load()
+	return s == stateUndecided || s == stateTry
+}

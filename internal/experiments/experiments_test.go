@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOptions make every experiment run in well under a second per point.
+func tinyOptions(buf *bytes.Buffer) Options {
+	return Options{
+		Duration:   20 * time.Millisecond,
+		MaxThreads: 2,
+		Seed:       1,
+		Quick:      true,
+		Out:        buf,
+	}
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			e.Run(tinyOptions(&buf))
+			out := buf.String()
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			if !strings.Contains(out, e.ID[:2]) {
+				t.Fatalf("%s output does not mention its id:\n%s", e.ID, out)
+			}
+			// Every experiment emits at least one table with a separator.
+			if !strings.Contains(out, "--") {
+				t.Fatalf("%s output has no table:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E5")
+	if err != nil || e.ID != "E5" {
+		t.Fatalf("ByID(E5) = %v, %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestCSVMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.CSV = true
+	E5Overhead(o)
+	out := buf.String()
+	if !strings.Contains(out, "workload,threads") {
+		t.Fatalf("CSV output missing header:\n%s", out)
+	}
+}
+
+func TestThreadSweep(t *testing.T) {
+	o := Options{MaxThreads: 8}
+	ts := o.threadSweep()
+	want := []int{1, 2, 4, 8}
+	if len(ts) != len(want) {
+		t.Fatalf("sweep = %v", ts)
+	}
+	for i := range ts {
+		if ts[i] != want[i] {
+			t.Fatalf("sweep = %v", ts)
+		}
+	}
+	if got := (Options{}).threadSweep(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("empty sweep = %v", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	o := Options{Quick: true}
+	if got := o.scale(1 << 20); got != 1<<14 {
+		t.Fatalf("quick scale = %d", got)
+	}
+	if got := o.scale(100); got != 100 {
+		t.Fatalf("small range scaled: %d", got)
+	}
+	o.Quick = false
+	if got := o.scale(1 << 20); got != 1<<20 {
+		t.Fatalf("full scale = %d", got)
+	}
+}
+
+func TestMonotoneProbeSafeTreeHasNoViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	scans, violations := monotoneProbe(newSafeTree(), o)
+	if violations != 0 {
+		t.Fatalf("safe tree had %d violations in %d scans", violations, scans)
+	}
+}

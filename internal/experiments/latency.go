@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// E6ScanLatency — Figure E6: the wait-freedom experiment. Full-range
+// scans run against a rising number of update threads; PNB-BST scan tail
+// latency should stay flat (a scan traverses a frozen phase, Theorem 47),
+// the snap collector's should grow (its traversal chases concurrent
+// inserts and its reconstruction grows with the report volume), and the
+// lock tree trades scan latency for blocked updates.
+func E6ScanLatency(o Options) {
+	targets := []string{harness.TargetPNBBST, harness.TargetSnapCollector, harness.TargetLockBST}
+	keys := o.scale(100_000)
+	tab := harness.NewTable(
+		fmt.Sprintf("E6: full-range scans under update load, %d keys — scan latency", keys),
+		"target", "threads", "scans/s", "scan p50", "scan p99", "scan max", "update Mops/s")
+	for _, tgt := range targets {
+		for _, th := range o.threadSweep() {
+			// Each worker mixes 2% full-range scans into an update storm;
+			// more workers = more update pressure and more scanners.
+			res := harness.Run(harness.Config{
+				Target:      tgt,
+				Threads:     th,
+				Duration:    o.Duration,
+				KeyRange:    keys,
+				Prefill:     -1,
+				Mix:         workload.Mix{InsertPct: 49, DeletePct: 49, ScanPct: 2, ScanWidth: keys},
+				Seed:        o.Seed,
+				SampleEvery: 1 << 30, // time scans only; point ops unsampled
+			})
+			scansPerSec := float64(res.Ops[workload.OpScan]) / res.Elapsed.Seconds()
+			updates := res.TotalOps() - res.Ops[workload.OpScan]
+			tab.AddRow(tgt, th, scansPerSec,
+				time.Duration(res.ScanLat.Percentile(50)).String(),
+				time.Duration(res.ScanLat.Percentile(99)).String(),
+				time.Duration(res.ScanLat.Max()).String(),
+				float64(updates)/res.Elapsed.Seconds()/1e6)
+		}
+	}
+	o.emit(tab)
+}
+
+// E7Allocs — Table E7: space cost per operation, measured via the
+// testing allocator accounting. PNB-BST pays extra nodes for persistence
+// (fresh descriptor per freeze, sibling copy per delete); the scan is
+// allocation-free per visited key.
+func E7Allocs(o Options) {
+	keys := o.scale(1 << 16)
+	tab := harness.NewTable(
+		fmt.Sprintf("E7: allocations per operation (B/op, allocs/op), %d keys", keys),
+		"target", "ins+del pair", "find", "scan(w=100)")
+	for _, tgt := range []string{harness.TargetPNBBST, harness.TargetNBBST, harness.TargetLockBST, harness.TargetSkipList} {
+		inst := harness.NewInstance(tgt)
+		rng := workload.NewRNG(o.Seed)
+		for i := int64(0); i < keys/2; i++ {
+			inst.Insert(rng.Intn(keys))
+		}
+		bench := func(op func(i int64)) string {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					op(int64(i))
+				}
+			})
+			return fmt.Sprintf("%dB/%d", r.AllocedBytesPerOp(), r.AllocsPerOp())
+		}
+		// Fresh keys above the prefill range: every insert and delete
+		// succeeds, so the pair measures the real allocation cost of one
+		// full update cycle (a cycling key would equally work, but fresh
+		// keys also exercise distinct tree positions).
+		pairCol := bench(func(i int64) {
+			k := keys + i%keys
+			inst.Insert(k)
+			inst.Delete(k)
+		})
+		rng2 := workload.NewRNG(o.Seed + 1)
+		findCol := bench(func(int64) { inst.Contains(rng2.Intn(keys)) })
+		scanCol := bench(func(int64) {
+			a := rng2.Intn(keys - 100)
+			inst.Scan(a, a+99)
+		})
+		tab.AddRow(tgt, pairCol, findCol, scanCol)
+	}
+	o.emit(tab)
+}
+
+// E9Handshake — Table E9: cost and necessity of handshaking.
+//
+// Cost: the fraction of update attempts aborted by the handshake as the
+// scan rate grows (scans end phases; updates straddling a phase boundary
+// restart).
+//
+// Necessity: with the handshake disabled, a monotone-insert workload
+// exhibits scan-atomicity violations (a scan returns key i but misses a
+// key j < i whose insert completed before i's began); with it enabled,
+// violations are impossible (proved by the paper, asserted by the test
+// suite, and measured as 0 here).
+func E9Handshake(o Options) {
+	keys := o.scale(100_000)
+	tab := harness.NewTable(
+		fmt.Sprintf("E9a: handshake abort rate, pnbbst 50i/50d + scans, %d keys, %d threads", keys, o.MaxThreads),
+		"scan%", "updates/s", "scans/s", "handshake aborts", "aborts per 1k updates")
+	for _, scanPct := range []int{0, 1, 5, 20} {
+		res := harness.Run(harness.Config{
+			Target:   harness.TargetPNBBST,
+			Threads:  o.MaxThreads,
+			Duration: o.Duration,
+			KeyRange: keys,
+			Prefill:  -1,
+			Mix:      workload.Mix{InsertPct: 50 - scanPct/2, DeletePct: 50 - scanPct + scanPct/2, ScanPct: scanPct, ScanWidth: 100},
+			Seed:     o.Seed,
+		})
+		st, _ := harness.PNBStats(res.Inst)
+		updates := res.Ops[workload.OpInsert] + res.Ops[workload.OpDelete]
+		perK := 0.0
+		if updates > 0 {
+			perK = float64(st.HandshakeAborts) / float64(updates) * 1000
+		}
+		tab.AddRow(scanPct,
+			float64(updates)/res.Elapsed.Seconds(),
+			float64(res.Ops[workload.OpScan])/res.Elapsed.Seconds(),
+			st.HandshakeAborts, perK)
+	}
+	o.emit(tab)
+
+	tab2 := harness.NewTable(
+		"E9b: scan-atomicity violations (monotone-insert probe)",
+		"variant", "scans", "violations")
+	for _, variant := range []struct {
+		name string
+		mk   func() *core.Tree
+	}{
+		{"with handshake", core.New},
+		{"without handshake (ablation)", core.NewUnsafeNoHandshake},
+	} {
+		scans, violations := monotoneProbe(variant.mk(), o)
+		tab2.AddRow(variant.name, scans, violations)
+	}
+	o.emit(tab2)
+}
+
+// monotoneProbe runs one writer inserting 0,1,2,... and a scanner doing
+// full scans, counting scans whose result has a gap (which proves a
+// missed committed insert).
+func monotoneProbe(tr *core.Tree, o Options) (scans, violations int) {
+	const n = 40_000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < n; i++ {
+			tr.Insert(i)
+		}
+	}()
+	deadline := time.Now().Add(o.Duration * 4)
+	for time.Now().Before(deadline) {
+		select {
+		case <-done:
+			return scans, violations
+		default:
+		}
+		keys := tr.RangeScan(0, n-1)
+		scans++
+		for i := 1; i < len(keys); i++ {
+			if keys[i] != keys[i-1]+1 {
+				violations++
+				break
+			}
+		}
+	}
+	<-done
+	return scans, violations
+}
+
+// E10Snapshot — Figure E10: persistence in use. Time to take a snapshot
+// and iterate all of it, as tree size grows, with two update threads
+// churning concurrently; the snapshot stays consistent and iteration time
+// grows linearly in the snapshot size.
+func E10Snapshot(o Options) {
+	tab := harness.NewTable(
+		"E10: snapshot + full iteration under concurrent updates (pnbbst)",
+		"keys", "snapshot+iter time", "keys/s", "iterated")
+	sizes := []int64{1 << 10, 1 << 14, 1 << 17}
+	if !o.Quick {
+		sizes = append(sizes, 1<<20)
+	}
+	for _, size := range sizes {
+		tr := core.New()
+		rng := workload.NewRNG(o.Seed)
+		inserted := int64(0)
+		for inserted < size {
+			if tr.Insert(rng.Intn(size * 2)) {
+				inserted++
+			}
+		}
+		stop := make(chan struct{})
+		for w := 0; w < 2; w++ {
+			go func(w int) {
+				r := workload.NewRNG(o.Seed + uint64(w) + 1)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := r.Intn(size * 2)
+					if r.Intn(2) == 0 {
+						tr.Insert(k)
+					} else {
+						tr.Delete(k)
+					}
+				}
+			}(w)
+		}
+		const rounds = 5
+		var total time.Duration
+		var iterated int
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			snap := tr.Snapshot()
+			n := 0
+			snap.Range(core.MinKey, core.MaxKey, func(int64) bool { n++; return true })
+			total += time.Since(t0)
+			iterated = n
+		}
+		close(stop)
+		per := total / rounds
+		tab.AddRow(size, per.String(), float64(iterated)/per.Seconds(), iterated)
+	}
+	o.emit(tab)
+}
+
+// newSafeTree is a tiny indirection so tests can probe the default tree.
+func newSafeTree() *core.Tree { return core.New() }

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// E1UpdateOnly — Figure E1: update-only throughput (50% insert / 50%
+// delete) as threads grow, for small (1K) and large (1M) key ranges,
+// across all four structures. Exercises the paper's claim that updates
+// on different parts of the tree run fully in parallel, and shows the
+// constant-factor cost of persistence vs NB-BST.
+func E1UpdateOnly(o Options) {
+	targets := []string{harness.TargetPNBBST, harness.TargetNBBST, harness.TargetLockBST, harness.TargetSkipList}
+	for _, keys := range []int64{1 << 10, o.scale(1 << 20)} {
+		tab := harness.NewTable(
+			fmt.Sprintf("E1: 50i/50d, %d keys — Mops/s by threads", keys),
+			append([]string{"threads"}, targets...)...)
+		for _, th := range o.threadSweep() {
+			row := []any{th}
+			for _, tgt := range targets {
+				res := harness.Run(harness.Config{
+					Target:   tgt,
+					Threads:  th,
+					Duration: o.Duration,
+					KeyRange: keys,
+					Prefill:  -1,
+					Mix:      workload.Mix{InsertPct: 50, DeletePct: 50},
+					Seed:     o.Seed,
+				})
+				row = append(row, res.MOpsPerSec())
+			}
+			tab.AddRow(row...)
+		}
+		o.emit(tab)
+	}
+}
+
+// E2ReadMostly — Figure E2: search-dominated mix (9% insert / 1% delete /
+// 90% find) over a large key range. Finds never interfere with one
+// another in both BSTs; the lock baseline's read lock scales until the
+// write lock serializes it.
+func E2ReadMostly(o Options) {
+	targets := []string{harness.TargetPNBBST, harness.TargetNBBST, harness.TargetLockBST, harness.TargetSkipList}
+	keys := o.scale(1 << 20)
+	tab := harness.NewTable(
+		fmt.Sprintf("E2: 9i/1d/90f, %d keys — Mops/s by threads", keys),
+		append([]string{"threads"}, targets...)...)
+	for _, th := range o.threadSweep() {
+		row := []any{th}
+		for _, tgt := range targets {
+			res := harness.Run(harness.Config{
+				Target:   tgt,
+				Threads:  th,
+				Duration: o.Duration,
+				KeyRange: keys,
+				Prefill:  -1,
+				Mix:      workload.Mix{InsertPct: 9, DeletePct: 1},
+				Seed:     o.Seed,
+			})
+			row = append(row, res.MOpsPerSec())
+		}
+		tab.AddRow(row...)
+	}
+	o.emit(tab)
+}
+
+// E3MixedScans — Figure E3: updates and range scans together (25% insert
+// / 25% delete / 50% scans of width 100). Compares the three structures
+// that offer consistent scans: PNB-BST (wait-free), the lock tree
+// (blocking) and the snap collector (non-blocking).
+func E3MixedScans(o Options) {
+	targets := []string{harness.TargetPNBBST, harness.TargetLockBST, harness.TargetSnapCollector}
+	keys := o.scale(100_000)
+	tab := harness.NewTable(
+		fmt.Sprintf("E3: 25i/25d/50scan(w=100), %d keys — Mops/s by threads", keys),
+		append([]string{"threads"}, targets...)...)
+	for _, th := range o.threadSweep() {
+		row := []any{th}
+		for _, tgt := range targets {
+			res := harness.Run(harness.Config{
+				Target:   tgt,
+				Threads:  th,
+				Duration: o.Duration,
+				KeyRange: keys,
+				Prefill:  -1,
+				Mix:      workload.Mix{InsertPct: 25, DeletePct: 25, ScanPct: 50, ScanWidth: 100},
+				Seed:     o.Seed,
+			})
+			row = append(row, res.MOpsPerSec())
+		}
+		tab.AddRow(row...)
+	}
+	o.emit(tab)
+}
+
+// E4ScanWidth — Figure E4: effect of scan width on PNB-BST. The paper's
+// scan helps only on traversed nodes, so cost should grow linearly with
+// the number of keys covered while update throughput degrades gently.
+func E4ScanWidth(o Options) {
+	keys := o.scale(1 << 20)
+	tab := harness.NewTable(
+		fmt.Sprintf("E4: pnbbst 25i/25d/50scan, %d keys, %d threads — by scan width", keys, o.MaxThreads),
+		"width", "Mops/s", "scans/s", "scan-keys/s", "scan-p99")
+	for _, width := range []int64{10, 100, 1_000, 10_000} {
+		res := harness.Run(harness.Config{
+			Target:      harness.TargetPNBBST,
+			Threads:     o.MaxThreads,
+			Duration:    o.Duration,
+			KeyRange:    keys,
+			Prefill:     -1,
+			Mix:         workload.Mix{InsertPct: 25, DeletePct: 25, ScanPct: 50, ScanWidth: width},
+			Seed:        o.Seed,
+			SampleEvery: 64,
+		})
+		scansPerSec := float64(res.Ops[workload.OpScan]) / res.Elapsed.Seconds()
+		keysPerSec := float64(res.ScanKeys) / res.Elapsed.Seconds()
+		tab.AddRow(width, res.MOpsPerSec(), scansPerSec, keysPerSec,
+			time.Duration(res.ScanLat.Percentile(99)).String())
+	}
+	o.emit(tab)
+}
+
+// E5Overhead — Table E5: the price of persistence. PNB-BST vs NB-BST on
+// identical scan-free workloads; the ratio isolates the prev/seq fields,
+// the handshake read, and the sibling copy on delete.
+func E5Overhead(o Options) {
+	keys := o.scale(1 << 20)
+	tab := harness.NewTable(
+		fmt.Sprintf("E5: persistence overhead, %d keys — PNB/NB throughput ratio", keys),
+		"workload", "threads", "pnbbst Mops/s", "nbbst Mops/s", "ratio")
+	mixes := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"50i/50d", workload.Mix{InsertPct: 50, DeletePct: 50}},
+		{"9i/1d/90f", workload.Mix{InsertPct: 9, DeletePct: 1}},
+		{"100f", workload.Mix{}},
+	}
+	for _, m := range mixes {
+		for _, th := range []int{1, o.MaxThreads} {
+			run := func(tgt string) float64 {
+				return harness.Run(harness.Config{
+					Target: tgt, Threads: th, Duration: o.Duration,
+					KeyRange: keys, Prefill: -1, Mix: m.mix, Seed: o.Seed,
+				}).MOpsPerSec()
+			}
+			p, n := run(harness.TargetPNBBST), run(harness.TargetNBBST)
+			ratio := 0.0
+			if n > 0 {
+				ratio = p / n
+			}
+			tab.AddRow(m.name, th, p, n, ratio)
+		}
+	}
+	o.emit(tab)
+}
+
+// E8Disjoint — Figure E8: disjoint-access parallelism. The same
+// update-only workload run with per-thread exclusive key partitions vs a
+// fully shared uniform key space; the paper predicts near-linear scaling
+// in the disjoint case because updates on different parts of the tree
+// never interfere.
+func E8Disjoint(o Options) {
+	keys := o.scale(1 << 20)
+	tab := harness.NewTable(
+		fmt.Sprintf("E8: pnbbst 50i/50d, %d keys — disjoint vs shared Mops/s", keys),
+		"threads", "disjoint", "shared", "disjoint speedup", "shared speedup")
+	var baseDisjoint, baseShared float64
+	for _, th := range o.threadSweep() {
+		run := func(disjoint bool) float64 {
+			return harness.Run(harness.Config{
+				Target: harness.TargetPNBBST, Threads: th, Duration: o.Duration,
+				KeyRange: keys, Prefill: -1,
+				Mix:      workload.Mix{InsertPct: 50, DeletePct: 50},
+				Disjoint: disjoint, Seed: o.Seed,
+			}).MOpsPerSec()
+		}
+		d, s := run(true), run(false)
+		if th == 1 {
+			baseDisjoint, baseShared = d, s
+		}
+		tab.AddRow(th, d, s, d/baseDisjoint, s/baseShared)
+	}
+	o.emit(tab)
+}

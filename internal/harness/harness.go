@@ -1,0 +1,213 @@
+// Package harness drives the benchmark experiments: it prefills a target
+// set, runs a configured operation mix from N worker goroutines for a
+// fixed duration, and reports throughput and latency. cmd/benchbst and
+// the root bench_test.go build every experiment (E1..E10 in DESIGN.md)
+// out of these pieces.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Instance is the operation surface the harness drives. Scan returns the
+// number of keys it observed in [a, b] (implementations count rather than
+// materialize where their algorithm allows).
+type Instance interface {
+	Insert(k int64) bool
+	Delete(k int64) bool
+	Contains(k int64) bool
+	Scan(a, b int64) int
+}
+
+// Config describes one benchmark run.
+type Config struct {
+	Target   string        // implementation name, see NewInstance
+	Threads  int           // worker goroutines
+	Duration time.Duration // measurement window
+	KeyRange int64         // keys drawn from [0, KeyRange)
+	Prefill  int           // distinct keys inserted before measuring; -1 = KeyRange/2
+	Mix      workload.Mix  // operation percentages + scan width
+	Disjoint bool          // give each worker an exclusive key partition
+	ZipfSkew float64       // >1 enables zipfian keys; 0 = uniform
+	Seed     uint64        // base PRNG seed (worker w uses Seed*1e6+w)
+
+	// SampleEvery controls point-operation latency sampling (every Nth
+	// op); 0 disables latency measurement. Scans are always timed when
+	// sampling is enabled.
+	SampleEvery int
+}
+
+// Result aggregates one run.
+type Result struct {
+	Config
+	Elapsed    time.Duration
+	Ops        [4]uint64 // indexed by workload.OpKind
+	ScanKeys   uint64    // total keys observed by scans
+	Throughput float64   // total ops/sec
+	UpdateLat  *stats.Histogram
+	ScanLat    *stats.Histogram
+	Inst       Instance // the instance that was driven (for post-run inspection)
+}
+
+// TotalOps returns the number of completed operations.
+func (r *Result) TotalOps() uint64 {
+	return r.Ops[0] + r.Ops[1] + r.Ops[2] + r.Ops[3]
+}
+
+// MOpsPerSec returns throughput in millions of operations per second.
+func (r *Result) MOpsPerSec() float64 { return r.Throughput / 1e6 }
+
+// Run executes the configured workload on a fresh instance of cfg.Target
+// and returns the measurements.
+func Run(cfg Config) *Result {
+	cfg.Mix.Validate()
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.KeyRange <= 0 {
+		cfg.KeyRange = 1 << 10
+	}
+	inst := NewInstance(cfg.Target)
+	prefill := cfg.Prefill
+	if prefill < 0 {
+		prefill = int(cfg.KeyRange / 2)
+	}
+	prefillInstance(inst, cfg.KeyRange, prefill, cfg.Seed)
+
+	type workerOut struct {
+		ops       [4]uint64
+		scanKeys  uint64
+		updateLat *stats.Histogram
+		scanLat   *stats.Histogram
+	}
+	outs := make([]workerOut, cfg.Threads)
+	var stop atomic.Bool
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := &outs[w]
+			out.updateLat = stats.NewHistogram()
+			out.scanLat = stats.NewHistogram()
+			rng := workload.NewRNG(cfg.Seed*1_000_003 + uint64(w))
+			gen := keyGen(cfg, w)
+			lo, hi := gen.Range()
+			sampleCountdown := cfg.SampleEvery
+			<-start
+			for !stop.Load() {
+				kind := cfg.Mix.Draw(rng)
+				timed := false
+				var t0 time.Time
+				if cfg.SampleEvery > 0 {
+					if kind == workload.OpScan {
+						timed = true
+					} else if sampleCountdown--; sampleCountdown <= 0 {
+						sampleCountdown = cfg.SampleEvery
+						timed = true
+					}
+					if timed {
+						t0 = time.Now()
+					}
+				}
+				switch kind {
+				case workload.OpInsert:
+					inst.Insert(gen.Key(rng))
+				case workload.OpDelete:
+					inst.Delete(gen.Key(rng))
+				case workload.OpFind:
+					inst.Contains(gen.Key(rng))
+				case workload.OpScan:
+					a := lo + rng.Intn(hi-lo)
+					b := a + cfg.Mix.ScanWidth - 1
+					if b >= hi {
+						b = hi - 1
+					}
+					out.scanKeys += uint64(inst.Scan(a, b))
+				}
+				if timed {
+					d := time.Since(t0).Nanoseconds()
+					if kind == workload.OpScan {
+						out.scanLat.Record(d)
+					} else {
+						out.updateLat.Record(d)
+					}
+				}
+				out.ops[kind]++
+			}
+		}(w)
+	}
+
+	t0 := time.Now()
+	close(start)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := &Result{
+		Config:    cfg,
+		Elapsed:   elapsed,
+		UpdateLat: stats.NewHistogram(),
+		ScanLat:   stats.NewHistogram(),
+		Inst:      inst,
+	}
+	for w := range outs {
+		for k := 0; k < 4; k++ {
+			res.Ops[k] += outs[w].ops[k]
+		}
+		res.ScanKeys += outs[w].scanKeys
+		res.UpdateLat.Merge(outs[w].updateLat)
+		res.ScanLat.Merge(outs[w].scanLat)
+	}
+	res.Throughput = float64(res.TotalOps()) / elapsed.Seconds()
+	return res
+}
+
+// keyGen builds the per-worker key generator for cfg.
+func keyGen(cfg Config, worker int) workload.KeyGen {
+	switch {
+	case cfg.Disjoint:
+		return workload.Partition{Lo: 0, Hi: cfg.KeyRange, Worker: worker, N: cfg.Threads}
+	case cfg.ZipfSkew > 1:
+		return workload.NewZipf(0, cfg.KeyRange, cfg.ZipfSkew)
+	default:
+		return workload.Uniform{Lo: 0, Hi: cfg.KeyRange}
+	}
+}
+
+// prefillInstance inserts `target` distinct random keys from [0, keyRange).
+func prefillInstance(inst Instance, keyRange int64, target int, seed uint64) {
+	if target > int(keyRange) {
+		target = int(keyRange)
+	}
+	rng := workload.NewRNG(seed ^ 0xDEADBEEF)
+	inserted := 0
+	for inserted < target {
+		if inst.Insert(rng.Intn(keyRange)) {
+			inserted++
+		}
+	}
+}
+
+// String renders a one-line summary of the result.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%-14s thr=%-3d keys=%-8d mix=i%d/d%d/s%d/f%d: %8.2f Mops/s",
+		r.Target, r.Threads, r.KeyRange,
+		r.Mix.InsertPct, r.Mix.DeletePct, r.Mix.ScanPct, r.Mix.FindPct(),
+		r.MOpsPerSec())
+	if r.Ops[workload.OpScan] > 0 {
+		s += fmt.Sprintf("  scans=%d (p99=%v max=%v)",
+			r.Ops[workload.OpScan],
+			time.Duration(r.ScanLat.Percentile(99)),
+			time.Duration(r.ScanLat.Max()))
+	}
+	return s
+}

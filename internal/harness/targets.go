@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lockbst"
+	"repro/internal/nbbst"
+	"repro/internal/skiplist"
+	"repro/internal/snapcollector"
+)
+
+// Target names accepted by NewInstance.
+const (
+	TargetPNBBST        = "pnbbst"        // the paper's tree (wait-free linearizable scans)
+	TargetPNBBSTNoHS    = "pnbbst-nohs"   // ablation: handshake disabled (E9 only)
+	TargetNBBST         = "nbbst"         // Ellen et al. baseline (unsafe scans)
+	TargetLockBST       = "lockbst"       // RWMutex tree (blocking scans)
+	TargetSkipList      = "skiplist"      // lock-free skip list (unsafe scans)
+	TargetSnapCollector = "snapcollector" // Petrank–Timnat scans on the skip list
+)
+
+// Targets returns all registered implementation names, sorted.
+func Targets() []string {
+	names := make([]string, 0, len(factories))
+	for n := range factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var factories = map[string]func() Instance{
+	TargetPNBBST:        func() Instance { return pnbInstance{core.New()} },
+	TargetPNBBSTNoHS:    func() Instance { return pnbInstance{core.NewUnsafeNoHandshake()} },
+	TargetNBBST:         func() Instance { return nbInstance{nbbst.New()} },
+	TargetLockBST:       func() Instance { return lockInstance{lockbst.New()} },
+	TargetSkipList:      func() Instance { return slInstance{skiplist.New()} },
+	TargetSnapCollector: func() Instance { return scInstance{snapcollector.New()} },
+}
+
+// Factory returns the constructor for a named target.
+func Factory(name string) (func() Instance, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown target %q (have %v)", name, Targets())
+	}
+	return f, nil
+}
+
+// NewInstance constructs a named target, panicking on unknown names.
+func NewInstance(name string) Instance {
+	f, err := Factory(name)
+	if err != nil {
+		panic(err)
+	}
+	return f()
+}
+
+type pnbInstance struct{ t *core.Tree }
+
+func (i pnbInstance) Insert(k int64) bool   { return i.t.Insert(k) }
+func (i pnbInstance) Delete(k int64) bool   { return i.t.Delete(k) }
+func (i pnbInstance) Contains(k int64) bool { return i.t.Find(k) }
+func (i pnbInstance) Scan(a, b int64) int   { return i.t.RangeCount(a, b) }
+
+type nbInstance struct{ t *nbbst.Tree }
+
+func (i nbInstance) Insert(k int64) bool   { return i.t.Insert(k) }
+func (i nbInstance) Delete(k int64) bool   { return i.t.Delete(k) }
+func (i nbInstance) Contains(k int64) bool { return i.t.Find(k) }
+func (i nbInstance) Scan(a, b int64) int   { return i.t.RangeCountUnsafe(a, b) }
+
+type lockInstance struct{ t *lockbst.Tree }
+
+func (i lockInstance) Insert(k int64) bool   { return i.t.Insert(k) }
+func (i lockInstance) Delete(k int64) bool   { return i.t.Delete(k) }
+func (i lockInstance) Contains(k int64) bool { return i.t.Find(k) }
+func (i lockInstance) Scan(a, b int64) int   { return i.t.RangeCount(a, b) }
+
+type slInstance struct{ l *skiplist.List }
+
+func (i slInstance) Insert(k int64) bool   { return i.l.Insert(k) }
+func (i slInstance) Delete(k int64) bool   { return i.l.Delete(k) }
+func (i slInstance) Contains(k int64) bool { return i.l.Find(k) }
+func (i slInstance) Scan(a, b int64) int   { return i.l.RangeCountUnsafe(a, b) }
+
+type scInstance struct{ s *snapcollector.Set }
+
+func (i scInstance) Insert(k int64) bool   { return i.s.Insert(k) }
+func (i scInstance) Delete(k int64) bool   { return i.s.Delete(k) }
+func (i scInstance) Contains(k int64) bool { return i.s.Find(k) }
+func (i scInstance) Scan(a, b int64) int   { return len(i.s.RangeScan(a, b)) }
+
+// PNBStats exposes the PNB-BST instrumentation counters of an instance
+// created by this package, for the E9 ablation report; ok is false for
+// other targets.
+func PNBStats(i Instance) (core.StatsSnapshot, bool) {
+	if p, isPNB := i.(pnbInstance); isPNB {
+		return p.t.Stats(), true
+	}
+	return core.StatsSnapshot{}, false
+}

@@ -1,0 +1,154 @@
+// Package lincheck checks linearizability of concurrent histories of set
+// operations (Insert/Delete/Find on int64 keys).
+//
+// It exploits the fact that for a set ADT without range queries the
+// return value of every operation depends only on the operations on the
+// same key, so a history is linearizable iff each per-key sub-history is
+// linearizable as a boolean register with the transitions
+//
+//	Insert: returns !state, sets state = true
+//	Delete: returns  state, sets state = false
+//	Find:   returns  state
+//
+// Per-key histories are checked by the Wing–Gong/Lowe search with
+// memoization over (set of linearized ops, register state). Events carry
+// invocation/response timestamps taken from a monotonic clock; two ops
+// may be reordered only if their intervals overlap.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpKind is the operation type of an event.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	Insert OpKind = iota
+	Delete
+	Find
+)
+
+// String returns the kind name.
+func (k OpKind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	default:
+		return "find"
+	}
+}
+
+// Event is one completed operation of a history.
+type Event struct {
+	Kind OpKind
+	Key  int64
+	Ret  bool
+	Inv  int64 // invocation timestamp (monotonic, e.g. time.Now().UnixNano())
+	Res  int64 // response timestamp; must be >= Inv
+}
+
+// MaxOpsPerKey bounds the per-key history size the checker accepts; the
+// memoized search uses a 64-bit op bitmask.
+const MaxOpsPerKey = 64
+
+// Check verifies that the history is linearizable, assuming every key
+// starts absent. It returns nil on success and a descriptive error
+// naming the first offending key otherwise.
+func Check(history []Event) error {
+	byKey := map[int64][]Event{}
+	for _, e := range history {
+		if e.Res < e.Inv {
+			return fmt.Errorf("lincheck: event on key %d has response before invocation", e.Key)
+		}
+		byKey[e.Key] = append(byKey[e.Key], e)
+	}
+	// Deterministic iteration for reproducible error messages.
+	keys := make([]int64, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		evs := byKey[k]
+		if len(evs) > MaxOpsPerKey {
+			return fmt.Errorf("lincheck: key %d has %d ops, exceeding the %d-op checker limit", k, len(evs), MaxOpsPerKey)
+		}
+		if !checkKeyHistory(evs) {
+			return fmt.Errorf("lincheck: history of key %d is not linearizable (%d ops)", k, len(evs))
+		}
+	}
+	return nil
+}
+
+// checkKeyHistory runs the memoized linearization search for one key.
+func checkKeyHistory(evs []Event) bool {
+	n := len(evs)
+	if n == 0 {
+		return true
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Inv < evs[j].Inv })
+	type memoKey struct {
+		mask  uint64
+		state bool
+	}
+	visited := map[memoKey]bool{}
+	var dfs func(remaining uint64, state bool) bool
+	dfs = func(remaining uint64, state bool) bool {
+		if remaining == 0 {
+			return true
+		}
+		mk := memoKey{remaining, state}
+		if visited[mk] {
+			return false // already explored and failed
+		}
+		visited[mk] = true
+		// An op may linearize next only if no other remaining op responded
+		// before its invocation (otherwise real-time order is violated).
+		minRes := int64(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if remaining&(1<<uint(i)) != 0 && evs[i].Res < minRes {
+				minRes = evs[i].Res
+			}
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if remaining&bit == 0 {
+				continue
+			}
+			if evs[i].Inv > minRes {
+				continue // some remaining op finished before this one began
+			}
+			next, ok := apply(evs[i], state)
+			if !ok {
+				continue // return value inconsistent with this ordering
+			}
+			if dfs(remaining&^bit, next) {
+				return true
+			}
+		}
+		return false
+	}
+	full := uint64(1)<<uint(n) - 1
+	if n == 64 {
+		full = ^uint64(0)
+	}
+	return dfs(full, false)
+}
+
+// apply returns the post-state of running e on state, and whether e's
+// recorded return value is consistent.
+func apply(e Event, state bool) (bool, bool) {
+	switch e.Kind {
+	case Insert:
+		return true, e.Ret == !state
+	case Delete:
+		return false, e.Ret == state
+	default: // Find
+		return state, e.Ret == state
+	}
+}

@@ -1,0 +1,221 @@
+// Package lockbst implements a leaf-oriented binary search tree guarded
+// by a readers-writer lock. It is the blocking baseline for the
+// evaluation: trivially linearizable (every operation holds the lock),
+// with range scans that block all updates for their whole duration —
+// exactly the behaviour the paper's wait-free RangeScan avoids.
+//
+// The tree shape and update logic mirror the sequential skeleton of
+// NB-BST so the comparison isolates the synchronization strategy.
+package lockbst
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+const (
+	inf1 = math.MaxInt64 - 1
+	inf2 = math.MaxInt64
+
+	// MaxKey is the largest storable key.
+	MaxKey = inf1 - 1
+)
+
+type node struct {
+	key         int64
+	leaf        bool
+	left, right *node
+}
+
+// Tree is a lock-based leaf-oriented BST set of int64 keys. Safe for
+// concurrent use; Find and RangeScan take the read lock, Insert and
+// Delete the write lock.
+type Tree struct {
+	mu   sync.RWMutex
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{
+		root: &node{
+			key:   inf2,
+			left:  &node{key: inf1, leaf: true},
+			right: &node{key: inf2, leaf: true},
+		},
+	}
+}
+
+func checkKey(k int64) {
+	if k > MaxKey {
+		panic(fmt.Sprintf("lockbst: key %d exceeds MaxKey", k))
+	}
+}
+
+// search returns the leaf on k's search path, its parent and grandparent.
+func (t *Tree) search(k int64) (gp, p, l *node) {
+	l = t.root
+	for !l.leaf {
+		gp, p = p, l
+		if k < l.key {
+			l = l.left
+		} else {
+			l = l.right
+		}
+	}
+	return gp, p, l
+}
+
+// Find reports whether k is in the set.
+func (t *Tree) Find(k int64) bool {
+	checkKey(k)
+	t.mu.RLock()
+	_, _, l := t.search(k)
+	found := l.key == k
+	t.mu.RUnlock()
+	return found
+}
+
+// Contains is an alias for Find.
+func (t *Tree) Contains(k int64) bool { return t.Find(k) }
+
+// Insert adds k, reporting whether it was absent.
+func (t *Tree) Insert(k int64) bool {
+	checkKey(k)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, p, l := t.search(k)
+	if l.key == k {
+		return false
+	}
+	nl := &node{key: k, leaf: true}
+	sib := &node{key: l.key, leaf: true}
+	ni := &node{key: maxKey(k, l.key)}
+	if k < l.key {
+		ni.left, ni.right = nl, sib
+	} else {
+		ni.left, ni.right = sib, nl
+	}
+	if l.key < p.key {
+		p.left = ni
+	} else {
+		p.right = ni
+	}
+	t.size++
+	return true
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Tree) Delete(k int64) bool {
+	checkKey(k)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	gp, p, l := t.search(k)
+	if l.key != k {
+		return false
+	}
+	var sibling *node
+	if p.left == l {
+		sibling = p.right
+	} else {
+		sibling = p.left
+	}
+	if gp.left == p {
+		gp.left = sibling
+	} else {
+		gp.right = sibling
+	}
+	t.size--
+	return true
+}
+
+// RangeScan returns all keys in [a, b], ascending, holding the read lock
+// for the whole traversal (so concurrent updates block).
+func (t *Tree) RangeScan(a, b int64) []int64 {
+	var out []int64
+	t.RangeScanFunc(a, b, func(k int64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// RangeScanFunc visits keys in [a, b] ascending under the read lock.
+func (t *Tree) RangeScanFunc(a, b int64, visit func(int64) bool) {
+	if b > MaxKey {
+		b = MaxKey
+	}
+	if a > b {
+		return
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n.leaf {
+			if n.key >= a && n.key <= b {
+				return visit(n.key)
+			}
+			return true
+		}
+		if a < n.key {
+			if !walk(n.left) {
+				return false
+			}
+		}
+		if b >= n.key {
+			return walk(n.right)
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// RangeCount returns the number of keys in [a, b].
+func (t *Tree) RangeCount(a, b int64) int {
+	n := 0
+	t.RangeScanFunc(a, b, func(int64) bool { n++; return true })
+	return n
+}
+
+// Keys returns all keys, ascending.
+func (t *Tree) Keys() []int64 { return t.RangeScan(math.MinInt64, MaxKey) }
+
+// Len returns the number of keys.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// CheckInvariants verifies the leaf-oriented BST invariants.
+func (t *Tree) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var check func(n *node, lo, hi int64) error
+	check = func(n *node, lo, hi int64) error {
+		if n == nil {
+			return fmt.Errorf("nil node")
+		}
+		if n.key < lo || n.key > hi {
+			return fmt.Errorf("BST violation: key %d outside [%d,%d]", n.key, lo, hi)
+		}
+		if n.leaf {
+			return nil
+		}
+		if err := check(n.left, lo, n.key-1); err != nil {
+			return err
+		}
+		return check(n.right, n.key, hi)
+	}
+	return check(t.root, math.MinInt64, inf2)
+}
+
+func maxKey(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

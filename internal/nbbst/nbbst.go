@@ -1,0 +1,321 @@
+// Package nbbst implements NB-BST, the non-blocking leaf-oriented binary
+// search tree of Ellen, Fatourou, Ruppert and van Breugel (PODC 2010).
+// PNB-BST (internal/core) is built by making this structure persistent;
+// NB-BST is therefore the natural baseline for measuring the cost of
+// persistence and of range-query support.
+//
+// NB-BST provides linearizable non-blocking Insert, Delete and Find. It
+// does NOT support linearizable range queries: RangeScanUnsafe is a
+// best-effort traversal provided only so benchmark harnesses can run the
+// same workloads; its results can miss or double-count concurrent
+// updates.
+package nbbst
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+const (
+	inf1 = math.MaxInt64 - 1
+	inf2 = math.MaxInt64
+
+	// MaxKey is the largest storable key (the top two values are sentinels).
+	MaxKey = inf1 - 1
+)
+
+// update-word states (one CAS word {state, info} in the paper).
+const (
+	clean uint8 = iota
+	iflag
+	dflag
+	marked
+)
+
+// desc is the packed update word. Every non-clean desc is freshly
+// allocated, and unflag/clean descriptors embed the op they retire, so
+// pointer-identity CAS is ABA-free exactly as in the paper.
+type desc struct {
+	state uint8
+	iop   *insertOp
+	dop   *deleteOp
+}
+
+type node struct {
+	key  int64
+	leaf bool
+
+	update      atomic.Pointer[desc] // internal nodes only
+	left, right atomic.Pointer[node]
+}
+
+// insertOp is the paper's IInfo record.
+type insertOp struct {
+	p, l, newInternal *node
+	flagDesc          *desc // the exact {IFlag,op} descriptor installed
+}
+
+// deleteOp is the paper's DInfo record.
+type deleteOp struct {
+	gp, p, l *node
+	pupdate  *desc
+	flagDesc *desc // the exact {DFlag,op} descriptor installed
+	markDesc *desc // a canonical {Mark,op} descriptor
+}
+
+// Tree is an NB-BST: a linearizable non-blocking concurrent set of int64
+// keys. All methods are safe for concurrent use.
+type Tree struct {
+	root      *node
+	cleanInit *desc
+}
+
+// New returns an empty tree: root ∞2 with leaf children ∞1 and ∞2.
+func New() *Tree {
+	t := &Tree{cleanInit: &desc{state: clean}}
+	root := &node{key: inf2}
+	root.update.Store(t.cleanInit)
+	l1 := &node{key: inf1, leaf: true}
+	l2 := &node{key: inf2, leaf: true}
+	root.left.Store(l1)
+	root.right.Store(l2)
+	t.root = root
+	return t
+}
+
+func checkKey(k int64) {
+	if k > MaxKey {
+		panic(fmt.Sprintf("nbbst: key %d exceeds MaxKey", k))
+	}
+}
+
+// search returns gp, p, l plus the update words read from p and gp, with
+// the ordering the paper requires (update word read before child pointer).
+func (t *Tree) search(k int64) (gp, p, l *node, pupdate, gpupdate *desc) {
+	l = t.root
+	for !l.leaf {
+		gp = p
+		p = l
+		gpupdate = pupdate
+		pupdate = p.update.Load()
+		if k < l.key {
+			l = p.left.Load()
+		} else {
+			l = p.right.Load()
+		}
+	}
+	return gp, p, l, pupdate, gpupdate
+}
+
+// Find reports whether k is in the set.
+func (t *Tree) Find(k int64) bool {
+	checkKey(k)
+	_, _, l, _, _ := t.search(k)
+	return l.key == k
+}
+
+// Contains is an alias for Find.
+func (t *Tree) Contains(k int64) bool { return t.Find(k) }
+
+func casChild(parent, old, new *node) {
+	if new.key < parent.key {
+		parent.left.CompareAndSwap(old, new)
+	} else {
+		parent.right.CompareAndSwap(old, new)
+	}
+}
+
+func (t *Tree) help(u *desc) {
+	switch u.state {
+	case iflag:
+		t.helpInsert(u.iop)
+	case marked:
+		t.helpMarked(u.dop)
+	case dflag:
+		t.helpDelete(u.dop)
+	}
+}
+
+func (t *Tree) helpInsert(op *insertOp) {
+	casChild(op.p, op.l, op.newInternal)                         // ichild CAS
+	op.p.update.CompareAndSwap(op.flagDesc, &desc{state: clean}) // unflag CAS
+}
+
+func (t *Tree) helpMarked(op *deleteOp) {
+	// The sibling of op.l under op.p; p is marked so its children are
+	// frozen and this read is stable.
+	var sibling *node
+	if op.p.right.Load() == op.l {
+		sibling = op.p.left.Load()
+	} else {
+		sibling = op.p.right.Load()
+	}
+	casChild(op.gp, op.p, sibling)                                // dchild CAS
+	op.gp.update.CompareAndSwap(op.flagDesc, &desc{state: clean}) // unflag CAS
+}
+
+func (t *Tree) helpDelete(op *deleteOp) bool {
+	op.p.update.CompareAndSwap(op.pupdate, op.markDesc) // mark CAS
+	cur := op.p.update.Load()
+	if cur.state == marked && cur.dop == op {
+		t.helpMarked(op)
+		return true
+	}
+	// Mark failed for someone else's operation: help it, then back out of
+	// the DFlag so other ops can proceed.
+	t.help(cur)
+	op.gp.update.CompareAndSwap(op.flagDesc, &desc{state: clean}) // backtrack CAS
+	return false
+}
+
+// Insert adds k, returning false if already present. Non-blocking.
+func (t *Tree) Insert(k int64) bool {
+	checkKey(k)
+	for {
+		_, p, l, pupdate, _ := t.search(k)
+		if l.key == k {
+			return false
+		}
+		if pupdate.state != clean {
+			t.help(pupdate)
+			continue
+		}
+		nl := &node{key: k, leaf: true}
+		sib := &node{key: l.key, leaf: true}
+		ni := &node{key: maxKey(k, l.key)}
+		ni.update.Store(&desc{state: clean})
+		if k < l.key {
+			ni.left.Store(nl)
+			ni.right.Store(sib)
+		} else {
+			ni.left.Store(sib)
+			ni.right.Store(nl)
+		}
+		op := &insertOp{p: p, l: l, newInternal: ni}
+		d := &desc{state: iflag, iop: op}
+		op.flagDesc = d
+		if p.update.CompareAndSwap(pupdate, d) { // iflag CAS
+			t.helpInsert(op)
+			return true
+		}
+		t.help(p.update.Load())
+	}
+}
+
+// Delete removes k, returning false if absent. Non-blocking.
+func (t *Tree) Delete(k int64) bool {
+	checkKey(k)
+	for {
+		gp, p, l, pupdate, gpupdate := t.search(k)
+		if l.key != k {
+			return false
+		}
+		if gpupdate.state != clean {
+			t.help(gpupdate)
+			continue
+		}
+		if pupdate.state != clean {
+			t.help(pupdate)
+			continue
+		}
+		op := &deleteOp{gp: gp, p: p, l: l, pupdate: pupdate}
+		d := &desc{state: dflag, dop: op}
+		op.flagDesc = d
+		op.markDesc = &desc{state: marked, dop: op}
+		if gp.update.CompareAndSwap(gpupdate, d) { // dflag CAS
+			if t.helpDelete(op) {
+				return true
+			}
+		} else {
+			t.help(gp.update.Load())
+		}
+	}
+}
+
+// RangeScanUnsafe collects keys in [a, b] by a plain in-order traversal of
+// the current child pointers. It is NOT linearizable with respect to
+// concurrent updates (it may miss committed keys or see partially applied
+// deletes); it exists only to let benchmarks run identical workloads on
+// the baseline. On a quiescent tree it is exact.
+func (t *Tree) RangeScanUnsafe(a, b int64) []int64 {
+	var out []int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			if n.key >= a && n.key <= b && n.key <= MaxKey {
+				out = append(out, n.key)
+			}
+			return
+		}
+		if a < n.key {
+			walk(n.left.Load())
+		}
+		if b >= n.key {
+			walk(n.right.Load())
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// RangeCountUnsafe counts keys in [a, b] with the same best-effort,
+// non-linearizable traversal as RangeScanUnsafe, without allocating.
+func (t *Tree) RangeCountUnsafe(a, b int64) int {
+	count := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			if n.key >= a && n.key <= b && n.key <= MaxKey {
+				count++
+			}
+			return
+		}
+		if a < n.key {
+			walk(n.left.Load())
+		}
+		if b >= n.key {
+			walk(n.right.Load())
+		}
+	}
+	walk(t.root)
+	return count
+}
+
+// Keys returns all keys at quiescence, ascending.
+func (t *Tree) Keys() []int64 { return t.RangeScanUnsafe(math.MinInt64, MaxKey) }
+
+// Len returns the number of keys at quiescence.
+func (t *Tree) Len() int { return len(t.Keys()) }
+
+// CheckInvariants verifies the leaf-oriented BST invariants at quiescence.
+func (t *Tree) CheckInvariants() error {
+	var check func(n *node, lo, hi int64) error
+	check = func(n *node, lo, hi int64) error {
+		if n.key < lo || n.key > hi {
+			return fmt.Errorf("BST violation: key %d outside [%d,%d]", n.key, lo, hi)
+		}
+		if n.leaf {
+			return nil
+		}
+		l, r := n.left.Load(), n.right.Load()
+		if l == nil || r == nil {
+			return fmt.Errorf("internal node %d missing child", n.key)
+		}
+		if err := check(l, lo, n.key-1); err != nil {
+			return err
+		}
+		return check(r, n.key, hi)
+	}
+	if t.root.key != inf2 {
+		return fmt.Errorf("root key %d != ∞2", t.root.key)
+	}
+	return check(t.root, math.MinInt64, inf2)
+}
+
+func maxKey(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

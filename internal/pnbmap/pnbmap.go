@@ -1,0 +1,364 @@
+// Package pnbmap extends the PNB-BST algorithm from a set to a key-value
+// map with an additional Put-replace operation.
+//
+// The paper presents Insert/Delete/Find on keys; its related-work section
+// points at Shafiei's non-blocking Patricia trie "with replace
+// operations" as the natural extension. Replacement fits the PNB-BST
+// machinery directly: to change the value bound to an existing key k, an
+// attempt freezes the leaf's parent (flag) and the leaf itself (mark),
+// then swings the parent's child pointer from the old leaf to a fresh
+// leaf carrying the new value, with prev pointing at the old leaf. All of
+// the paper's arguments carry over:
+//
+//   - the new leaf has the attempt's sequence number, so version-i reads
+//     with i < seq chase prev and still observe the old value
+//     (persistence is preserved — snapshots see the value bound at their
+//     phase);
+//   - the replaced leaf is marked, the parent flagged, so the freeze
+//     order and helping protocol are unchanged;
+//   - the child CAS direction is well-defined because old and new leaf
+//     carry the same key;
+//   - the new leaf can never be installed at the root (the root's
+//     children always have infinite keys, paper Invariant 4.15), so the
+//     Execute precondition on infinite keys holds vacuously.
+//
+// The implementation is a faithful re-instantiation of internal/core with
+// a value payload and the extra operation, kept separate so the set
+// remains line-by-line comparable with the paper's pseudocode.
+package pnbmap
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+const (
+	inf1 = math.MaxInt64 - 1
+	inf2 = math.MaxInt64
+
+	// MaxKey is the largest storable key.
+	MaxKey = inf1 - 1
+	// MinKey is the smallest storable key.
+	MinKey = math.MinInt64
+)
+
+const (
+	stateUndecided int32 = iota
+	stateTry
+	stateCommit
+	stateAbort
+)
+
+type descType uint8
+
+const (
+	flag descType = iota
+	mark
+)
+
+type descriptor[V any] struct {
+	typ  descType
+	info *info[V]
+}
+
+type info[V any] struct {
+	state     atomic.Int32
+	nodes     []*node[V]
+	oldUpdate []*descriptor[V]
+	markMask  uint32
+	par       *node[V]
+	oldChild  *node[V]
+	newChild  *node[V]
+	seq       uint64
+}
+
+type node[V any] struct {
+	key  int64
+	val  V // meaningful for leaves only
+	seq  uint64
+	prev *node[V]
+	leaf bool
+
+	update      atomic.Pointer[descriptor[V]]
+	left, right atomic.Pointer[node[V]]
+}
+
+// Map is a persistent non-blocking BST map from int64 keys to values of
+// type V, with wait-free consistent range scans and snapshots. All
+// methods are safe for concurrent use. Values are returned by copy;
+// replacing a key's value installs a fresh immutable leaf (there is no
+// in-place mutation, which is what keeps old versions readable).
+type Map[V any] struct {
+	_       [64]byte
+	counter atomic.Uint64
+	_       [64]byte
+
+	root  *node[V]
+	dummy *descriptor[V]
+}
+
+// New returns an empty map.
+func New[V any]() *Map[V] {
+	m := &Map[V]{}
+	dummyInfo := &info[V]{}
+	dummyInfo.state.Store(stateAbort)
+	m.dummy = &descriptor[V]{typ: flag, info: dummyInfo}
+	root := &node[V]{key: inf2}
+	root.update.Store(m.dummy)
+	root.left.Store(m.newLeaf(inf1, *new(V), 0, nil))
+	root.right.Store(m.newLeaf(inf2, *new(V), 0, nil))
+	m.root = root
+	return m
+}
+
+func (m *Map[V]) newLeaf(key int64, val V, seq uint64, prev *node[V]) *node[V] {
+	n := &node[V]{key: key, val: val, seq: seq, prev: prev, leaf: true}
+	n.update.Store(m.dummy)
+	return n
+}
+
+func checkKey(k int64) {
+	if k > MaxKey {
+		panic(fmt.Sprintf("pnbmap: key %d exceeds MaxKey", k))
+	}
+}
+
+func readChild[V any](p *node[V], left bool, seq uint64) *node[V] {
+	var l *node[V]
+	if left {
+		l = p.left.Load()
+	} else {
+		l = p.right.Load()
+	}
+	for l.seq > seq {
+		l = l.prev
+	}
+	return l
+}
+
+func (m *Map[V]) search(k int64, seq uint64) (gp, p, l *node[V]) {
+	l = m.root
+	for !l.leaf {
+		gp = p
+		p = l
+		l = readChild(p, k < p.key, seq)
+	}
+	return gp, p, l
+}
+
+func frozen[V any](d *descriptor[V]) bool {
+	s := d.info.state.Load()
+	if d.typ == flag {
+		return s == stateUndecided || s == stateTry
+	}
+	return s == stateUndecided || s == stateTry || s == stateCommit
+}
+
+func inProgress[V any](in *info[V]) bool {
+	s := in.state.Load()
+	return s == stateUndecided || s == stateTry
+}
+
+func (m *Map[V]) validateLink(parent, child *node[V], left bool) (bool, *descriptor[V]) {
+	up := parent.update.Load()
+	if frozen(up) {
+		m.help(up.info)
+		return false, nil
+	}
+	if left {
+		if child != parent.left.Load() {
+			return false, nil
+		}
+	} else {
+		if child != parent.right.Load() {
+			return false, nil
+		}
+	}
+	return true, up
+}
+
+func (m *Map[V]) validateLeaf(gp, p, l *node[V], k int64) (bool, *descriptor[V], *descriptor[V]) {
+	var gpupdate *descriptor[V]
+	validated, pupdate := m.validateLink(p, l, k < p.key)
+	if validated && p != m.root {
+		validated, gpupdate = m.validateLink(gp, p, k < gp.key)
+	}
+	if validated {
+		validated = p.update.Load() == pupdate &&
+			(p == m.root || gp.update.Load() == gpupdate)
+	}
+	return validated, gpupdate, pupdate
+}
+
+// Get returns the value bound to k, if any. Non-blocking.
+func (m *Map[V]) Get(k int64) (V, bool) {
+	checkKey(k)
+	for {
+		seq := m.counter.Load()
+		gp, p, l := m.search(k, seq)
+		validated, _, _ := m.validateLeaf(gp, p, l, k)
+		if validated {
+			if l.key == k {
+				return l.val, true
+			}
+			return *new(V), false
+		}
+	}
+}
+
+// Contains reports whether k is bound.
+func (m *Map[V]) Contains(k int64) bool {
+	_, ok := m.Get(k)
+	return ok
+}
+
+func casChild[V any](parent, old, new *node[V]) {
+	if new.key < parent.key {
+		parent.left.CompareAndSwap(old, new)
+	} else {
+		parent.right.CompareAndSwap(old, new)
+	}
+}
+
+func (m *Map[V]) execute(nodes []*node[V], oldUpdate []*descriptor[V], markMask uint32,
+	par, oldChild, newChild *node[V], seq uint64) bool {
+	for i := range oldUpdate {
+		if frozen(oldUpdate[i]) {
+			if inProgress(oldUpdate[i].info) {
+				m.help(oldUpdate[i].info)
+			}
+			return false
+		}
+	}
+	in := &info[V]{
+		nodes:     nodes,
+		oldUpdate: oldUpdate,
+		markMask:  markMask,
+		par:       par,
+		oldChild:  oldChild,
+		newChild:  newChild,
+		seq:       seq,
+	}
+	if nodes[0].update.CompareAndSwap(oldUpdate[0], &descriptor[V]{typ: flag, info: in}) {
+		return m.help(in)
+	}
+	return false
+}
+
+func (m *Map[V]) help(in *info[V]) bool {
+	if m.counter.Load() != in.seq {
+		in.state.CompareAndSwap(stateUndecided, stateAbort)
+	} else {
+		in.state.CompareAndSwap(stateUndecided, stateTry)
+	}
+	cont := in.state.Load() == stateTry
+	for i := 1; cont && i < len(in.nodes); i++ {
+		typ := flag
+		if in.markMask&(1<<uint(i)) != 0 {
+			typ = mark
+		}
+		in.nodes[i].update.CompareAndSwap(in.oldUpdate[i], &descriptor[V]{typ: typ, info: in})
+		cont = in.nodes[i].update.Load().info == in
+	}
+	if cont {
+		casChild(in.par, in.oldChild, in.newChild)
+		in.state.Store(stateCommit)
+	} else if in.state.Load() == stateTry {
+		in.state.Store(stateAbort)
+	}
+	return in.state.Load() == stateCommit
+}
+
+// Put binds k to v. If k was absent it is inserted (returning false for
+// replaced); if present, the leaf is replaced with a fresh one carrying v
+// (returning true). Non-blocking; linearizes at the first freeze CAS of
+// the successful attempt.
+func (m *Map[V]) Put(k int64, v V) (replaced bool) {
+	checkKey(k)
+	for {
+		seq := m.counter.Load()
+		gp, p, l := m.search(k, seq)
+		validated, _, pupdate := m.validateLeaf(gp, p, l, k)
+		if !validated {
+			continue
+		}
+		if l.key == k {
+			// Replace: swap the leaf for a new one with the same key.
+			nl := m.newLeaf(k, v, seq, l)
+			if m.execute(
+				[]*node[V]{p, l},
+				[]*descriptor[V]{pupdate, l.update.Load()},
+				1<<1, p, l, nl, seq) {
+				return true
+			}
+			continue
+		}
+		// Insert: grow a subtree of three nodes, as in the set.
+		nl := m.newLeaf(k, v, seq, nil)
+		sib := m.newLeaf(l.key, l.val, seq, nil)
+		ni := &node[V]{key: maxKey(k, l.key), seq: seq, prev: l}
+		ni.update.Store(m.dummy)
+		if k < l.key {
+			ni.left.Store(nl)
+			ni.right.Store(sib)
+		} else {
+			ni.left.Store(sib)
+			ni.right.Store(nl)
+		}
+		if m.execute(
+			[]*node[V]{p, l},
+			[]*descriptor[V]{pupdate, l.update.Load()},
+			1<<1, p, l, ni, seq) {
+			return false
+		}
+	}
+}
+
+// Delete unbinds k, reporting whether it was bound. Non-blocking.
+func (m *Map[V]) Delete(k int64) bool {
+	checkKey(k)
+	for {
+		seq := m.counter.Load()
+		gp, p, l := m.search(k, seq)
+		validated, gpupdate, pupdate := m.validateLeaf(gp, p, l, k)
+		if !validated {
+			continue
+		}
+		if l.key != k {
+			return false
+		}
+		sibLeft := l.key >= p.key
+		sibling := readChild(p, sibLeft, seq)
+		validated, _ = m.validateLink(p, sibling, sibLeft)
+		if !validated {
+			continue
+		}
+		newNode := &node[V]{key: sibling.key, val: sibling.val, seq: seq, prev: p, leaf: sibling.leaf}
+		newNode.update.Store(m.dummy)
+		var supdate *descriptor[V]
+		if !sibling.leaf {
+			newNode.left.Store(sibling.left.Load())
+			newNode.right.Store(sibling.right.Load())
+			validated, supdate = m.validateLink(sibling, newNode.left.Load(), true)
+			if validated {
+				validated, _ = m.validateLink(sibling, newNode.right.Load(), false)
+			}
+		} else {
+			supdate = sibling.update.Load()
+		}
+		if validated && m.execute(
+			[]*node[V]{gp, p, l, sibling},
+			[]*descriptor[V]{gpupdate, pupdate, l.update.Load(), supdate},
+			1<<1|1<<2|1<<3, gp, p, newNode, seq) {
+			return true
+		}
+	}
+}
+
+func maxKey(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

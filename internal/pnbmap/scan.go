@@ -1,0 +1,120 @@
+package pnbmap
+
+// Entry is one key-value pair returned by scans.
+type Entry[V any] struct {
+	Key int64
+	Val V
+}
+
+// RangeScan returns the entries with keys in [a, b], ascending by key.
+// Wait-free and linearizable; the values are the ones bound at the scan's
+// phase (a concurrent Put-replace of a later phase is invisible, because
+// the replacement leaf's prev chain leads back to the old value).
+func (m *Map[V]) RangeScan(a, b int64) []Entry[V] {
+	var out []Entry[V]
+	m.RangeScanFunc(a, b, func(k int64, v V) bool {
+		out = append(out, Entry[V]{k, v})
+		return true
+	})
+	return out
+}
+
+// RangeScanFunc streams entries in [a, b] ascending; visit returning
+// false stops early. Wait-free, no per-entry allocation.
+func (m *Map[V]) RangeScanFunc(a, b int64, visit func(k int64, v V) bool) {
+	if b > MaxKey {
+		b = MaxKey
+	}
+	if a > b {
+		return
+	}
+	seq := m.counter.Load()
+	m.counter.Add(1)
+	m.scanInto(m.root, seq, a, b, &visit)
+}
+
+// RangeCount returns the number of bound keys in [a, b]. Wait-free.
+func (m *Map[V]) RangeCount(a, b int64) int {
+	n := 0
+	m.RangeScanFunc(a, b, func(int64, V) bool { n++; return true })
+	return n
+}
+
+func (m *Map[V]) scanInto(n *node[V], seq uint64, a, b int64, visit *func(int64, V) bool) bool {
+	if n.leaf {
+		if n.key >= a && n.key <= b {
+			return (*visit)(n.key, n.val)
+		}
+		return true
+	}
+	if in := n.update.Load().info; inProgress(in) {
+		m.help(in)
+	}
+	if a > n.key {
+		return m.scanInto(readChild(n, false, seq), seq, a, b, visit)
+	}
+	if b < n.key {
+		return m.scanInto(readChild(n, true, seq), seq, a, b, visit)
+	}
+	if !m.scanInto(readChild(n, true, seq), seq, a, b, visit) {
+		return false
+	}
+	return m.scanInto(readChild(n, false, seq), seq, a, b, visit)
+}
+
+// Len returns the number of bound keys. Wait-free.
+func (m *Map[V]) Len() int { return m.RangeCount(MinKey, MaxKey) }
+
+// Keys returns all bound keys, ascending. Wait-free.
+func (m *Map[V]) Keys() []int64 {
+	var out []int64
+	m.RangeScanFunc(MinKey, MaxKey, func(k int64, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Snapshot is a frozen point-in-time view of the map.
+type Snapshot[V any] struct {
+	m   *Map[V]
+	seq uint64
+}
+
+// Snapshot ends the current phase and returns a handle on it.
+func (m *Map[V]) Snapshot() *Snapshot[V] {
+	seq := m.counter.Load()
+	m.counter.Add(1)
+	return &Snapshot[V]{m: m, seq: seq}
+}
+
+// Seq returns the snapshot's phase.
+func (s *Snapshot[V]) Seq() uint64 { return s.seq }
+
+// Get returns the value bound to k at the snapshot's phase. Wait-free.
+func (s *Snapshot[V]) Get(k int64) (V, bool) {
+	checkKey(k)
+	var val V
+	found := false
+	v := func(_ int64, x V) bool { val, found = x, true; return false }
+	s.m.scanInto(s.m.root, s.seq, k, k, &v)
+	return val, found
+}
+
+// Range streams the snapshot's entries in [a, b], ascending. Wait-free.
+func (s *Snapshot[V]) Range(a, b int64, visit func(k int64, v V) bool) {
+	if b > MaxKey {
+		b = MaxKey
+	}
+	if a > b {
+		return
+	}
+	s.m.scanInto(s.m.root, s.seq, a, b, &visit)
+}
+
+// Len returns the number of keys bound at the snapshot's phase.
+func (s *Snapshot[V]) Len() int {
+	n := 0
+	s.Range(MinKey, MaxKey, func(int64, V) bool { n++; return true })
+	return n
+}

@@ -1,0 +1,73 @@
+// Package seqset provides a simple sequential sorted set of int64 keys,
+// used as the reference model (oracle) in tests and the linearizability
+// checker. It is NOT safe for concurrent use.
+package seqset
+
+import "sort"
+
+// Set is a sorted set of int64 keys backed by a sorted slice. The zero
+// value is an empty set ready to use.
+type Set struct {
+	keys []int64
+}
+
+// New returns an empty set.
+func New() *Set { return &Set{} }
+
+// find returns the insertion index of k and whether k is present.
+func (s *Set) find(k int64) (int, bool) {
+	i := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= k })
+	return i, i < len(s.keys) && s.keys[i] == k
+}
+
+// Insert adds k, reporting whether it was absent.
+func (s *Set) Insert(k int64) bool {
+	i, ok := s.find(k)
+	if ok {
+		return false
+	}
+	s.keys = append(s.keys, 0)
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = k
+	return true
+}
+
+// Delete removes k, reporting whether it was present.
+func (s *Set) Delete(k int64) bool {
+	i, ok := s.find(k)
+	if !ok {
+		return false
+	}
+	s.keys = append(s.keys[:i], s.keys[i+1:]...)
+	return true
+}
+
+// Contains reports whether k is present.
+func (s *Set) Contains(k int64) bool {
+	_, ok := s.find(k)
+	return ok
+}
+
+// RangeScan returns all keys in [a, b], ascending.
+func (s *Set) RangeScan(a, b int64) []int64 {
+	lo := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= a })
+	hi := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] > b })
+	out := make([]int64, hi-lo)
+	copy(out, s.keys[lo:hi])
+	return out
+}
+
+// Len returns the number of keys.
+func (s *Set) Len() int { return len(s.keys) }
+
+// Keys returns a copy of all keys, ascending.
+func (s *Set) Keys() []int64 {
+	out := make([]int64, len(s.keys))
+	copy(out, s.keys)
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	return &Set{keys: s.Keys()}
+}

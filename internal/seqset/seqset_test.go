@@ -1,0 +1,121 @@
+package seqset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestEmpty(t *testing.T) {
+	s := New()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	if s.Contains(5) {
+		t.Fatal("empty set contains 5")
+	}
+	if s.Delete(5) {
+		t.Fatal("delete from empty set returned true")
+	}
+	if got := s.RangeScan(0, 100); len(got) != 0 {
+		t.Fatalf("RangeScan on empty = %v", got)
+	}
+}
+
+func TestInsertDeleteContains(t *testing.T) {
+	s := New()
+	if !s.Insert(10) || !s.Insert(5) || !s.Insert(20) {
+		t.Fatal("fresh inserts should return true")
+	}
+	if s.Insert(10) {
+		t.Fatal("duplicate insert returned true")
+	}
+	if !s.Contains(5) || !s.Contains(10) || !s.Contains(20) || s.Contains(15) {
+		t.Fatal("contains wrong")
+	}
+	if !s.Delete(10) || s.Delete(10) {
+		t.Fatal("delete semantics wrong")
+	}
+	if got, want := s.Keys(), []int64{5, 20}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	s := New()
+	for _, k := range []int64{1, 3, 5, 7, 9} {
+		s.Insert(k)
+	}
+	cases := []struct {
+		a, b int64
+		want []int64
+	}{
+		{0, 10, []int64{1, 3, 5, 7, 9}},
+		{3, 7, []int64{3, 5, 7}},
+		{4, 6, []int64{5}},
+		{5, 5, []int64{5}},
+		{6, 6, nil},
+		{10, 20, nil},
+		{-5, 0, nil},
+	}
+	for _, c := range cases {
+		got := s.RangeScan(c.a, c.b)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("RangeScan(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New()
+	s.Insert(1)
+	s.Insert(2)
+	c := s.Clone()
+	c.Delete(1)
+	if !s.Contains(1) {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func TestAgainstMap(t *testing.T) {
+	s := New()
+	m := map[int64]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		k := int64(rng.Intn(200))
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := s.Insert(k), !m[k]; got != want {
+				t.Fatalf("Insert(%d) = %v, want %v", k, got, want)
+			}
+			m[k] = true
+		case 1:
+			if got, want := s.Delete(k), m[k]; got != want {
+				t.Fatalf("Delete(%d) = %v, want %v", k, got, want)
+			}
+			delete(m, k)
+		case 2:
+			if got, want := s.Contains(k), m[k]; got != want {
+				t.Fatalf("Contains(%d) = %v, want %v", k, got, want)
+			}
+		}
+	}
+	var want []int64
+	for k := range m {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := s.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Keys[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package skiplist implements a lock-free concurrent skip list set
+// (Herlihy–Shavit style) of int64 keys. It serves two roles in the
+// evaluation:
+//
+//   - a classic non-blocking set baseline with O(log n) expected search,
+//     to contextualize the BST throughput numbers, and
+//   - the substrate on which internal/snapcollector implements the
+//     Petrank–Timnat scan, the related-work comparator for the paper's
+//     wait-free RangeScan (the paper argues that approach is non-blocking
+//     but not wait-free, §2).
+//
+// Logical deletion uses a mark folded into an immutable successor
+// descriptor held in an atomic pointer (Go has no pointer tag bits);
+// pointer CAS on freshly allocated descriptors is ABA-safe for the same
+// reason as in the BST packages.
+package skiplist
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+const (
+	maxLevel = 20 // supports ~2^20 keys at p=1/2 comfortably
+
+	inf2 = math.MaxInt64
+
+	// MaxKey is the largest storable key (the top value is the tail
+	// sentinel; MinInt64 is the head sentinel).
+	MaxKey = inf2 - 1
+)
+
+// succ packs a next pointer and the deletion mark of the *owning* node:
+// node.next[l] = {n, marked:true} means the owner is logically deleted at
+// level l. Values are immutable once stored.
+type succ struct {
+	next   *node
+	marked bool
+}
+
+// Node is an element of the list. It is exported (opaquely) so the
+// snapcollector package can report updates by node identity, which makes
+// snapshot reconstruction immune to the same key being removed and
+// re-inserted during a scan.
+type Node struct {
+	key      int64
+	topLevel int
+	next     []atomic.Pointer[succ]
+}
+
+type node = Node
+
+// Key returns the node's key.
+func (n *Node) Key() int64 { return n.key }
+
+func newNode(key int64, topLevel int) *node {
+	return &node{key: key, topLevel: topLevel, next: make([]atomic.Pointer[succ], topLevel+1)}
+}
+
+// Reporter receives update reports for snap-collector style scans. Report
+// calls happen immediately after the linearization point of the update
+// (bottom-level link for inserts, bottom-level mark for deletes).
+type Reporter interface {
+	ReportInsert(n *Node)
+	ReportDelete(n *Node)
+}
+
+type reporterBox struct{ r Reporter }
+
+// List is a lock-free skip list set of int64 keys. Safe for concurrent
+// use by any number of goroutines.
+type List struct {
+	head *node
+	seed atomic.Uint64
+	rep  atomic.Pointer[reporterBox]
+}
+
+// New returns an empty skip list.
+func New() *List {
+	head := newNode(math.MinInt64, maxLevel)
+	tail := newNode(inf2, maxLevel)
+	for l := 0; l <= maxLevel; l++ {
+		head.next[l].Store(&succ{next: tail})
+		tail.next[l].Store(&succ{}) // terminal; never marked, never followed
+	}
+	l := &List{head: head}
+	l.seed.Store(0x9E3779B97F4A7C15)
+	return l
+}
+
+// SetReporter installs r to receive update reports; ClearReporter removes
+// it. Used by the snapcollector package.
+func (s *List) SetReporter(r Reporter) { s.rep.Store(&reporterBox{r: r}) }
+
+// ClearReporter removes any installed reporter.
+func (s *List) ClearReporter() { s.rep.Store(nil) }
+
+func (s *List) reportInsert(n *node) {
+	if b := s.rep.Load(); b != nil {
+		b.r.ReportInsert(n)
+	}
+}
+
+func (s *List) reportDelete(n *node) {
+	if b := s.rep.Load(); b != nil {
+		b.r.ReportDelete(n)
+	}
+}
+
+func checkKey(k int64) {
+	if k > MaxKey {
+		panic(fmt.Sprintf("skiplist: key %d exceeds MaxKey", k))
+	}
+	if k == math.MinInt64 {
+		panic("skiplist: key MinInt64 is reserved for the head sentinel")
+	}
+}
+
+// randomLevel draws a geometric(1/2) level via a splitmix64 step on the
+// shared seed.
+func (s *List) randomLevel() int {
+	x := s.seed.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	lvl := 0
+	for x&1 == 1 && lvl < maxLevel {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}
+
+// find locates the position of k, snipping out marked nodes as it goes
+// (the Harris/Michael helping step). On return preds[l].key < k <=
+// succs[l].key for every level; it reports whether succs[0].key == k.
+func (s *List) find(k int64, preds, succs *[maxLevel + 1]*node) bool {
+retry:
+	for {
+		pred := s.head
+		for level := maxLevel; level >= 0; level-- {
+			curr := pred.next[level].Load().next
+			for {
+				sc := curr.next[level].Load()
+				for sc.marked {
+					// curr is logically deleted at this level: unlink it.
+					old := pred.next[level].Load()
+					if old.next != curr || old.marked {
+						continue retry
+					}
+					if !pred.next[level].CompareAndSwap(old, &succ{next: sc.next}) {
+						continue retry
+					}
+					curr = sc.next
+					sc = curr.next[level].Load()
+				}
+				if curr.key < k {
+					pred = curr
+					curr = sc.next
+				} else {
+					break
+				}
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		return succs[0].key == k
+	}
+}
+
+// Find reports whether k is in the set. The read path never unlinks, so
+// it traverses marked nodes transparently and checks the mark only on the
+// candidate.
+func (s *List) Find(k int64) bool {
+	checkKey(k)
+	pred := s.head
+	var curr *node
+	for level := maxLevel; level >= 0; level-- {
+		curr = pred.next[level].Load().next
+		for curr.key < k {
+			pred = curr
+			curr = curr.next[level].Load().next
+		}
+	}
+	return curr.key == k && !curr.next[0].Load().marked
+}
+
+// Contains is an alias for Find.
+func (s *List) Contains(k int64) bool { return s.Find(k) }
+
+// Insert adds k, reporting whether it was absent. Lock-free; linearizes
+// at the bottom-level link CAS.
+func (s *List) Insert(k int64) bool {
+	checkKey(k)
+	var preds, succs [maxLevel + 1]*node
+	topLevel := s.randomLevel()
+	for {
+		if s.find(k, &preds, &succs) {
+			return false
+		}
+		n := newNode(k, topLevel)
+		for l := 0; l <= topLevel; l++ {
+			n.next[l].Store(&succ{next: succs[l]})
+		}
+		old := preds[0].next[0].Load()
+		if old.next != succs[0] || old.marked {
+			continue
+		}
+		if !preds[0].next[0].CompareAndSwap(old, &succ{next: n}) { // linearization
+			continue
+		}
+		s.reportInsert(n)
+		// Link the upper levels; marked nodes may be transiently
+		// re-linked by racing finds, which later finds snip again.
+		for l := 1; l <= topLevel; l++ {
+			for {
+				sc := n.next[l].Load()
+				if sc.marked {
+					return true // n is being deleted; stop linking
+				}
+				if sc.next != succs[l] {
+					if !n.next[l].CompareAndSwap(sc, &succ{next: succs[l]}) {
+						continue
+					}
+				}
+				old := preds[l].next[l].Load()
+				if old.next == succs[l] && !old.marked &&
+					preds[l].next[l].CompareAndSwap(old, &succ{next: n}) {
+					break
+				}
+				s.find(k, &preds, &succs)
+				if succs[0] != n {
+					return true // n was deleted and unlinked meanwhile
+				}
+			}
+		}
+		return true
+	}
+}
+
+// Delete removes k, reporting whether it was present. Lock-free;
+// linearizes at the bottom-level mark CAS.
+func (s *List) Delete(k int64) bool {
+	checkKey(k)
+	var preds, succs [maxLevel + 1]*node
+	for {
+		if !s.find(k, &preds, &succs) {
+			return false
+		}
+		victim := succs[0]
+		// Mark top-down; only the marker of level 0 owns the deletion.
+		for l := victim.topLevel; l >= 1; l-- {
+			for {
+				sc := victim.next[l].Load()
+				if sc.marked {
+					break
+				}
+				if victim.next[l].CompareAndSwap(sc, &succ{next: sc.next, marked: true}) {
+					break
+				}
+			}
+		}
+		for {
+			sc := victim.next[0].Load()
+			if sc.marked {
+				return false // another goroutine completed this delete
+			}
+			if victim.next[0].CompareAndSwap(sc, &succ{next: sc.next, marked: true}) { // linearization
+				s.reportDelete(victim)
+				s.find(k, &preds, &succs) // physically unlink
+				return true
+			}
+		}
+	}
+}
+
+// seekGE descends the index towers to the last node with key < a,
+// without unlinking anything, and returns it (possibly the head).
+func (s *List) seekGE(a int64) *node {
+	pred := s.head
+	for level := maxLevel; level >= 0; level-- {
+		curr := pred.next[level].Load().next
+		for curr.key < a {
+			pred = curr
+			curr = curr.next[level].Load().next
+		}
+	}
+	return pred
+}
+
+// ScanBottom walks the bottom level from the first key >= a through the
+// last key <= b, calling visit on every unmarked node. The start position
+// is located by an O(log n) tower descent. The traversal is NOT
+// linearizable by itself; the snapcollector package layers reporting on
+// top of it to build consistent scans. Exported for that package and for
+// quiescent scans.
+func (s *List) ScanBottom(a, b int64, visit func(n *Node) bool) {
+	if b > MaxKey {
+		b = MaxKey
+	}
+	n := s.seekGE(a).next[0].Load().next
+	for n.key < a {
+		n = n.next[0].Load().next
+	}
+	for n.key <= b {
+		if !n.next[0].Load().marked {
+			if !visit(n) {
+				return
+			}
+		}
+		n = n.next[0].Load().next
+	}
+}
+
+// RangeScanUnsafe collects keys in [a, b]; exact only at quiescence.
+func (s *List) RangeScanUnsafe(a, b int64) []int64 {
+	var out []int64
+	s.ScanBottom(a, b, func(n *Node) bool {
+		out = append(out, n.key)
+		return true
+	})
+	return out
+}
+
+// RangeCountUnsafe counts keys in [a, b] from the bottom level without
+// allocating; exact only at quiescence.
+func (s *List) RangeCountUnsafe(a, b int64) int {
+	count := 0
+	s.ScanBottom(a, b, func(*Node) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// Keys returns all keys at quiescence, ascending.
+func (s *List) Keys() []int64 { return s.RangeScanUnsafe(math.MinInt64+1, MaxKey) }
+
+// Len returns the number of keys at quiescence.
+func (s *List) Len() int { return len(s.Keys()) }
+
+// CheckInvariants verifies level-0 ordering and that unmarked upper-level
+// nodes appear one level down, at quiescence.
+func (s *List) CheckInvariants() error {
+	prev := int64(math.MinInt64)
+	first := true
+	for n := s.head.next[0].Load().next; n.key != inf2; n = n.next[0].Load().next {
+		if !first && n.key <= prev {
+			return fmt.Errorf("level-0 order violation: %d after %d", n.key, prev)
+		}
+		first = false
+		prev = n.key
+	}
+	for l := 1; l <= maxLevel; l++ {
+		for n := s.head.next[l].Load().next; n.key != inf2; n = n.next[l].Load().next {
+			if n.next[l].Load().marked {
+				continue
+			}
+			found := false
+			for m := s.head.next[l-1].Load().next; m.key != inf2; m = m.next[l-1].Load().next {
+				if m == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("node %d at level %d missing from level %d", n.key, l, l-1)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package stats provides the measurement plumbing for the benchmark
+// harness: log-scaled latency histograms with percentile queries, and
+// small numeric helpers. Everything is allocation-free on the record
+// path.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+const (
+	histBuckets    = 64 // one per power of two of nanoseconds
+	histSubBuckets = 16 // linear sub-buckets within each power of two
+)
+
+// Histogram is a log-scaled histogram of non-negative int64 samples
+// (typically nanoseconds). It resolves values to ~6% relative error,
+// like HdrHistogram with 4 significant bits. Not safe for concurrent
+// use; the harness keeps one per worker and merges.
+type Histogram struct {
+	counts [histBuckets * histSubBuckets]uint64
+	total  uint64
+	sum    float64
+	max    int64
+	min    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // position of top bit, >= 4
+	sub := (v >> (uint(exp) - 4)) & (histSubBuckets - 1)
+	idx := (exp-3)*histSubBuckets + int(sub)
+	if idx >= histBuckets*histSubBuckets {
+		idx = histBuckets*histSubBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the smallest value mapping to bucket idx (inverse of
+// bucketIndex, used to report percentiles).
+func bucketLow(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	exp := idx/histSubBuckets + 3
+	sub := idx % histSubBuckets
+	return (1 << uint(exp)) | int64(sub)<<(uint(exp)-4)
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min {
+		h.min = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest recorded sample (0 if empty).
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Percentile returns an approximation of the p-th percentile (0 < p <=
+// 100). The true value lies within one sub-bucket (~6%) of the result.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			lo := bucketLow(i)
+			if lo > h.max {
+				return h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// Merge adds all of other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.max > h.max {
+			h.max = other.max
+		}
+		if other.min < h.min {
+			h.min = other.min
+		}
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	*h = Histogram{min: math.MaxInt64}
+}
+
+// Summary renders count/mean/p50/p99/max with duration formatting.
+func (h *Histogram) Summary() string {
+	if h.total == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		h.total,
+		time.Duration(h.Mean()),
+		time.Duration(h.Percentile(50)),
+		time.Duration(h.Percentile(90)),
+		time.Duration(h.Percentile(99)),
+		time.Duration(h.max))
+}
+
+// Bars renders a coarse ASCII distribution over the occupied range, one
+// row per power of two, for quick eyeballing in CLI output.
+func (h *Histogram) Bars(width int) string {
+	if h.total == 0 {
+		return "(empty)\n"
+	}
+	// Collapse sub-buckets into powers of two.
+	type row struct {
+		lo    int64
+		count uint64
+	}
+	var rows []row
+	for b := 0; b < histBuckets; b++ {
+		var c uint64
+		for s := 0; s < histSubBuckets; s++ {
+			c += h.counts[b*histSubBuckets+s]
+		}
+		if c > 0 {
+			rows = append(rows, row{bucketLow(b * histSubBuckets), c})
+		}
+	}
+	var maxC uint64
+	for _, r := range rows {
+		if r.count > maxC {
+			maxC = r.count
+		}
+	}
+	var sb strings.Builder
+	for _, r := range rows {
+		n := int(r.count * uint64(width) / maxC)
+		fmt.Fprintf(&sb, "%12v %8d %s\n", time.Duration(r.lo), r.count, strings.Repeat("#", n))
+	}
+	return sb.String()
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	if h.Percentile(50) != 0 {
+		t.Fatal("percentile of empty != 0")
+	}
+	if h.Summary() != "no samples" {
+		t.Fatalf("Summary = %q", h.Summary())
+	}
+}
+
+func TestExactSmallValues(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 16; v++ {
+		h.Record(v)
+	}
+	if h.Min() != 0 || h.Max() != 15 || h.Count() != 16 {
+		t.Fatalf("min=%d max=%d count=%d", h.Min(), h.Max(), h.Count())
+	}
+	// Values below histSubBuckets are recorded exactly.
+	if p := h.Percentile(100); p != 15 {
+		t.Fatalf("p100 = %d, want 15", p)
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(5))
+	var samples []int64
+	for i := 0; i < 100000; i++ {
+		v := int64(rng.ExpFloat64() * 100000)
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		want := samples[int(p/100*float64(len(samples)))-1]
+		got := h.Percentile(p)
+		// Log-bucketed: allow ~8% relative error plus one unit.
+		lo := want - want/8 - 1
+		hi := want + want/8 + 1
+		if got < lo || got > hi {
+			t.Errorf("p%.1f = %d, want within [%d,%d]", p, got, lo, hi)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i)
+	}
+	for i := int64(1000); i <= 2000; i++ {
+		b.Record(i)
+	}
+	a.Merge(b)
+	if a.Count() != 100+1001 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 2000 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestQuickBucketRoundTrip(t *testing.T) {
+	// bucketLow(bucketIndex(v)) <= v for all v, and the bucket bounds are
+	// within a sub-bucket's relative width.
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		idx := bucketIndex(v)
+		lo := bucketLow(idx)
+		if lo > v {
+			return false
+		}
+		// Next bucket's low must exceed v (or idx is the last bucket).
+		if idx+1 < histBuckets*histSubBuckets {
+			return bucketLow(idx+1) > v || bucketLow(idx+1) <= lo
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(vals []uint32) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(int64(v))
+		}
+		prev := int64(-1)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 100} {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBars(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(int64(i * 100))
+	}
+	out := h.Bars(40)
+	if len(out) == 0 || out == "(empty)\n" {
+		t.Fatalf("Bars output: %q", out)
+	}
+	if NewHistogram().Bars(40) != "(empty)\n" {
+		t.Fatal("empty Bars wrong")
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/bst"
+	"repro/internal/workload"
+)
+
+// FuzzDifferential decodes bytes straight into a trace and replays it on
+// the reference (locked) tree and the PNB-BST; any divergence fails.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 1, 10, 2, 10})
+	f.Add([]byte{3, 0, 50, 0, 25, 0, 3, 0, 50})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var tr Trace
+		for i := 0; i+2 < len(raw); i += 3 {
+			op := Op{Kind: workload.OpKind(raw[i] % 4), Key: int64(raw[i+1])}
+			if op.Kind == workload.OpScan {
+				op.Hi = op.Key + int64(raw[i+2])
+			}
+			tr = append(tr, op)
+		}
+		if d := Diff(Replay(tr, bst.NewLocked()), Replay(tr, bst.New())); d != "" {
+			t.Fatalf("divergence: %s\ntrace:\n%s", d, tr.String())
+		}
+	})
+}
+
+// FuzzParse checks the parser never panics and round-trips what it
+// accepts.
+func FuzzParse(f *testing.F) {
+	f.Add("i 1\nd 2\nf 3\ns 4 10\n")
+	f.Add("")
+	f.Add("x yz")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := Parse(s)
+		if err != nil {
+			return
+		}
+		again, err := Parse(tr.String())
+		if err != nil {
+			t.Fatalf("re-parse of serialized trace failed: %v", err)
+		}
+		if len(again) != len(tr) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(tr))
+		}
+		for i := range tr {
+			if tr[i] != again[i] {
+				t.Fatalf("round trip changed op %d", i)
+			}
+		}
+	})
+}

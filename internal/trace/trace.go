@@ -1,0 +1,181 @@
+// Package trace provides deterministic operation traces for differential
+// testing: the same recorded script is replayed against multiple set
+// implementations and the results compared op-by-op. Because all five
+// implementations in this repository claim identical sequential
+// semantics, any divergence on a sequential replay is a bug in one of
+// them; traces that trigger divergence can be serialized, minimized and
+// replayed for debugging.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/bst"
+	"repro/internal/workload"
+)
+
+// Op is one operation of a trace. Hi is used by scans only.
+type Op struct {
+	Kind workload.OpKind
+	Key  int64
+	Hi   int64
+}
+
+// Trace is a replayable operation script.
+type Trace []Op
+
+// Generate produces a deterministic trace of n operations over
+// [0, keyspace) drawn from mix (scan widths come from mix.ScanWidth).
+func Generate(seed uint64, n int, keyspace int64, mix workload.Mix) Trace {
+	mix.Validate()
+	rng := workload.NewRNG(seed)
+	t := make(Trace, 0, n)
+	for i := 0; i < n; i++ {
+		kind := mix.Draw(rng)
+		op := Op{Kind: kind, Key: rng.Intn(keyspace)}
+		if kind == workload.OpScan {
+			width := mix.ScanWidth
+			if width <= 0 {
+				width = 10
+			}
+			op.Hi = op.Key + width - 1
+		}
+		t = append(t, op)
+	}
+	return t
+}
+
+// Result captures everything observable from replaying a trace.
+type Result struct {
+	Rets  []bool    // return values of insert/delete/contains, in op order
+	Scans [][]int64 // results of scans, in scan order
+}
+
+// Replay runs the trace sequentially against s.
+func Replay(t Trace, s bst.Set) *Result {
+	res := &Result{}
+	for _, op := range t {
+		switch op.Kind {
+		case workload.OpInsert:
+			res.Rets = append(res.Rets, s.Insert(op.Key))
+		case workload.OpDelete:
+			res.Rets = append(res.Rets, s.Delete(op.Key))
+		case workload.OpFind:
+			res.Rets = append(res.Rets, s.Contains(op.Key))
+		case workload.OpScan:
+			res.Scans = append(res.Scans, s.RangeScan(op.Key, op.Hi))
+		}
+	}
+	return res
+}
+
+// Diff returns a description of the first divergence between two replay
+// results, or "" if they are identical.
+func Diff(a, b *Result) string {
+	if len(a.Rets) != len(b.Rets) {
+		return fmt.Sprintf("return-value counts differ: %d vs %d", len(a.Rets), len(b.Rets))
+	}
+	for i := range a.Rets {
+		if a.Rets[i] != b.Rets[i] {
+			return fmt.Sprintf("op %d returned %v vs %v", i, a.Rets[i], b.Rets[i])
+		}
+	}
+	if len(a.Scans) != len(b.Scans) {
+		return fmt.Sprintf("scan counts differ: %d vs %d", len(a.Scans), len(b.Scans))
+	}
+	for i := range a.Scans {
+		if len(a.Scans[i]) != len(b.Scans[i]) {
+			return fmt.Sprintf("scan %d lengths differ: %d vs %d", i, len(a.Scans[i]), len(b.Scans[i]))
+		}
+		for j := range a.Scans[i] {
+			if a.Scans[i][j] != b.Scans[i][j] {
+				return fmt.Sprintf("scan %d element %d: %d vs %d", i, j, a.Scans[i][j], b.Scans[i][j])
+			}
+		}
+	}
+	return ""
+}
+
+// Minimize shrinks a trace while check keeps failing (returns true =
+// still fails). It deletes chunks, then single ops, until a local
+// minimum; classic delta debugging, good enough for test triage.
+func Minimize(t Trace, check func(Trace) bool) Trace {
+	if !check(t) {
+		return t
+	}
+	cur := append(Trace(nil), t...)
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i+chunk <= len(cur); {
+			cand := append(append(Trace(nil), cur[:i]...), cur[i+chunk:]...)
+			if check(cand) {
+				cur = cand
+			} else {
+				i += chunk
+			}
+		}
+	}
+	return cur
+}
+
+// String serializes the trace in a compact one-op-per-line format:
+// "i 5", "d 5", "f 5", "s 5 14".
+func (t Trace) String() string {
+	var sb strings.Builder
+	for _, op := range t {
+		switch op.Kind {
+		case workload.OpInsert:
+			fmt.Fprintf(&sb, "i %d\n", op.Key)
+		case workload.OpDelete:
+			fmt.Fprintf(&sb, "d %d\n", op.Key)
+		case workload.OpFind:
+			fmt.Fprintf(&sb, "f %d\n", op.Key)
+		case workload.OpScan:
+			fmt.Fprintf(&sb, "s %d %d\n", op.Key, op.Hi)
+		}
+	}
+	return sb.String()
+}
+
+// Parse reads the String format back.
+func Parse(s string) (Trace, error) {
+	var t Trace
+	for lineNo, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trace: line %d malformed: %q", lineNo+1, line)
+		}
+		key, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d bad key: %v", lineNo+1, err)
+		}
+		op := Op{Key: key}
+		switch fields[0] {
+		case "i":
+			op.Kind = workload.OpInsert
+		case "d":
+			op.Kind = workload.OpDelete
+		case "f":
+			op.Kind = workload.OpFind
+		case "s":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d scan needs two keys", lineNo+1)
+			}
+			hi, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d bad hi: %v", lineNo+1, err)
+			}
+			op.Kind = workload.OpScan
+			op.Hi = hi
+		default:
+			return nil, fmt.Errorf("trace: line %d unknown op %q", lineNo+1, fields[0])
+		}
+		t = append(t, op)
+	}
+	return t, nil
+}

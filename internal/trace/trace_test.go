@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/bst"
+	"repro/internal/workload"
+)
+
+var mkSets = map[string]func() bst.Set{
+	"pnbbst":        func() bst.Set { return bst.New() },
+	"nbbst":         bst.NewNonBlockingBaseline,
+	"locked":        bst.NewLocked,
+	"skiplist":      bst.NewSkipList,
+	"snapcollector": bst.NewSnapCollector,
+}
+
+func TestDifferentialAllImplementations(t *testing.T) {
+	mix := workload.Mix{InsertPct: 35, DeletePct: 25, ScanPct: 10, ScanWidth: 16}
+	for seed := uint64(0); seed < 10; seed++ {
+		tr := Generate(seed, 2000, 128, mix)
+		ref := Replay(tr, bst.NewLocked()) // trivially correct reference
+		for name, mk := range mkSets {
+			got := Replay(tr, mk())
+			if d := Diff(ref, got); d != "" {
+				t.Fatalf("seed %d: %s diverges from locked reference: %s", seed, name, d)
+			}
+		}
+	}
+}
+
+func TestQuickDifferentialPNBvsLocked(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		mix := workload.Mix{InsertPct: 40, DeletePct: 30, ScanPct: 10, ScanWidth: 8}
+		tr := Generate(seed, int(n%500)+10, 64, mix)
+		return Diff(Replay(tr, bst.NewLocked()), Replay(tr, bst.New())) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	mix := workload.Mix{InsertPct: 50, DeletePct: 50}
+	a := Generate(9, 100, 32, mix)
+	b := Generate(9, 100, 32, mix)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+	c := Generate(10, 100, 32, mix)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestDiffReportsDivergence(t *testing.T) {
+	a := &Result{Rets: []bool{true, false}, Scans: [][]int64{{1, 2}}}
+	b := &Result{Rets: []bool{true, true}, Scans: [][]int64{{1, 2}}}
+	if Diff(a, b) == "" {
+		t.Fatal("return divergence missed")
+	}
+	c := &Result{Rets: []bool{true, false}, Scans: [][]int64{{1, 3}}}
+	if Diff(a, c) == "" {
+		t.Fatal("scan divergence missed")
+	}
+	if Diff(a, a) != "" {
+		t.Fatal("identical results flagged")
+	}
+	short := &Result{Rets: []bool{true}}
+	if Diff(a, short) == "" {
+		t.Fatal("length divergence missed")
+	}
+	d := &Result{Rets: []bool{true, false}, Scans: [][]int64{{1, 2}, {3}}}
+	if Diff(a, d) == "" {
+		t.Fatal("scan-count divergence missed")
+	}
+	e := &Result{Rets: []bool{true, false}, Scans: [][]int64{{1}}}
+	if Diff(a, e) == "" {
+		t.Fatal("scan-length divergence missed")
+	}
+}
+
+func TestRoundTripStringParse(t *testing.T) {
+	mix := workload.Mix{InsertPct: 30, DeletePct: 30, ScanPct: 20, ScanWidth: 5}
+	tr := Generate(4, 200, 50, mix)
+	parsed, err := Parse(tr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(tr) {
+		t.Fatalf("round trip length %d vs %d", len(parsed), len(tr))
+	}
+	for i := range tr {
+		if parsed[i] != tr[i] {
+			t.Fatalf("round trip op %d: %+v vs %+v", i, parsed[i], tr[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"x 1", "i", "i abc", "s 1", "s 1 z"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	if got, err := Parse("  \n\n"); err != nil || len(got) != 0 {
+		t.Fatal("blank trace mishandled")
+	}
+}
+
+func TestMinimizeShrinksFailingTrace(t *testing.T) {
+	// Synthetic failure: any trace containing Insert(13) "fails".
+	mix := workload.Mix{InsertPct: 100}
+	tr := Generate(2, 500, 64, mix)
+	contains13 := func(t Trace) bool {
+		for _, op := range t {
+			if op.Kind == workload.OpInsert && op.Key == 13 {
+				return true
+			}
+		}
+		return false
+	}
+	if !contains13(tr) {
+		t.Skip("seed produced no Insert(13); adjust seed")
+	}
+	min := Minimize(tr, contains13)
+	if len(min) != 1 || min[0].Key != 13 {
+		t.Fatalf("Minimize left %d ops: %v", len(min), min)
+	}
+	// A passing trace is returned unchanged.
+	ok := Trace{{Kind: workload.OpInsert, Key: 1}}
+	if got := Minimize(ok, contains13); len(got) != 1 || got[0].Key != 1 {
+		t.Fatal("Minimize mangled a passing trace")
+	}
+}
+
+func TestMinimizeRealDivergenceWorkflow(t *testing.T) {
+	// End-to-end triage flow on a healthy pair: no divergence found, so
+	// the full trace survives minimization of the (never-failing) check.
+	mix := workload.Mix{InsertPct: 40, DeletePct: 40, ScanPct: 10, ScanWidth: 4}
+	tr := Generate(6, 300, 32, mix)
+	diverges := func(t Trace) bool {
+		return Diff(Replay(t, bst.NewLocked()), Replay(t, bst.New())) != ""
+	}
+	if diverges(tr) {
+		min := Minimize(tr, diverges)
+		t.Fatalf("implementations diverge; minimal reproducer:\n%s", min.String())
+	}
+}

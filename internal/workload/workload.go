@@ -1,0 +1,183 @@
+// Package workload provides deterministic workload generation for the
+// benchmark harness: a fast splitmix64 PRNG (one independent stream per
+// worker), uniform and zipfian key distributions, disjoint key
+// partitions, and operation-mix sampling. All generators are
+// allocation-free per draw.
+package workload
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// (seed-0) stream; use NewRNG to derive decorrelated per-worker streams.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator whose stream is decorrelated from other
+// seeds (including consecutive ones) by a splitmix64 scramble.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{state: seed}
+	r.Next() // burn one output so seed 0 and 1 diverge immediately
+	return r
+}
+
+// Next returns the next 64 uniformly distributed bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int64) int64 {
+	return int64(r.Next() % uint64(n)) // modulo bias negligible for n << 2^64
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// KeyGen draws keys for a workload.
+type KeyGen interface {
+	// Key returns the next key.
+	Key(r *RNG) int64
+	// Range returns the half-open key interval [lo, hi) the generator
+	// draws from, used to size prefills and scan windows.
+	Range() (lo, hi int64)
+}
+
+// Uniform draws keys uniformly from [Lo, Hi).
+type Uniform struct{ Lo, Hi int64 }
+
+// Key implements KeyGen.
+func (u Uniform) Key(r *RNG) int64 { return u.Lo + r.Intn(u.Hi-u.Lo) }
+
+// Range implements KeyGen.
+func (u Uniform) Range() (int64, int64) { return u.Lo, u.Hi }
+
+// Zipf draws keys from [Lo, Hi) with a zipfian rank distribution
+// (skew s > 1), using rejection-free inverse-CDF approximation over the
+// generalized harmonic numbers. Hot keys are the low ranks; ranks are
+// scattered over the interval by a fixed multiplicative hash so the hot
+// set is not spatially clustered in the tree.
+type Zipf struct {
+	Lo, Hi int64
+	S      float64 // skew, > 1; typical 1.1-1.5
+
+	// precomputed normalization
+	hInt float64
+}
+
+// NewZipf returns a zipfian generator over [lo, hi) with skew s.
+func NewZipf(lo, hi int64, s float64) *Zipf {
+	z := &Zipf{Lo: lo, Hi: hi, S: s}
+	n := float64(hi - lo)
+	// Integral approximation of the generalized harmonic number H_{n,s}.
+	z.hInt = (math.Pow(n, 1-s) - 1) / (1 - s)
+	return z
+}
+
+// Key implements KeyGen using the inverse of the integral approximation
+// of the zipf CDF (Gray et al.'s method).
+func (z *Zipf) Key(r *RNG) int64 {
+	u := r.Float64()
+	x := math.Pow(u*z.hInt*(1-z.S)+1, 1/(1-z.S))
+	rank := int64(x)
+	n := z.Hi - z.Lo
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	// Scatter ranks over the interval deterministically.
+	scattered := int64(uint64(rank) * 0x9E3779B97F4A7C15 % uint64(n))
+	return z.Lo + scattered
+}
+
+// Range implements KeyGen.
+func (z *Zipf) Range() (int64, int64) { return z.Lo, z.Hi }
+
+// Partition gives worker w of n an exclusive contiguous slice of the key
+// space — the disjoint-access workload of experiment E8.
+type Partition struct {
+	Lo, Hi    int64
+	Worker, N int
+}
+
+// Key implements KeyGen.
+func (p Partition) Key(r *RNG) int64 {
+	lo, hi := p.slice()
+	return lo + r.Intn(hi-lo)
+}
+
+// Range implements KeyGen (the worker's own slice).
+func (p Partition) Range() (int64, int64) { return p.slice() }
+
+func (p Partition) slice() (int64, int64) {
+	span := (p.Hi - p.Lo) / int64(p.N)
+	lo := p.Lo + span*int64(p.Worker)
+	return lo, lo + span
+}
+
+// OpKind enumerates the operation types in a mix.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpFind
+	OpScan
+)
+
+// String returns the operation name.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpFind:
+		return "find"
+	case OpScan:
+		return "scan"
+	}
+	return "unknown"
+}
+
+// Mix is an operation mix in percent; the remainder to 100 is Find.
+// ScanWidth is the key-space width of each range scan.
+type Mix struct {
+	InsertPct, DeletePct, ScanPct int
+	ScanWidth                     int64
+}
+
+// Validate panics if the percentages exceed 100.
+func (m Mix) Validate() {
+	if m.InsertPct+m.DeletePct+m.ScanPct > 100 {
+		panic("workload: operation mix exceeds 100%")
+	}
+}
+
+// FindPct returns the find percentage (remainder to 100).
+func (m Mix) FindPct() int { return 100 - m.InsertPct - m.DeletePct - m.ScanPct }
+
+// Draw samples the next operation kind.
+func (m Mix) Draw(r *RNG) OpKind {
+	x := int(r.Intn(100))
+	switch {
+	case x < m.InsertPct:
+		return OpInsert
+	case x < m.InsertPct+m.DeletePct:
+		return OpDelete
+	case x < m.InsertPct+m.DeletePct+m.ScanPct:
+		return OpScan
+	default:
+		return OpFind
+	}
+}

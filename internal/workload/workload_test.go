@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent seeds collide %d/1000 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(37)
+		if v < 0 || v >= 37 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Bounds(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestUniformKeyGen(t *testing.T) {
+	g := Uniform{Lo: 100, Hi: 200}
+	r := NewRNG(3)
+	seen := map[int64]bool{}
+	for i := 0; i < 20000; i++ {
+		k := g.Key(r)
+		if k < 100 || k >= 200 {
+			t.Fatalf("key %d outside [100,200)", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("only %d distinct keys of 100", len(seen))
+	}
+	lo, hi := g.Range()
+	if lo != 100 || hi != 200 {
+		t.Fatal("Range wrong")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewZipf(0, 10000, 1.2)
+	r := NewRNG(4)
+	counts := map[int64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := g.Key(r)
+		if k < 0 || k >= 10000 {
+			t.Fatalf("zipf key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// The hottest key must take a disproportionate share and far fewer
+	// than all keys should be touched (heavy skew).
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < draws/100 {
+		t.Fatalf("hottest key only %d of %d draws; zipf not skewed", maxC, draws)
+	}
+	if len(counts) >= 10000 {
+		t.Fatalf("all keys touched; zipf looks uniform")
+	}
+}
+
+func TestPartitionDisjoint(t *testing.T) {
+	const n = 8
+	r := NewRNG(5)
+	owner := map[int64]int{}
+	for w := 0; w < n; w++ {
+		p := Partition{Lo: 0, Hi: 8000, Worker: w, N: n}
+		lo, hi := p.Range()
+		if hi-lo != 1000 {
+			t.Fatalf("partition %d span %d", w, hi-lo)
+		}
+		for i := 0; i < 5000; i++ {
+			k := p.Key(r)
+			if k < lo || k >= hi {
+				t.Fatalf("worker %d drew %d outside [%d,%d)", w, k, lo, hi)
+			}
+			if prev, ok := owner[k]; ok && prev != w {
+				t.Fatalf("key %d drawn by workers %d and %d", k, prev, w)
+			}
+			owner[k] = w
+		}
+	}
+}
+
+func TestMixDrawRespectsPercentages(t *testing.T) {
+	m := Mix{InsertPct: 30, DeletePct: 20, ScanPct: 10}
+	m.Validate()
+	if m.FindPct() != 40 {
+		t.Fatalf("FindPct = %d", m.FindPct())
+	}
+	r := NewRNG(6)
+	counts := map[OpKind]int{}
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[m.Draw(r)]++
+	}
+	approx := func(got, wantPct int) bool {
+		want := draws * wantPct / 100
+		return got > want*9/10 && got < want*11/10
+	}
+	if !approx(counts[OpInsert], 30) || !approx(counts[OpDelete], 20) ||
+		!approx(counts[OpScan], 10) || !approx(counts[OpFind], 40) {
+		t.Fatalf("mix off: %v", counts)
+	}
+}
+
+func TestMixValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-100%% mix did not panic")
+		}
+	}()
+	Mix{InsertPct: 60, DeletePct: 60}.Validate()
+}
+
+func TestOpKindString(t *testing.T) {
+	names := map[OpKind]string{OpInsert: "insert", OpDelete: "delete", OpFind: "find", OpScan: "scan", OpKind(9): "unknown"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestQuickZipfInRange(t *testing.T) {
+	f := func(seed uint64, span uint16) bool {
+		n := int64(span)%5000 + 2
+		g := NewZipf(10, 10+n, 1.3)
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			k := g.Key(r)
+			if k < 10 || k >= 10+n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
