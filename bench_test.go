@@ -1,4 +1,4 @@
-// Benchmarks: one Benchmark family per evaluation experiment (E1..E10 in
+// Benchmarks: one Benchmark family per evaluation experiment (E1..E11 in
 // DESIGN.md §4 / EXPERIMENTS.md). Each family measures a representative
 // point of its experiment with testing.B semantics; the full sweeps —
 // thread counts, key ranges, widths — are produced by cmd/benchbst.
@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/workload"
 )
@@ -337,6 +338,78 @@ func BenchmarkE10Snapshot(b *testing.B) {
 	}
 }
 
+// shardedSweep is experiment E11's shard-count axis (single tree, then
+// 1/4/16 shards), shared with the full sweep in internal/experiments so
+// the benchmark families and Figure E11 stay in lockstep.
+var shardedSweep = experiments.ShardSweep
+
+// prefilledRange builds an instance whose shard boundaries (if any)
+// split [0, n) and holds n/2 random keys of it.
+func prefilledRange(tb testing.TB, target string, n int64) harness.Instance {
+	tb.Helper()
+	inst := harness.NewInstanceRange(target, 0, n-1)
+	rng := workload.NewRNG(7)
+	inserted := int64(0)
+	for inserted < n/2 {
+		if inst.Insert(rng.Intn(n)) {
+			inserted++
+		}
+	}
+	return inst
+}
+
+// BenchmarkShardedInsert — experiment E11 (updates): parallel 50i/50d
+// over 64K keys on the single tree vs 1/4/16 range shards. With multiple
+// shards, updates on different parts of the key space stop sharing a
+// root and a phase counter.
+func BenchmarkShardedInsert(b *testing.B) {
+	const keys = 1 << 16
+	for _, tgt := range shardedSweep {
+		b.Run(tgt, func(b *testing.B) {
+			inst := prefilledRange(b, tgt, keys)
+			var seed atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := workload.NewRNG(seed.Add(1))
+				for pb.Next() {
+					k := rng.Intn(keys)
+					if rng.Intn(2) == 0 {
+						inst.Insert(k)
+					} else {
+						inst.Delete(k)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShardedScan — experiment E11 (scans): range scans of width
+// 100 and of the full key range, single tree vs 1/4/16 shards. A narrow
+// scan usually lands in one shard and costs the same as the baseline; a
+// full-range scan pays one wait-free scan per shard.
+func BenchmarkShardedScan(b *testing.B) {
+	const keys = 1 << 16
+	for _, width := range []int64{100, keys} {
+		for _, tgt := range shardedSweep {
+			b.Run(itoa(width)+"/"+tgt, func(b *testing.B) {
+				inst := prefilledRange(b, tgt, keys)
+				rng := workload.NewRNG(3)
+				var got int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a := int64(0)
+					if width < keys {
+						a = rng.Intn(keys - width)
+					}
+					got += int64(inst.Scan(a, a+width-1))
+				}
+				b.ReportMetric(float64(got)/float64(b.N), "keys/scan")
+			})
+		}
+	}
+}
+
 func itoa(v int64) string {
 	switch {
 	case v >= 1<<20 && v%(1<<20) == 0:
@@ -373,5 +446,16 @@ func TestBenchSanity(t *testing.T) {
 	inst := prefilled(t, harness.TargetPNBBST, 1<<10)
 	if n := inst.Scan(0, 1<<10-1); n != 1<<9 {
 		t.Fatalf("prefill = %d keys, want %d", n, 1<<9)
+	}
+	// The sharded instances see the same prefill stream as the single
+	// tree, so every sweep member must agree on every scan count.
+	base := prefilledRange(t, harness.TargetPNBBST, 1<<10)
+	for _, tgt := range shardedSweep[1:] {
+		sh := prefilledRange(t, tgt, 1<<10)
+		for _, r := range [][2]int64{{0, 1<<10 - 1}, {100, 700}, {255, 256}} {
+			if got, want := sh.Scan(r[0], r[1]), base.Scan(r[0], r[1]); got != want {
+				t.Fatalf("%s: Scan(%d,%d) = %d, want %d", tgt, r[0], r[1], got, want)
+			}
+		}
 	}
 }

@@ -1,0 +1,119 @@
+package bst
+
+import "repro/internal/shard"
+
+// ShardedMap is a keyspace-sharded ordered map of int64 keys: P
+// independent PNB-BSTs behind fixed range boundaries, the first
+// scale-out layer over the paper's single tree (DESIGN.md §5). Like the
+// paper's Tree it stores keys only (it implements Set); a sharded
+// counterpart of the value-carrying Map[V] is a planned step on the
+// same sharding axis.
+//
+// Point operations (Insert, Delete, Contains) route to the shard owning
+// the key and keep the PNB-BST's guarantees unchanged — linearizable and
+// non-blocking — because two operations on the same key always meet in
+// the same tree. Sharding removes the single tree's shared phase counter
+// and root from the path of unrelated keys, so disjoint-key workloads
+// scale with P.
+//
+// RangeScan and Snapshot stitch per-shard wait-free scans together in
+// ascending key order. Within one shard the result is an atomic cut;
+// across shards the cuts are taken at successive instants, so a
+// multi-shard scan is serializable but not linearizable (each key is
+// read exactly once, from a per-shard linearization point; see DESIGN.md
+// §5.2 for the precise statement and an example). Scans confined to a
+// single shard remain fully linearizable.
+//
+// ShardedMap implements Set. All methods are safe for concurrent use.
+type ShardedMap struct {
+	s *shard.Set
+}
+
+// ShardedSnapshot is a frozen composite of per-shard snapshots; see
+// (*ShardedMap).Snapshot.
+type ShardedSnapshot = shard.Snapshot
+
+// NewSharded returns an empty map of p shards whose boundaries split the
+// full key space [MinKey, MaxKey] evenly.
+func NewSharded(p int) *ShardedMap {
+	return &ShardedMap{s: shard.New(p)}
+}
+
+// NewShardedRange returns an empty map of p shards whose boundaries
+// split [lo, hi] evenly; the edge shards absorb the rest of the key
+// space. Use this when the workload concentrates on a known interval so
+// that all p shards share its load.
+func NewShardedRange(lo, hi int64, p int) *ShardedMap {
+	return &ShardedMap{s: shard.NewRange(lo, hi, p)}
+}
+
+// Shards returns the shard count P.
+func (m *ShardedMap) Shards() int { return m.s.Shards() }
+
+// ShardOf returns the index of the shard owning key k.
+func (m *ShardedMap) ShardOf(k int64) int { return m.s.Router().Of(k) }
+
+// ShardBounds returns the inclusive key range owned by shard i.
+func (m *ShardedMap) ShardBounds(i int) (lo, hi int64) { return m.s.Router().Bounds(i) }
+
+// Insert adds k, reporting whether it was absent. Non-blocking.
+func (m *ShardedMap) Insert(k int64) bool { return m.s.Insert(k) }
+
+// Delete removes k, reporting whether it was present. Non-blocking.
+func (m *ShardedMap) Delete(k int64) bool { return m.s.Delete(k) }
+
+// Contains reports whether k is present. Non-blocking.
+func (m *ShardedMap) Contains(k int64) bool { return m.s.Find(k) }
+
+// RangeScan returns the keys in [a, b], ascending. Wait-free; atomic per
+// shard, stitched across shards (see the type comment).
+func (m *ShardedMap) RangeScan(a, b int64) []int64 { return m.s.RangeScan(a, b) }
+
+// RangeScanFunc streams the keys in [a, b] in ascending order to visit
+// without allocating; visit returning false stops early (including
+// across shard boundaries). Wait-free.
+func (m *ShardedMap) RangeScanFunc(a, b int64, visit func(k int64) bool) {
+	m.s.RangeScanFunc(a, b, visit)
+}
+
+// RangeCount returns the number of keys in [a, b] without allocating.
+func (m *ShardedMap) RangeCount(a, b int64) int { return m.s.RangeCount(a, b) }
+
+// Keys returns all keys, ascending.
+func (m *ShardedMap) Keys() []int64 { return m.s.Keys() }
+
+// Len returns the number of keys.
+func (m *ShardedMap) Len() int { return m.s.Len() }
+
+// Min returns the smallest key, if any.
+func (m *ShardedMap) Min() (int64, bool) { return m.s.Min() }
+
+// Max returns the largest key, if any.
+func (m *ShardedMap) Max() (int64, bool) { return m.s.Max() }
+
+// Succ returns the smallest key >= k, if any (crossing shard boundaries
+// as needed).
+func (m *ShardedMap) Succ(k int64) (int64, bool) { return m.s.Succ(k) }
+
+// Pred returns the largest key <= k, if any.
+func (m *ShardedMap) Pred(k int64) (int64, bool) { return m.s.Pred(k) }
+
+// Snapshot returns a frozen composite view: each shard's wait-free
+// snapshot, taken in ascending shard order. Reads of the result are
+// stable (every read observes the same composite) and wait-free, but the
+// composite is not one atomic cut of the whole map — see the type
+// comment and DESIGN.md §5.2.
+func (m *ShardedMap) Snapshot() *ShardedSnapshot { return m.s.Snapshot() }
+
+// Stats returns the element-wise sum of per-shard instrumentation
+// counters.
+func (m *ShardedMap) Stats() Stats { return m.s.Stats() }
+
+// ResetStats zeroes every shard's counters.
+func (m *ShardedMap) ResetStats() { m.s.ResetStats() }
+
+// CheckInvariants validates per-shard structure and key ownership;
+// quiescent use only.
+func (m *ShardedMap) CheckInvariants() error { return m.s.CheckInvariants() }
+
+var _ Set = (*ShardedMap)(nil)

@@ -1,16 +1,23 @@
 // Command benchbst regenerates the evaluation of the PNB-BST
-// reproduction (experiments E1..E10, see DESIGN.md §4 and
-// EXPERIMENTS.md).
+// reproduction (experiments E1..E11, see DESIGN.md §4 and
+// EXPERIMENTS.md), and runs one-off workloads against a chosen
+// implementation.
 //
 // Usage:
 //
 //	benchbst -list
 //	benchbst -experiment E1 [-duration 2s] [-threads 8] [-csv]
 //	benchbst -all -quick
+//	benchbst -impl sharded -shards 16 [-keys 1048576] [-insert 25 -delete 25 -scan 10 -scanwidth 100]
 //
 // With -all every experiment runs in order. -quick shrinks key ranges
 // and durations for a fast smoke pass; published numbers should use the
 // defaults (or longer -duration) on an otherwise idle machine.
+//
+// With -impl a single harness run is executed against the named
+// implementation (any harness target: pnbbst, nbbst, lockbst, skiplist,
+// snapcollector, sharded); -shards selects the shard count when -impl is
+// "sharded" and is rejected otherwise.
 package main
 
 import (
@@ -21,24 +28,85 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
-		expID    = flag.String("experiment", "", "experiment id to run (E1..E10)")
+		expID    = flag.String("experiment", "", "experiment id to run (E1..E11)")
 		all      = flag.Bool("all", false, "run every experiment")
 		quick    = flag.Bool("quick", false, "smoke-scale: short durations, small key ranges")
 		duration = flag.Duration("duration", 2*time.Second, "measurement window per data point")
 		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "top of the thread sweep")
 		seed     = flag.Uint64("seed", 42, "base PRNG seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+		impl      = flag.String("impl", "", "run one workload against this implementation instead of an experiment")
+		shards    = flag.Int("shards", harness.DefaultShards, "shard count (with -impl sharded)")
+		keys      = flag.Int64("keys", 1<<20, "key-space size (with -impl)")
+		insertPct = flag.Int("insert", 25, "insert percentage (with -impl)")
+		deletePct = flag.Int("delete", 25, "delete percentage (with -impl)")
+		scanPct   = flag.Int("scan", 10, "range-scan percentage (with -impl; rest is find)")
+		scanWidth = flag.Int64("scanwidth", 100, "range-scan width in keys (with -impl)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *impl != "" {
+		for _, conflict := range []struct {
+			set  bool
+			name string
+		}{
+			{*all, "-all"}, {*expID != "", "-experiment"}, {*quick, "-quick"}, {*csv, "-csv"},
+		} {
+			if conflict.set {
+				fmt.Fprintf(os.Stderr, "%s does not apply to a one-off -impl run\n", conflict.name)
+				os.Exit(2)
+			}
+		}
+		target := *impl
+		if target == harness.TargetSharded {
+			target = harness.ShardedTarget(*shards)
+		} else if flagSet("shards") {
+			fmt.Fprintf(os.Stderr, "-shards only applies to -impl %s\n", harness.TargetSharded)
+			os.Exit(2)
+		}
+		// Bound the shard count by the key range whichever way it was
+		// spelled (-impl sharded -shards N or -impl shardedN).
+		if n, ok := harness.ParseShardedTarget(target); ok && (n < 1 || int64(n) > *keys) {
+			fmt.Fprintf(os.Stderr, "shard count %d outside [1, %d] (-keys bounds the shard count)\n", n, *keys)
+			os.Exit(2)
+		}
+		if _, err := harness.Factory(target); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res := harness.Run(harness.Config{
+			Target:   target,
+			Threads:  *threads,
+			Duration: *duration,
+			KeyRange: *keys,
+			Prefill:  -1,
+			Mix: workload.Mix{
+				InsertPct: *insertPct, DeletePct: *deletePct,
+				ScanPct: *scanPct, ScanWidth: *scanWidth,
+			},
+			Seed:        *seed,
+			SampleEvery: 64,
+		})
+		fmt.Println(res)
+		if st, ok := harness.PNBStats(res.Inst); ok {
+			fmt.Printf("stats: helps=%d handshakeAborts=%d scans=%d retries=%d/%d/%d\n",
+				st.Helps, st.HandshakeAborts, st.Scans,
+				st.RetriesInsert, st.RetriesDelete, st.RetriesFind)
 		}
 		return
 	}

@@ -1,12 +1,12 @@
 // Command stress runs a long-lived adversarial workload against the
-// PNB-BST and continuously checks correctness: per-key balance
-// accounting, scan well-formedness, monotone-insert scan atomicity,
+// PNB-BST (or the keyspace-sharded front end over it) and continuously
+// checks correctness: per-key balance accounting, scan well-formedness,
 // snapshot stability, and full structural invariants at periodic
 // quiescence points.
 //
 // Usage:
 //
-//	stress [-duration 30s] [-threads N] [-keys 4096] [-seed 1]
+//	stress [-impl pnbbst|sharded] [-shards 8] [-duration 30s] [-threads N] [-keys 4096] [-seed 1]
 //
 // Exit status 0 means every check passed.
 package main
@@ -21,11 +21,14 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
+		impl     = flag.String("impl", "pnbbst", "implementation under stress: pnbbst or sharded")
+		shards   = flag.Int("shards", 8, "shard count (with -impl sharded)")
 		duration = flag.Duration("duration", 30*time.Second, "total stress time")
 		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "updater goroutines")
 		keys     = flag.Int64("keys", 4096, "key-space size")
@@ -33,8 +36,13 @@ func main() {
 	)
 	flag.Parse()
 
-	fmt.Printf("stress: %v, %d updaters + 2 scanners + 1 snapshotter, %d keys\n",
-		*duration, *threads, *keys)
+	if _, _, err := makeTarget(*impl, *shards, *keys); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("stress: %s, %v, %d updaters + 2 scanners + 1 snapshotter, %d keys\n",
+		describe(*impl, *shards), *duration, *threads, *keys)
 
 	deadline := time.Now().Add(*duration)
 	rounds := 0
@@ -43,7 +51,7 @@ func main() {
 		if rem := time.Until(deadline); rem < roundDur {
 			roundDur = rem
 		}
-		if err := round(roundDur, *threads, *keys, *seed+uint64(rounds)); err != nil {
+		if err := round(*impl, *shards, roundDur, *threads, *keys, *seed+uint64(rounds)); err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL (round %d): %v\n", rounds, err)
 			os.Exit(1)
 		}
@@ -53,9 +61,50 @@ func main() {
 	fmt.Printf("PASS: %d rounds\n", rounds)
 }
 
+func describe(impl string, shards int) string {
+	if impl == "sharded" {
+		return fmt.Sprintf("sharded (%d shards)", shards)
+	}
+	return impl
+}
+
+// set is the surface the stress rounds drive; both *core.Tree and
+// *shard.Set satisfy it.
+type set interface {
+	Insert(k int64) bool
+	Delete(k int64) bool
+	Find(k int64) bool
+	RangeScanFunc(a, b int64, visit func(k int64) bool)
+	Len() int
+	CheckInvariants() error
+	Stats() core.StatsSnapshot
+}
+
+// makeTarget builds the implementation under test plus a snapshot
+// factory (the two Snapshot methods return distinct types, so the common
+// shape — a stable Len — is adapted through a closure).
+func makeTarget(impl string, shards int, keyRange int64) (set, func() interface{ Len() int }, error) {
+	switch impl {
+	case "pnbbst":
+		t := core.New()
+		return t, func() interface{ Len() int } { return t.Snapshot() }, nil
+	case "sharded":
+		if shards < 1 || int64(shards) > keyRange {
+			return nil, nil, fmt.Errorf("stress: -shards %d outside [1, %d] (-keys bounds the shard count)", shards, keyRange)
+		}
+		s := shard.NewRange(0, keyRange-1, shards)
+		return s, func() interface{ Len() int } { return s.Snapshot() }, nil
+	default:
+		return nil, nil, fmt.Errorf("stress: unknown -impl %q (have pnbbst, sharded)", impl)
+	}
+}
+
 // round runs one bounded burst of chaos and then verifies quiescent state.
-func round(d time.Duration, threads int, keyRange int64, seed uint64) error {
-	tr := core.New()
+func round(impl string, shards int, d time.Duration, threads int, keyRange int64, seed uint64) error {
+	tr, snapshot, err := makeTarget(impl, shards, keyRange)
+	if err != nil {
+		return err
+	}
 	balance := make([]atomic.Int64, keyRange)
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -111,7 +160,7 @@ func round(d time.Duration, threads int, keyRange int64, seed uint64) error {
 	go func() {
 		defer wg.Done()
 		for !stop.Load() {
-			snap := tr.Snapshot()
+			snap := snapshot()
 			a := snap.Len()
 			b := snap.Len()
 			if a != b {

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// ShardSweep is the shard-count axis of E11: single tree, then 1, 4 and
+// 16 range shards. sharded1 isolates the routing overhead of the shard
+// layer itself from the scaling effect of multiple trees. The
+// BenchmarkSharded* families in bench_test.go measure single points of
+// the same sweep.
+var ShardSweep = []string{
+	harness.TargetPNBBST,
+	harness.ShardedTarget(1),
+	harness.ShardedTarget(4),
+	harness.ShardedTarget(16),
+}
+
+// E11Sharding — Figure E11: throughput of the keyspace-sharded front end
+// (DESIGN.md §5) versus the single PNB-BST, by thread count, for an
+// update-heavy mix and for a mixed workload with range scans. Sharding
+// splits the phase counter and the tree root P ways, so update
+// throughput should scale with shards once threads contend on the single
+// tree; scans pay one wait-free scan per covered shard, so narrow scans
+// (width ≪ shard width) stay cheap while full-range scans touch every
+// shard.
+func E11Sharding(o Options) {
+	keys := o.scale(1 << 20)
+	mixes := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"50i/50d", workload.Mix{InsertPct: 50, DeletePct: 50}},
+		{"25i/25d/10s(w=100)", workload.Mix{InsertPct: 25, DeletePct: 25, ScanPct: 10, ScanWidth: 100}},
+	}
+	for _, m := range mixes {
+		tab := harness.NewTable(
+			fmt.Sprintf("E11: %s, %d keys — Mops/s by threads and shard count", m.name, keys),
+			append([]string{"threads"}, ShardSweep...)...)
+		for _, th := range o.threadSweep() {
+			row := []any{th}
+			for _, tgt := range ShardSweep {
+				res := harness.Run(harness.Config{
+					Target:   tgt,
+					Threads:  th,
+					Duration: o.Duration,
+					KeyRange: keys,
+					Prefill:  -1,
+					Mix:      m.mix,
+					Seed:     o.Seed,
+				})
+				row = append(row, res.MOpsPerSec())
+			}
+			tab.AddRow(row...)
+		}
+		o.emit(tab)
+	}
+}

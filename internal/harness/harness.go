@@ -73,7 +73,9 @@ func Run(cfg Config) *Result {
 	if cfg.KeyRange <= 0 {
 		cfg.KeyRange = 1 << 10
 	}
-	inst := NewInstance(cfg.Target)
+	// Workload keys are drawn from [0, KeyRange), so sharded targets get
+	// boundaries that split exactly that interval across their shards.
+	inst := NewInstanceRange(cfg.Target, 0, cfg.KeyRange-1)
 	prefill := cfg.Prefill
 	if prefill < 0 {
 		prefill = int(cfg.KeyRange / 2)

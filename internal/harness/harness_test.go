@@ -138,3 +138,32 @@ func TestResultString(t *testing.T) {
 		t.Fatalf("String() = %q", s)
 	}
 }
+
+func TestShardedTargets(t *testing.T) {
+	if got := ShardedTarget(16); got != "sharded16" {
+		t.Fatalf("ShardedTarget(16) = %q", got)
+	}
+	for name, want := range map[string]int{
+		TargetSharded: DefaultShards, "sharded1": 1, "sharded4": 4, "sharded16": 16,
+	} {
+		n, ok := ParseShardedTarget(name)
+		if !ok || n != want {
+			t.Fatalf("ParseShardedTarget(%q) = %d,%v, want %d", name, n, ok, want)
+		}
+	}
+	for _, bad := range []string{"sharded0", "sharded-1", "shardedx", "shard4"} {
+		if n, ok := ParseShardedTarget(bad); ok {
+			t.Fatalf("ParseShardedTarget(%q) accepted with n=%d", bad, n)
+		}
+	}
+	// A sharded run over a focused key range completes ops and scans.
+	for _, n := range []int{1, 4, 16} {
+		res := Run(shortCfg(ShardedTarget(n)))
+		if res.TotalOps() == 0 || res.ScanKeys == 0 {
+			t.Fatalf("sharded%d run: ops=%d scanKeys=%d", n, res.TotalOps(), res.ScanKeys)
+		}
+		if _, ok := PNBStats(res.Inst); !ok {
+			t.Fatalf("sharded%d: PNBStats unavailable", n)
+		}
+	}
+}

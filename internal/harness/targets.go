@@ -3,15 +3,20 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/lockbst"
 	"repro/internal/nbbst"
+	"repro/internal/shard"
 	"repro/internal/skiplist"
 	"repro/internal/snapcollector"
 )
 
-// Target names accepted by NewInstance.
+// Target names accepted by NewInstance. The sharded target also accepts
+// an explicit shard count suffix: "sharded4", "sharded16", ... (see
+// ShardedTarget).
 const (
 	TargetPNBBST        = "pnbbst"        // the paper's tree (wait-free linearizable scans)
 	TargetPNBBSTNoHS    = "pnbbst-nohs"   // ablation: handshake disabled (E9 only)
@@ -19,34 +24,79 @@ const (
 	TargetLockBST       = "lockbst"       // RWMutex tree (blocking scans)
 	TargetSkipList      = "skiplist"      // lock-free skip list (unsafe scans)
 	TargetSnapCollector = "snapcollector" // Petrank–Timnat scans on the skip list
+	TargetSharded       = "sharded"       // keyspace-sharded PNB-BSTs (DefaultShards shards)
 )
 
-// Targets returns all registered implementation names, sorted.
+// DefaultShards is the shard count of the plain "sharded" target.
+const DefaultShards = 8
+
+// ShardedTarget returns the target name selecting an n-shard sharded
+// PNB-BST, e.g. ShardedTarget(16) == "sharded16".
+func ShardedTarget(n int) string { return fmt.Sprintf("sharded%d", n) }
+
+// ParseShardedTarget reports whether name selects the sharded target, and with
+// how many shards.
+func ParseShardedTarget(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, TargetSharded)
+	if !ok {
+		return 0, false
+	}
+	if rest == "" {
+		return DefaultShards, true
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Targets returns all registered implementation names, sorted. The
+// parametric "sharded<N>" family is represented by its default entry.
 func Targets() []string {
-	names := make([]string, 0, len(factories))
+	names := make([]string, 0, len(factories)+1)
 	for n := range factories {
 		names = append(names, n)
 	}
+	names = append(names, TargetSharded)
 	sort.Strings(names)
 	return names
 }
 
-var factories = map[string]func() Instance{
-	TargetPNBBST:        func() Instance { return pnbInstance{core.New()} },
-	TargetPNBBSTNoHS:    func() Instance { return pnbInstance{core.NewUnsafeNoHandshake()} },
-	TargetNBBST:         func() Instance { return nbInstance{nbbst.New()} },
-	TargetLockBST:       func() Instance { return lockInstance{lockbst.New()} },
-	TargetSkipList:      func() Instance { return slInstance{skiplist.New()} },
-	TargetSnapCollector: func() Instance { return scInstance{snapcollector.New()} },
+// factories build an instance for a key workload concentrated on
+// [lo, hi]; the fixed targets all ignore the range. The sharded family
+// ("sharded", "sharded<N>") is resolved by ParseShardedTarget in FactoryRange,
+// not listed here, so it has a single construction path.
+var factories = map[string]func(lo, hi int64) Instance{
+	TargetPNBBST:        func(_, _ int64) Instance { return pnbInstance{core.New()} },
+	TargetPNBBSTNoHS:    func(_, _ int64) Instance { return pnbInstance{core.NewUnsafeNoHandshake()} },
+	TargetNBBST:         func(_, _ int64) Instance { return nbInstance{nbbst.New()} },
+	TargetLockBST:       func(_, _ int64) Instance { return lockInstance{lockbst.New()} },
+	TargetSkipList:      func(_, _ int64) Instance { return slInstance{skiplist.New()} },
+	TargetSnapCollector: func(_, _ int64) Instance { return scInstance{snapcollector.New()} },
 }
 
-// Factory returns the constructor for a named target.
-func Factory(name string) (func() Instance, error) {
-	f, ok := factories[name]
-	if !ok {
-		return nil, fmt.Errorf("harness: unknown target %q (have %v)", name, Targets())
+// FactoryRange returns the constructor for a named target; the returned
+// function partitions shard boundaries over [lo, hi] for sharded targets
+// (other targets ignore the range).
+func FactoryRange(name string) (func(lo, hi int64) Instance, error) {
+	if f, ok := factories[name]; ok {
+		return f, nil
 	}
-	return f, nil
+	if n, ok := ParseShardedTarget(name); ok {
+		return func(lo, hi int64) Instance { return shInstance{shard.NewRange(lo, hi, n)} }, nil
+	}
+	return nil, fmt.Errorf("harness: unknown target %q (have %v and sharded<N>)", name, Targets())
+}
+
+// Factory returns the no-argument constructor for a named target;
+// sharded targets partition the full key space.
+func Factory(name string) (func() Instance, error) {
+	f, err := FactoryRange(name)
+	if err != nil {
+		return nil, err
+	}
+	return func() Instance { return f(core.MinKey, core.MaxKey) }, nil
 }
 
 // NewInstance constructs a named target, panicking on unknown names.
@@ -56,6 +106,17 @@ func NewInstance(name string) Instance {
 		panic(err)
 	}
 	return f()
+}
+
+// NewInstanceRange constructs a named target focused on the key interval
+// [lo, hi], panicking on unknown names. For sharded targets the shard
+// boundaries split [lo, hi] evenly; other targets are unaffected.
+func NewInstanceRange(name string, lo, hi int64) Instance {
+	f, err := FactoryRange(name)
+	if err != nil {
+		panic(err)
+	}
+	return f(lo, hi)
 }
 
 type pnbInstance struct{ t *core.Tree }
@@ -93,12 +154,24 @@ func (i scInstance) Delete(k int64) bool   { return i.s.Delete(k) }
 func (i scInstance) Contains(k int64) bool { return i.s.Find(k) }
 func (i scInstance) Scan(a, b int64) int   { return len(i.s.RangeScan(a, b)) }
 
+type shInstance struct{ s *shard.Set }
+
+func (i shInstance) Insert(k int64) bool   { return i.s.Insert(k) }
+func (i shInstance) Delete(k int64) bool   { return i.s.Delete(k) }
+func (i shInstance) Contains(k int64) bool { return i.s.Find(k) }
+func (i shInstance) Scan(a, b int64) int   { return i.s.RangeCount(a, b) }
+
 // PNBStats exposes the PNB-BST instrumentation counters of an instance
 // created by this package, for the E9 ablation report; ok is false for
-// other targets.
+// targets not built on the PNB-BST. Sharded instances report the
+// element-wise sum over their shards.
 func PNBStats(i Instance) (core.StatsSnapshot, bool) {
-	if p, isPNB := i.(pnbInstance); isPNB {
-		return p.t.Stats(), true
+	switch v := i.(type) {
+	case pnbInstance:
+		return v.t.Stats(), true
+	case shInstance:
+		return v.s.Stats(), true
+	default:
+		return core.StatsSnapshot{}, false
 	}
-	return core.StatsSnapshot{}, false
 }

@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestRouterPartition checks that the shards tile [MinKey, MaxKey]
+// contiguously with no gaps or overlaps, for several shard counts.
+func TestRouterPartition(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 16, 64} {
+		r := NewRouter(p)
+		if r.Shards() != p {
+			t.Fatalf("p=%d: Shards() = %d", p, r.Shards())
+		}
+		lo0, _ := r.Bounds(0)
+		if lo0 != core.MinKey {
+			t.Fatalf("p=%d: shard 0 starts at %d, want MinKey", p, lo0)
+		}
+		_, hiLast := r.Bounds(p - 1)
+		if hiLast != core.MaxKey {
+			t.Fatalf("p=%d: last shard ends at %d, want MaxKey", p, hiLast)
+		}
+		for i := 0; i < p-1; i++ {
+			_, hi := r.Bounds(i)
+			nextLo, _ := r.Bounds(i + 1)
+			if nextLo != hi+1 {
+				t.Fatalf("p=%d: gap/overlap between shard %d (hi=%d) and %d (lo=%d)", p, i, hi, i+1, nextLo)
+			}
+		}
+	}
+}
+
+// TestRouterOf checks that Of agrees with Bounds on boundary keys and on
+// random keys.
+func TestRouterOf(t *testing.T) {
+	for _, r := range []Router{NewRouter(5), NewRouterRange(0, 1<<20, 8), NewRouterRange(-1000, 1000, 3)} {
+		for i := 0; i < r.Shards(); i++ {
+			lo, hi := r.Bounds(i)
+			for _, k := range []int64{lo, hi} {
+				if got := r.Of(k); got != i {
+					t.Fatalf("Of(%d) = %d, want %d (bounds [%d,%d])", k, got, i, lo, hi)
+				}
+			}
+		}
+		rng := workload.NewRNG(1)
+		for n := 0; n < 10000; n++ {
+			k := int64(rng.Next())
+			if k > core.MaxKey {
+				continue
+			}
+			i := r.Of(k)
+			lo, hi := r.Bounds(i)
+			if k < lo || k > hi {
+				t.Fatalf("Of(%d) = %d but bounds are [%d,%d]", k, i, lo, hi)
+			}
+		}
+	}
+}
+
+// TestRouterRangeFocus checks that a range-focused router spreads the
+// focus interval across all shards and still routes outside keys.
+func TestRouterRangeFocus(t *testing.T) {
+	const keys = 1 << 16
+	r := NewRouterRange(0, keys-1, 4)
+	seen := map[int]bool{}
+	for k := int64(0); k < keys; k++ {
+		seen[r.Of(k)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("focus range hit %d shards, want 4", len(seen))
+	}
+	if got := r.Of(core.MinKey); got != 0 {
+		t.Fatalf("Of(MinKey) = %d, want 0", got)
+	}
+	if got := r.Of(core.MaxKey); got != 3 {
+		t.Fatalf("Of(MaxKey) = %d, want 3", got)
+	}
+	// The focus interval splits evenly: each shard owns 2^14 focus keys.
+	for i := 0; i < 4; i++ {
+		lo, hi := r.Bounds(i)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > keys-1 {
+			hi = keys - 1
+		}
+		if n := hi - lo + 1; n != keys/4 {
+			t.Fatalf("shard %d owns %d focus keys, want %d", i, n, keys/4)
+		}
+	}
+}
+
+// TestRouterCovering checks shard selection for scan ranges, including
+// empty and clamped ones.
+func TestRouterCovering(t *testing.T) {
+	r := NewRouterRange(0, 99, 4) // boundaries at 0,25,50,75 within focus
+	cases := []struct {
+		a, b        int64
+		first, last int
+	}{
+		{0, 99, 0, 3},
+		{10, 20, r.Of(10), r.Of(20)},
+		{30, 80, 1, 3},
+		{5, 3, 1, 0}, // empty
+		{core.MinKey, core.MaxKey, 0, 3},
+	}
+	for _, c := range cases {
+		first, last := r.Covering(c.a, c.b)
+		if first != c.first || last != c.last {
+			t.Fatalf("Covering(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, first, last, c.first, c.last)
+		}
+	}
+}
+
+// TestRouterPanics checks constructor validation.
+func TestRouterPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero-shards": func() { NewRouter(0) },
+		"empty-range": func() { NewRouterRange(10, 5, 2) },
+		"too-narrow":  func() { NewRouterRange(0, 1, 3) },
+		"negative-p":  func() { NewRouter(-4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,260 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Set is a keyspace-sharded composite of P independent PNB-BSTs. Point
+// operations route to the shard owning the key and inherit that tree's
+// linearizability and non-blocking progress unchanged. Range scans and
+// snapshots compose per-shard wait-free scans in ascending shard order;
+// their cross-shard semantics are relaxed (see RangeScanFunc and
+// Snapshot). All methods are safe for concurrent use.
+type Set struct {
+	r     Router
+	trees []*core.Tree
+}
+
+// New returns an empty set of p shards partitioning the full key space.
+func New(p int) *Set { return NewRange(core.MinKey, core.MaxKey, p) }
+
+// NewRange returns an empty set of p shards whose boundaries split
+// [lo, hi] evenly (edge shards absorb the rest of the key space), so a
+// workload concentrated on [lo, hi] spreads across all p shards.
+func NewRange(lo, hi int64, p int) *Set {
+	r := NewRouterRange(lo, hi, p)
+	trees := make([]*core.Tree, r.Shards())
+	for i := range trees {
+		trees[i] = core.New()
+	}
+	return &Set{r: r, trees: trees}
+}
+
+// Shards returns the shard count P.
+func (s *Set) Shards() int { return s.r.Shards() }
+
+// Router returns the set's (immutable) key-to-shard router.
+func (s *Set) Router() Router { return s.r }
+
+// Insert adds k, reporting whether it was absent. Linearizable and
+// non-blocking: it is a plain PNB-BST Insert on the owning shard.
+func (s *Set) Insert(k int64) bool { return s.trees[s.r.Of(k)].Insert(k) }
+
+// Delete removes k, reporting whether it was present. Linearizable and
+// non-blocking.
+func (s *Set) Delete(k int64) bool { return s.trees[s.r.Of(k)].Delete(k) }
+
+// Find reports whether k is present. Linearizable and non-blocking.
+func (s *Set) Find(k int64) bool { return s.trees[s.r.Of(k)].Find(k) }
+
+// Contains is an alias for Find (the bst.Set spelling).
+func (s *Set) Contains(k int64) bool { return s.Find(k) }
+
+// RangeScanFunc visits every key in [a, b] in ascending order, calling
+// visit for each; visit returning false stops early.
+//
+// Cross-shard semantics: the scan visits the owning shards in ascending
+// key order and takes each shard's wait-free, linearizable scan as it
+// arrives there. Within one shard the observed keys are an atomic cut of
+// that shard; across shards the cuts are taken at successive (not
+// identical) instants, so a scan spanning multiple shards is NOT one
+// atomic snapshot of the whole set — it is the concatenation of per-shard
+// linearization points in key order (serializable, reads-only-once; see
+// DESIGN.md §5.2). Scans confined to one shard, and all scans in the
+// absence of concurrent cross-boundary updates, remain linearizable.
+func (s *Set) RangeScanFunc(a, b int64, visit func(k int64) bool) {
+	first, last := s.r.Covering(a, b)
+	stopped := false
+	wrapped := func(k int64) bool {
+		if !visit(k) {
+			stopped = true
+		}
+		return !stopped
+	}
+	for i := first; i <= last && !stopped; i++ {
+		s.trees[i].RangeScanFunc(a, b, wrapped)
+	}
+}
+
+// RangeScan returns the keys in [a, b], ascending. Per-shard results are
+// disjoint and ordered by shard, so the result is their concatenation.
+// Semantics as RangeScanFunc.
+func (s *Set) RangeScan(a, b int64) []int64 {
+	var out []int64
+	s.RangeScanFunc(a, b, func(k int64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// RangeCount returns the number of keys in [a, b] without allocating.
+// Semantics as RangeScanFunc.
+func (s *Set) RangeCount(a, b int64) int {
+	first, last := s.r.Covering(a, b)
+	n := 0
+	for i := first; i <= last; i++ {
+		n += s.trees[i].RangeCount(a, b)
+	}
+	return n
+}
+
+// Keys returns all keys, ascending.
+func (s *Set) Keys() []int64 { return s.RangeScan(core.MinKey, core.MaxKey) }
+
+// Len returns the number of keys (summed per-shard counts; semantics as
+// RangeScanFunc).
+func (s *Set) Len() int { return s.RangeCount(core.MinKey, core.MaxKey) }
+
+// Min returns the smallest key, if any.
+func (s *Set) Min() (int64, bool) {
+	for _, t := range s.trees {
+		if k, ok := t.Min(); ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Max returns the largest key, if any.
+func (s *Set) Max() (int64, bool) {
+	for i := len(s.trees) - 1; i >= 0; i-- {
+		if k, ok := s.trees[i].Max(); ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Succ returns the smallest key >= k, if any.
+func (s *Set) Succ(k int64) (int64, bool) {
+	for i := s.r.Of(k); i < len(s.trees); i++ {
+		if succ, ok := s.trees[i].Succ(k); ok {
+			return succ, true
+		}
+	}
+	return 0, false
+}
+
+// Pred returns the largest key <= k, if any.
+func (s *Set) Pred(k int64) (int64, bool) {
+	for i := s.r.Of(k); i >= 0; i-- {
+		if pred, ok := s.trees[i].Pred(k); ok {
+			return pred, true
+		}
+	}
+	return 0, false
+}
+
+// Snapshot takes each shard's wait-free snapshot in ascending shard
+// order and returns the composite view. Each per-shard view is a frozen,
+// linearizable cut of that shard; the P cuts are taken at successive
+// instants, so the composite is not one atomic cut of the whole set
+// (DESIGN.md §5.2). Reads of the returned Snapshot are stable: repeated
+// reads always observe the same composite.
+func (s *Set) Snapshot() *Snapshot {
+	snaps := make([]*core.Snapshot, len(s.trees))
+	for i, t := range s.trees {
+		snaps[i] = t.Snapshot()
+	}
+	return &Snapshot{r: s.r, snaps: snaps}
+}
+
+// Stats returns the element-wise sum of the per-shard instrumentation
+// counters.
+func (s *Set) Stats() core.StatsSnapshot {
+	var sum core.StatsSnapshot
+	for _, t := range s.trees {
+		st := t.Stats()
+		sum.RetriesInsert += st.RetriesInsert
+		sum.RetriesDelete += st.RetriesDelete
+		sum.RetriesFind += st.RetriesFind
+		sum.Helps += st.Helps
+		sum.HandshakeAborts += st.HandshakeAborts
+		sum.Scans += st.Scans
+	}
+	return sum
+}
+
+// ResetStats zeroes every shard's counters.
+func (s *Set) ResetStats() {
+	for _, t := range s.trees {
+		t.ResetStats()
+	}
+}
+
+// CheckInvariants validates every shard's structural invariants and that
+// every stored key lies inside its shard's bounds. Quiescent use only
+// (as core.Tree.CheckInvariants).
+func (s *Set) CheckInvariants() error {
+	for i, t := range s.trees {
+		if err := t.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		lo, hi := s.r.Bounds(i)
+		bad := int64(0)
+		misrouted := false
+		t.RangeScanFunc(core.MinKey, core.MaxKey, func(k int64) bool {
+			if k < lo || k > hi {
+				bad, misrouted = k, true
+				return false
+			}
+			return true
+		})
+		if misrouted {
+			return fmt.Errorf("shard %d: key %d outside owned range [%d, %d]", i, bad, lo, hi)
+		}
+	}
+	return nil
+}
+
+// Snapshot is a composite of per-shard wait-free snapshots, one per
+// shard, taken in ascending shard order. Reads are stable and wait-free;
+// see Set.Snapshot for the cross-shard caveat.
+type Snapshot struct {
+	r     Router
+	snaps []*core.Snapshot
+}
+
+// Contains reports whether k was present in the owning shard's cut.
+func (s *Snapshot) Contains(k int64) bool { return s.snaps[s.r.Of(k)].Contains(k) }
+
+// Range visits every key in [a, b] of the composite view in ascending
+// order; visit returning false stops early.
+func (s *Snapshot) Range(a, b int64, visit func(k int64) bool) {
+	first, last := s.r.Covering(a, b)
+	stopped := false
+	wrapped := func(k int64) bool {
+		if !visit(k) {
+			stopped = true
+		}
+		return !stopped
+	}
+	for i := first; i <= last && !stopped; i++ {
+		s.snaps[i].Range(a, b, wrapped)
+	}
+}
+
+// RangeScan returns every key in [a, b] of the composite view, ascending.
+func (s *Snapshot) RangeScan(a, b int64) []int64 {
+	var out []int64
+	s.Range(a, b, func(k int64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Keys returns every key of the composite view, ascending.
+func (s *Snapshot) Keys() []int64 { return s.RangeScan(core.MinKey, core.MaxKey) }
+
+// Len returns the number of keys in the composite view.
+func (s *Snapshot) Len() int {
+	n := 0
+	for _, snap := range s.snaps {
+		n += snap.Len()
+	}
+	return n
+}

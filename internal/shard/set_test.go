@@ -1,0 +1,238 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seqset"
+	"repro/internal/workload"
+)
+
+// TestSetSequentialOracle replays a random op stream against the sharded
+// set and the sequential oracle and compares every result, including
+// scans that span shard boundaries.
+func TestSetSequentialOracle(t *testing.T) {
+	const keys = 1 << 12
+	s := NewRange(0, keys-1, 8)
+	oracle := seqset.New()
+	rng := workload.NewRNG(99)
+	for op := 0; op < 40000; op++ {
+		k := rng.Intn(keys)
+		switch rng.Intn(5) {
+		case 0, 1:
+			if got, want := s.Insert(k), oracle.Insert(k); got != want {
+				t.Fatalf("op %d: Insert(%d) = %v, want %v", op, k, got, want)
+			}
+		case 2:
+			if got, want := s.Delete(k), oracle.Delete(k); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+		case 3:
+			if got, want := s.Find(k), oracle.Contains(k); got != want {
+				t.Fatalf("op %d: Find(%d) = %v, want %v", op, k, got, want)
+			}
+		default:
+			a := rng.Intn(keys)
+			b := a + rng.Intn(keys/2) // often spans several of the 8 shards
+			got, want := s.RangeScan(a, b), oracle.RangeScan(a, b)
+			if !equal(got, want) {
+				t.Fatalf("op %d: RangeScan(%d,%d) = %v, want %v", op, a, b, got, want)
+			}
+		}
+	}
+	if s.Len() != oracle.Len() {
+		t.Fatalf("Len = %d, want %d", s.Len(), oracle.Len())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetSpanningScan pins down shard-boundary behavior: a scan crossing
+// 2+ shard boundaries returns exactly the keys of the range, sorted, and
+// equals the single-tree result.
+func TestSetSpanningScan(t *testing.T) {
+	const keys = 1000
+	s := NewRange(0, keys-1, 4) // boundaries at 250, 500, 750
+	single := core.New()
+	for k := int64(0); k < keys; k += 3 {
+		s.Insert(k)
+		single.Insert(k)
+	}
+	for _, c := range [][2]int64{{0, 999}, {249, 251}, {200, 800}, {499, 750}, {750, 750}} {
+		got, want := s.RangeScan(c[0], c[1]), single.RangeScan(c[0], c[1])
+		if !equal(got, want) {
+			t.Fatalf("RangeScan(%d,%d) = %v, want %v", c[0], c[1], got, want)
+		}
+		if n := s.RangeCount(c[0], c[1]); n != len(want) {
+			t.Fatalf("RangeCount(%d,%d) = %d, want %d", c[0], c[1], n, len(want))
+		}
+	}
+}
+
+// TestSetEmptyAndSingleKeyShards checks scans over shards that hold
+// nothing and shards that hold exactly one key.
+func TestSetEmptyAndSingleKeyShards(t *testing.T) {
+	s := NewRange(0, 399, 4) // shards own [.,99],[100,199],[200,299],[300,.]
+	s.Insert(150)            // only shard 1 is non-empty, with a single key
+	if got := s.RangeScan(0, 399); !equal(got, []int64{150}) {
+		t.Fatalf("scan over empty+single shards = %v", got)
+	}
+	if got := s.RangeScan(200, 399); len(got) != 0 {
+		t.Fatalf("scan over empty shards = %v, want empty", got)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	// One key per shard.
+	for _, k := range []int64{50, 250, 350} {
+		s.Insert(k)
+	}
+	if got := s.RangeScan(0, 399); !equal(got, []int64{50, 150, 250, 350}) {
+		t.Fatalf("one-key-per-shard scan = %v", got)
+	}
+	if k, ok := s.Min(); !ok || k != 50 {
+		t.Fatalf("Min = %d,%v", k, ok)
+	}
+	if k, ok := s.Max(); !ok || k != 350 {
+		t.Fatalf("Max = %d,%v", k, ok)
+	}
+	if k, ok := s.Succ(151); !ok || k != 250 {
+		t.Fatalf("Succ(151) = %d,%v (cross-shard successor)", k, ok)
+	}
+	if k, ok := s.Pred(149); !ok || k != 50 {
+		t.Fatalf("Pred(149) = %d,%v (cross-shard predecessor)", k, ok)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetEarlyStop checks that a visitor returning false stops the scan
+// across shard boundaries.
+func TestSetEarlyStop(t *testing.T) {
+	s := NewRange(0, 99, 4)
+	for k := int64(0); k < 100; k++ {
+		s.Insert(k)
+	}
+	var visited []int64
+	s.RangeScanFunc(0, 99, func(k int64) bool {
+		visited = append(visited, k)
+		return k < 30 // 30 is in shard 1; stop must propagate past shard 1
+	})
+	if len(visited) != 31 || visited[len(visited)-1] != 30 {
+		t.Fatalf("early stop visited %d keys, last %d", len(visited), visited[len(visited)-1])
+	}
+}
+
+// TestSetSnapshot checks composite snapshot stability under later
+// updates, across shards.
+func TestSetSnapshot(t *testing.T) {
+	s := NewRange(0, 399, 4)
+	for _, k := range []int64{10, 110, 210, 310} {
+		s.Insert(k)
+	}
+	snap := s.Snapshot()
+	s.Insert(50)
+	s.Delete(210)
+	if got := snap.Keys(); !equal(got, []int64{10, 110, 210, 310}) {
+		t.Fatalf("snapshot keys after updates = %v", got)
+	}
+	if !snap.Contains(210) || snap.Contains(50) {
+		t.Fatal("snapshot sees post-snapshot updates")
+	}
+	if got := snap.RangeScan(100, 399); !equal(got, []int64{110, 210, 310}) {
+		t.Fatalf("snapshot range = %v", got)
+	}
+	if snap.Len() != 4 {
+		t.Fatalf("snapshot len = %d", snap.Len())
+	}
+	if got := s.Keys(); !equal(got, []int64{10, 50, 110, 310}) {
+		t.Fatalf("live keys = %v", got)
+	}
+}
+
+// TestSetConcurrent hammers a sharded set from many goroutines and then
+// verifies balance accounting and invariants at quiescence, mirroring
+// cmd/stress in miniature.
+func TestSetConcurrent(t *testing.T) {
+	const (
+		keys    = 1 << 10
+		workers = 8
+		opsEach = 20000
+	)
+	s := NewRange(0, keys-1, 4)
+	balance := make([]atomic.Int64, keys)
+	var updaters, scanners sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		updaters.Add(1)
+		go func(w int) {
+			defer updaters.Done()
+			rng := workload.NewRNG(uint64(w) * 7919)
+			for i := 0; i < opsEach; i++ {
+				k := rng.Intn(keys)
+				if rng.Intn(2) == 0 {
+					if s.Insert(k) {
+						balance[k].Add(1)
+					}
+				} else {
+					if s.Delete(k) {
+						balance[k].Add(-1)
+					}
+				}
+			}
+		}(w)
+	}
+	// Concurrent scanners: results must stay sorted and in-range.
+	var stop, scanErr atomic.Bool
+	for sc := 0; sc < 2; sc++ {
+		scanners.Add(1)
+		go func(sc int) {
+			defer scanners.Done()
+			rng := workload.NewRNG(uint64(sc) + 5)
+			for !stop.Load() {
+				a := rng.Intn(keys)
+				b := a + rng.Intn(keys/2)
+				prev := int64(-1)
+				s.RangeScanFunc(a, b, func(k int64) bool {
+					if k < a || k > b || k <= prev {
+						scanErr.Store(true)
+						return false
+					}
+					prev = k
+					return true
+				})
+			}
+		}(sc)
+	}
+	updaters.Wait()
+	stop.Store(true)
+	scanners.Wait()
+	if scanErr.Load() {
+		t.Fatal("malformed concurrent scan")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < keys; k++ {
+		b := balance[k].Load()
+		present := s.Find(k)
+		if present && b != 1 || !present && b != 0 {
+			t.Fatalf("key %d: balance %d, present %v", k, b, present)
+		}
+	}
+}
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
