@@ -1,4 +1,4 @@
-// Benchmarks: one Benchmark family per evaluation experiment (E1..E11 in
+// Benchmarks: one Benchmark family per evaluation experiment (E1..E12 in
 // DESIGN.md §4 / EXPERIMENTS.md). Each family measures a representative
 // point of its experiment with testing.B semantics; the full sweeps —
 // thread counts, key ranges, widths — are produced by cmd/benchbst.
@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -407,6 +408,89 @@ func BenchmarkShardedScan(b *testing.B) {
 				b.ReportMetric(float64(got)/float64(b.N), "keys/scan")
 			})
 		}
+	}
+}
+
+// BenchmarkE12ChurnMemory — experiment E12: steady-state memory under a
+// 50/50 insert/delete churn, pruning on vs off. Each iteration is one
+// batch of updates (plus, with pruning on, one Compact pass, so its cost
+// is included in ns/op). The version-nodes and heap-objects metrics are
+// the table: with pruning they stay O(live set); without, they grow with
+// the total number of iterations run.
+func BenchmarkE12ChurnMemory(b *testing.B) {
+	const keys = 1 << 12
+	const batch = 4096
+	for _, prune := range []bool{true, false} {
+		name := "prune-off"
+		if prune {
+			name = "prune-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := core.New()
+			rng := workload.NewRNG(29)
+			for i := 0; i < keys/2; i++ {
+				tr.Insert(rng.Intn(keys))
+			}
+			// The prune-off tree retains every version, Θ(batches); cap its
+			// churn so a long -benchtime cannot grow the heap unboundedly
+			// (256 batches ≈ 1M updates demonstrate the monotone growth).
+			const pruneOffBatchCap = 256
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if prune || i < pruneOffBatchCap {
+					for j := 0; j < batch; j++ {
+						k := rng.Intn(keys)
+						if j%2 == 0 {
+							tr.Insert(k)
+						} else {
+							tr.Delete(k)
+						}
+					}
+				}
+				if prune {
+					tr.Compact()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(tr.VersionGraphSize()), "version-nodes")
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			b.ReportMetric(float64(ms.HeapObjects), "heap-objects")
+			runtime.KeepAlive(tr) // the retained versions must count as live above
+		})
+	}
+}
+
+// BenchmarkE12CompactPass — experiment E12: cost of one Compact pass at
+// steady state (the tree is re-churned between passes so each pass has
+// one batch of garbage to cut), by live-set size.
+func BenchmarkE12CompactPass(b *testing.B) {
+	for _, size := range []int64{1 << 10, 1 << 14} {
+		b.Run(itoa(size), func(b *testing.B) {
+			tr := core.New()
+			rng := workload.NewRNG(31)
+			inserted := int64(0)
+			for inserted < size {
+				if tr.Insert(rng.Intn(size * 2)) {
+					inserted++
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j := 0; j < 256; j++ {
+					k := rng.Intn(size * 2)
+					if j%2 == 0 {
+						tr.Insert(k)
+					} else {
+						tr.Delete(k)
+					}
+				}
+				b.StartTimer()
+				tr.Compact()
+			}
+		})
 	}
 }
 

@@ -26,12 +26,46 @@
 package bst
 
 import (
+	"sync"
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/lockbst"
 	"repro/internal/nbbst"
 	"repro/internal/skiplist"
 	"repro/internal/snapcollector"
 )
+
+// autoCompact runs compact every interval until the returned stop
+// function is called (shared by Tree and ShardedMap).
+func autoCompact(interval time.Duration, compact func()) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				compact()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
 
 // MaxKey is the largest key storable in any of the sets.
 const MaxKey = core.MaxKey
@@ -65,11 +99,17 @@ type Tree struct {
 	t *core.Tree
 }
 
-// Snapshot is a wait-free immutable point-in-time view of a Tree.
+// Snapshot is a wait-free immutable point-in-time view of a Tree. A live
+// Snapshot pins the tree's version-reclamation horizon; call Release when
+// done reading it (an unreachable Snapshot is released by the GC
+// eventually, but explicit Release frees version memory promptly).
 type Snapshot = core.Snapshot
 
 // Stats is a copy of a Tree's instrumentation counters.
 type Stats = core.StatsSnapshot
+
+// CompactStats reports one version-pruning pass; see (*Tree).Compact.
+type CompactStats = core.CompactStats
 
 // New returns an empty PNB-BST.
 func New() *Tree { return &Tree{t: core.New()} }
@@ -120,8 +160,29 @@ func (t *Tree) Pred(k int64) (int64, bool) { return t.t.Pred(k) }
 // constant) regardless of later updates to the tree.
 func (t *Tree) Snapshot() *Snapshot { return t.t.Snapshot() }
 
+// Compact prunes version memory: superseded node versions that no
+// in-flight RangeScan and no live Snapshot can still read are unlinked
+// from the tree's prev chains, making them collectible by the garbage
+// collector. Without compaction the tree retains every version ever
+// created, so heap grows with the total update count; with periodic
+// compaction steady-state memory is proportional to the live set plus
+// the versions pinned by open snapshots. Safe concurrently with any mix
+// of operations; scans running during a Compact stay wait-free and
+// linearizable. See DESIGN.md §6.
+func (t *Tree) Compact() CompactStats { return t.t.Compact() }
+
+// StartAutoCompact runs Compact every interval on a background goroutine
+// until the returned stop function is called. Typical intervals are
+// hundreds of milliseconds to seconds: each pass costs a walk of the
+// live version graph; a non-positive interval defaults to one second.
+// The stop function is idempotent and waits for an in-flight pass to
+// finish.
+func (t *Tree) StartAutoCompact(interval time.Duration) (stop func()) {
+	return autoCompact(interval, func() { t.Compact() })
+}
+
 // Stats returns the tree's instrumentation counters (retries, helps,
-// handshake aborts, phases opened).
+// handshake aborts, phases opened, compaction progress).
 func (t *Tree) Stats() Stats { return t.t.Stats() }
 
 // ResetStats zeroes the instrumentation counters.

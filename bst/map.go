@@ -1,6 +1,10 @@
 package bst
 
-import "repro/internal/pnbmap"
+import (
+	"time"
+
+	"repro/internal/pnbmap"
+)
 
 // Map is a persistent non-blocking BST map from int64 keys to values of
 // type V — the key-value extension of the paper's set (DESIGN.md §3). It
@@ -68,8 +72,30 @@ func (m *Map[V]) Keys() []int64 { return m.m.Keys() }
 // Len returns the number of bound keys. Wait-free.
 func (m *Map[V]) Len() int { return m.m.Len() }
 
-// Snapshot returns a frozen point-in-time view of the map.
+// Compact prunes version memory: superseded key-value versions that no
+// in-flight scan and no live MapSnapshot can still read become
+// collectible by the garbage collector. Same semantics and safety as
+// (*Tree).Compact (DESIGN.md §6); LiveNodes/PrunedLinks are reported via
+// the returned core-compatible stats shape.
+func (m *Map[V]) Compact() CompactStats {
+	// The two stats structs are field-identical; a conversion (rather
+	// than a copy) breaks the build if they ever drift.
+	return CompactStats(m.m.Compact())
+}
+
+// StartAutoCompact runs Compact every interval on a background goroutine
+// until the returned stop function is called; see (*Tree).StartAutoCompact.
+func (m *Map[V]) StartAutoCompact(interval time.Duration) (stop func()) {
+	return autoCompact(interval, func() { m.Compact() })
+}
+
+// Snapshot returns a frozen point-in-time view of the map. The snapshot
+// pins the map's version-reclamation horizon until released.
 func (m *Map[V]) Snapshot() *MapSnapshot[V] { return &MapSnapshot[V]{s: m.m.Snapshot()} }
+
+// Release withdraws the snapshot's hold on the reclamation horizon;
+// idempotent. Reading the snapshot afterwards is a bug.
+func (s *MapSnapshot[V]) Release() { s.s.Release() }
 
 // Seq returns the snapshot's phase number.
 func (s *MapSnapshot[V]) Seq() uint64 { return s.s.Seq() }

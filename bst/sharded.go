@@ -1,6 +1,10 @@
 package bst
 
-import "repro/internal/shard"
+import (
+	"time"
+
+	"repro/internal/shard"
+)
 
 // ShardedMap is a keyspace-sharded ordered map of int64 keys: P
 // independent PNB-BSTs behind fixed range boundaries, the first
@@ -104,6 +108,20 @@ func (m *ShardedMap) Pred(k int64) (int64, bool) { return m.s.Pred(k) }
 // composite is not one atomic cut of the whole map — see the type
 // comment and DESIGN.md §5.2.
 func (m *ShardedMap) Snapshot() *ShardedSnapshot { return m.s.Snapshot() }
+
+// Compact prunes every shard's version memory to that shard's own
+// reclamation horizon (each shard has an independent phase counter; a
+// composite Snapshot pins each covered shard's horizon separately, so
+// per-shard pruning needs no cross-shard coordination — DESIGN.md §6).
+// LiveNodes and PrunedLinks are summed over shards. Safe concurrently
+// with any mix of operations.
+func (m *ShardedMap) Compact() CompactStats { return m.s.Compact() }
+
+// StartAutoCompact runs Compact every interval on a background goroutine
+// until the returned stop function is called; see (*Tree).StartAutoCompact.
+func (m *ShardedMap) StartAutoCompact(interval time.Duration) (stop func()) {
+	return autoCompact(interval, func() { m.Compact() })
+}
 
 // Stats returns the element-wise sum of per-shard instrumentation
 // counters.

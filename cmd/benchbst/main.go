@@ -1,5 +1,5 @@
 // Command benchbst regenerates the evaluation of the PNB-BST
-// reproduction (experiments E1..E11, see DESIGN.md §4 and
+// reproduction (experiments E1..E12, see DESIGN.md §4 and
 // EXPERIMENTS.md), and runs one-off workloads against a chosen
 // implementation.
 //
@@ -7,6 +7,7 @@
 //
 //	benchbst -list
 //	benchbst -experiment E1 [-duration 2s] [-threads 8] [-csv]
+//	benchbst -experiment E12            # memory under churn, pruning on/off
 //	benchbst -all -quick
 //	benchbst -impl sharded -shards 16 [-keys 1048576] [-insert 25 -delete 25 -scan 10 -scanwidth 100]
 //
@@ -35,7 +36,7 @@ import (
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
-		expID    = flag.String("experiment", "", "experiment id to run (E1..E11)")
+		expID    = flag.String("experiment", "", "experiment id to run (E1..E12)")
 		all      = flag.Bool("all", false, "run every experiment")
 		quick    = flag.Bool("quick", false, "smoke-scale: short durations, small key ranges")
 		duration = flag.Duration("duration", 2*time.Second, "measurement window per data point")

@@ -2,11 +2,20 @@
 // PNB-BST (or the keyspace-sharded front end over it) and continuously
 // checks correctness: per-key balance accounting, scan well-formedness,
 // snapshot stability, and full structural invariants at periodic
-// quiescence points.
+// quiescence points. Memory is sampled periodically (HeapAlloc,
+// HeapObjects, version-graph size) so long runs surface version leaks,
+// and a cross-round leak check fails the run if the post-GC heap keeps
+// growing after every round's instance has been dropped.
 //
 // Usage:
 //
 //	stress [-impl pnbbst|sharded] [-shards 8] [-duration 30s] [-threads N] [-keys 4096] [-seed 1]
+//	       [-compact] [-mem 1s]
+//
+// With -compact a pruner goroutine runs Compact concurrently with the
+// chaos, exercising the version-reclamation path under full adversarial
+// load (scans + snapshots + updates); the quiescent checks then also
+// verify that pruning reduced the version graph to O(set size).
 //
 // Exit status 0 means every check passed.
 package main
@@ -33,6 +42,8 @@ func main() {
 		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "updater goroutines")
 		keys     = flag.Int64("keys", 4096, "key-space size")
 		seed     = flag.Uint64("seed", 1, "PRNG seed")
+		compact  = flag.Bool("compact", false, "run a concurrent version pruner (Compact) during every round")
+		memEvery = flag.Duration("mem", time.Second, "memory report interval during rounds (0 disables)")
 	)
 	flag.Parse()
 
@@ -41,24 +52,47 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("stress: %s, %v, %d updaters + 2 scanners + 1 snapshotter, %d keys\n",
-		describe(*impl, *shards), *duration, *threads, *keys)
+	extra := ""
+	if *compact {
+		extra = " + 1 pruner"
+	}
+	fmt.Printf("stress: %s, %v, %d updaters + 2 scanners + 1 snapshotter%s, %d keys\n",
+		describe(*impl, *shards), *duration, *threads, extra, *keys)
 
 	deadline := time.Now().Add(*duration)
 	rounds := 0
+	var baselineObjects uint64
 	for time.Now().Before(deadline) {
 		roundDur := 2 * time.Second
 		if rem := time.Until(deadline); rem < roundDur {
 			roundDur = rem
 		}
-		if err := round(*impl, *shards, roundDur, *threads, *keys, *seed+uint64(rounds)); err != nil {
+		if err := round(*impl, *shards, roundDur, *threads, *keys, *seed+uint64(rounds), *compact, *memEvery); err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL (round %d): %v\n", rounds, err)
 			os.Exit(1)
 		}
 		rounds++
-		fmt.Printf("round %d ok\n", rounds)
+		// Cross-round leak check: each round's instance is garbage now, so
+		// the post-GC heap must return to (near) the first round's level.
+		objects := heapObjects()
+		fmt.Printf("round %d ok (post-GC heap objects: %d)\n", rounds, objects)
+		if rounds == 1 {
+			baselineObjects = objects
+		} else if objects > 3*baselineObjects+1<<20 {
+			fmt.Fprintf(os.Stderr, "FAIL: heap objects grew from %d (round 1) to %d (round %d): leak\n",
+				baselineObjects, objects, rounds)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("PASS: %d rounds\n", rounds)
+}
+
+// heapObjects returns the post-GC live heap object count.
+func heapObjects() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapObjects
 }
 
 func describe(impl string, shards int) string {
@@ -78,29 +112,38 @@ type set interface {
 	Len() int
 	CheckInvariants() error
 	Stats() core.StatsSnapshot
+	Compact() core.CompactStats
+	VersionGraphSize() int
+}
+
+// snapView is the common shape of the two Snapshot types: stable reads
+// plus Release, so the snapshotter can withdraw its horizon pin.
+type snapView interface {
+	Len() int
+	Release()
 }
 
 // makeTarget builds the implementation under test plus a snapshot
 // factory (the two Snapshot methods return distinct types, so the common
-// shape — a stable Len — is adapted through a closure).
-func makeTarget(impl string, shards int, keyRange int64) (set, func() interface{ Len() int }, error) {
+// shape is adapted through a closure).
+func makeTarget(impl string, shards int, keyRange int64) (set, func() snapView, error) {
 	switch impl {
 	case "pnbbst":
 		t := core.New()
-		return t, func() interface{ Len() int } { return t.Snapshot() }, nil
+		return t, func() snapView { return t.Snapshot() }, nil
 	case "sharded":
 		if shards < 1 || int64(shards) > keyRange {
 			return nil, nil, fmt.Errorf("stress: -shards %d outside [1, %d] (-keys bounds the shard count)", shards, keyRange)
 		}
 		s := shard.NewRange(0, keyRange-1, shards)
-		return s, func() interface{ Len() int } { return s.Snapshot() }, nil
+		return s, func() snapView { return s.Snapshot() }, nil
 	default:
 		return nil, nil, fmt.Errorf("stress: unknown -impl %q (have pnbbst, sharded)", impl)
 	}
 }
 
 // round runs one bounded burst of chaos and then verifies quiescent state.
-func round(impl string, shards int, d time.Duration, threads int, keyRange int64, seed uint64) error {
+func round(impl string, shards int, d time.Duration, threads int, keyRange int64, seed uint64, compact bool, memEvery time.Duration) error {
 	tr, snapshot, err := makeTarget(impl, shards, keyRange)
 	if err != nil {
 		return err
@@ -155,7 +198,9 @@ func round(impl string, shards int, d time.Duration, threads int, keyRange int64
 			}
 		}(s)
 	}
-	// Snapshotter: every snapshot must read identically twice.
+	// Snapshotter: every snapshot must read identically twice — even with
+	// a concurrent pruner, because a live snapshot pins the horizon. The
+	// snapshot is released afterwards so pruning can reclaim its phase.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -163,12 +208,44 @@ func round(impl string, shards int, d time.Duration, threads int, keyRange int64
 			snap := snapshot()
 			a := snap.Len()
 			b := snap.Len()
+			snap.Release()
 			if a != b {
 				errc <- fmt.Errorf("snapshot unstable: %d then %d keys", a, b)
 				return
 			}
 		}
 	}()
+	// Pruner: reclaim version memory concurrently with everything above.
+	if compact {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				tr.Compact()
+				time.Sleep(50 * time.Millisecond)
+			}
+		}()
+	}
+	// Memory reporter: HeapAlloc/HeapObjects alongside the op counters so
+	// long adversarial runs surface version leaks as they happen.
+	if memEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			next := time.Now().Add(memEvery)
+			for !stop.Load() {
+				if time.Now().Before(next) {
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				next = time.Now().Add(memEvery)
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				fmt.Printf("  [mem] heapAlloc=%.1fMB heapObjects=%d\n",
+					float64(ms.HeapAlloc)/(1<<20), ms.HeapObjects)
+			}
+		}()
+	}
 
 	time.Sleep(d)
 	stop.Store(true)
@@ -190,8 +267,25 @@ func round(impl string, shards int, d time.Duration, threads int, keyRange int64
 			return fmt.Errorf("key %d: balance %d, present %v", k, b, present)
 		}
 	}
+	// With pruning requested, a final quiescent Compact (no scans or
+	// snapshots are live, so the horizon is the counter itself) must
+	// shrink the version graph to the current tree: O(set size) nodes,
+	// however many updates the round performed.
+	if compact {
+		cs := tr.Compact()
+		vg := tr.VersionGraphSize()
+		perShard := 1 // sentinel overhead is per tree; -shards is unused for pnbbst
+		if impl == "sharded" {
+			perShard = shards
+		}
+		limit := 4*tr.Len() + 128*perShard + 128
+		if vg > limit {
+			return fmt.Errorf("version graph not reclaimed: %d nodes for %d keys (limit %d)", vg, tr.Len(), limit)
+		}
+		fmt.Printf("  compact ok: live=%d prunedLinks=%d graph=%d\n", cs.LiveNodes, cs.PrunedLinks, vg)
+	}
 	st := tr.Stats()
-	fmt.Printf("  ops ok: len=%d helps=%d handshakeAborts=%d scans=%d\n",
-		tr.Len(), st.Helps, st.HandshakeAborts, st.Scans)
+	fmt.Printf("  ops ok: len=%d helps=%d handshakeAborts=%d scans=%d horizonRetries=%d\n",
+		tr.Len(), st.Helps, st.HandshakeAborts, st.Scans, st.RetriesHorizon)
 	return nil
 }

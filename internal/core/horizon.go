@@ -1,0 +1,46 @@
+package core
+
+import "repro/internal/epoch"
+
+// Reader registration and the reclamation horizon.
+//
+// The PNB-BST keeps every superseded version reachable through prev
+// pointers so that a scan of phase s can reconstruct T_s at any later
+// time. Unbounded retention is the price; the horizon bounds it. Every
+// traversal that owns a phase for longer than one counter read — a
+// RangeScan while it runs, a Snapshot until it is released — registers a
+// conservative lower bound on that phase in an epoch.Table before
+// acquiring it. The horizon is then
+//
+//	H = min(counter, min over registered bounds)
+//
+// and the pruner (prune.go) may cut the prev pointer of any node whose
+// phase is <= H: a reader reaches a node *behind* x in a version chain
+// only when its phase is < x.seq (ReadChild stops at the first node with
+// seq <= phase), and no registered or future reader can hold a phase
+// below H. See the epoch package for the ordering argument that H never
+// overtakes an active reader.
+
+// reader is a registration handle.
+type reader = epoch.Reader
+
+// registerReader publishes a lower bound on the phase the caller is
+// about to acquire. The caller MUST read the counter again after this
+// returns and use that (or a later) value as its traversal phase.
+func (t *Tree) registerReader() reader {
+	return t.readers.Register(t.counter.Load())
+}
+
+// releaseReader withdraws a registration. Each handle must be released
+// exactly once.
+func (t *Tree) releaseReader(r reader) {
+	t.readers.Release(r)
+}
+
+// Horizon returns the reclamation horizon: the minimum phase any active
+// or future reader may traverse. Versions wholly behind a phase-<=H node
+// are unreachable and may be pruned. With no registered readers the
+// horizon is the current counter value.
+func (t *Tree) Horizon() uint64 {
+	return t.readers.Min(t.counter.Load())
+}

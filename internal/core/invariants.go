@@ -34,7 +34,7 @@ func (t *Tree) CheckInvariants() error {
 		}
 		// prev chain must be finite and phase-nonincreasing.
 		steps := 0
-		for q := n.prev; q != nil; q = q.prev {
+		for q := n.prev.Load(); q != nil; q = q.prev.Load() {
 			if q.seq > n.seq {
 				errs = append(errs, fmt.Errorf("prev chain of key=%d ascends in phase (%d -> %d)", n.key, n.seq, q.seq))
 				break
@@ -87,6 +87,10 @@ func (t *Tree) CheckVersionInvariants(seq uint64) error {
 	var errs []error
 	var walk func(n *node, lo, hi int64, depth int)
 	walk = func(n *node, lo, hi int64, depth int) {
+		if n == nil {
+			errs = append(errs, fmt.Errorf("T_%d unreachable: version chain pruned below phase %d", seq, seq))
+			return
+		}
 		if depth > 1<<22 {
 			errs = append(errs, errors.New("depth exceeds 2^22: probable cycle in version tree"))
 			return
@@ -109,7 +113,9 @@ func (t *Tree) CheckVersionInvariants(seq uint64) error {
 
 // VersionKeys returns the finite keys of T_seq in ascending order, at
 // quiescence, without helping and without opening a new phase. Tests use
-// it to compare historical versions against recorded oracle states.
+// it to compare historical versions against recorded oracle states. It
+// panics if the version was already pruned (seq below the last Compact's
+// horizon).
 func (t *Tree) VersionKeys(seq uint64) []int64 {
 	var out []int64
 	var walk func(n *node)
@@ -120,8 +126,8 @@ func (t *Tree) VersionKeys(seq uint64) []int64 {
 			}
 			return
 		}
-		walk(readChild(n, true, seq))
-		walk(readChild(n, false, seq))
+		walk(mustReadChild(n, true, seq))
+		walk(mustReadChild(n, false, seq))
 	}
 	walk(t.root)
 	return out

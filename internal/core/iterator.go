@@ -1,5 +1,7 @@
 package core
 
+import "runtime"
+
 // Iterator is a pull-based in-order cursor over a Snapshot. Like every
 // snapshot read it is wait-free and observes exactly the keys of the
 // snapshot's phase, regardless of concurrent updates to the live tree.
@@ -8,6 +10,7 @@ package core
 // so callers can interleave Next with other work and abandon iteration at
 // any point without cost.
 type Iterator struct {
+	snap  *Snapshot // keeps the snapshot (and its horizon registration) reachable
 	t     *Tree
 	seq   uint64
 	lo    int64
@@ -18,11 +21,14 @@ type Iterator struct {
 }
 
 // Iter returns an iterator over the snapshot's keys in [a, b], ascending.
+// The iterator holds a reference to the snapshot, so the snapshot's
+// versions stay unpruned at least as long as the iterator is reachable
+// (even if the caller drops its own Snapshot reference).
 func (s *Snapshot) Iter(a, b int64) *Iterator {
 	if b > MaxKey {
 		b = MaxKey
 	}
-	it := &Iterator{t: s.t, seq: s.seq, lo: a, hi: b}
+	it := &Iterator{snap: s, t: s.t, seq: s.seq, lo: a, hi: b}
 	if a <= b {
 		it.descend(s.t.root)
 	}
@@ -41,7 +47,7 @@ func (it *Iterator) descend(n *node) {
 			it.t.help(in)
 		}
 		if it.lo > n.key { // whole window right of the split key
-			n = readChild(n, false, it.seq)
+			n = mustReadChild(n, false, it.seq)
 			continue
 		}
 		if it.hi >= n.key {
@@ -49,12 +55,13 @@ func (it *Iterator) descend(n *node) {
 			// left subtree is exhausted.
 			it.stack = append(it.stack, n)
 		}
-		n = readChild(n, true, it.seq)
+		n = mustReadChild(n, true, it.seq)
 	}
 }
 
 // Next advances to the next key, reporting whether one exists.
 func (it *Iterator) Next() bool {
+	defer runtime.KeepAlive(it.snap) // registration must outlive the traversal
 	for len(it.stack) > 0 {
 		n := it.stack[len(it.stack)-1]
 		it.stack = it.stack[:len(it.stack)-1]
@@ -67,7 +74,7 @@ func (it *Iterator) Next() bool {
 			continue
 		}
 		// n's left side is done; continue into its right subtree.
-		it.descend(readChild(n, false, it.seq))
+		it.descend(mustReadChild(n, false, it.seq))
 	}
 	it.valid = false
 	return false

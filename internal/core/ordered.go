@@ -42,6 +42,8 @@ func (t *Tree) Succ(k int64) (int64, bool) {
 // sentinel leaves and the rightmost leaf is a valid answer.
 func (t *Tree) Pred(k int64) (int64, bool) {
 	checkKey(k)
+	r := t.registerReader()
+	defer t.releaseReader(r)
 	seq := t.counter.Load()
 	t.counter.Add(1)
 	t.stats.scans.Add(1)
@@ -51,10 +53,10 @@ func (t *Tree) Pred(k int64) (int64, bool) {
 	for !n.leaf {
 		t.helpIfPending(n)
 		if k < n.key {
-			n = readChild(n, true, seq)
+			n = mustReadChild(n, true, seq)
 		} else {
 			pivot = n
-			n = readChild(n, false, seq)
+			n = mustReadChild(n, false, seq)
 		}
 	}
 	if n.key <= k && n.key <= MaxKey {
@@ -63,7 +65,7 @@ func (t *Tree) Pred(k int64) (int64, bool) {
 	if pivot == nil {
 		return 0, false // never turned right: every key exceeds k
 	}
-	leaf := t.rightmostLeaf(readChild(pivot, true, seq), seq)
+	leaf := t.rightmostLeaf(mustReadChild(pivot, true, seq), seq)
 	return leaf.key, true
 }
 
@@ -72,7 +74,7 @@ func (t *Tree) Pred(k int64) (int64, bool) {
 func (t *Tree) rightmostLeaf(n *node, seq uint64) *node {
 	for !n.leaf {
 		t.helpIfPending(n)
-		n = readChild(n, false, seq)
+		n = mustReadChild(n, false, seq)
 	}
 	return n
 }

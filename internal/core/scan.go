@@ -30,6 +30,10 @@ func (t *Tree) RangeScanFunc(a, b int64, visit func(k int64) bool) {
 	if a > b {
 		return
 	}
+	// Register before acquiring the phase so Compact's horizon cannot
+	// overtake this scan while it runs (horizon.go).
+	r := t.registerReader()
+	defer t.releaseReader(r)
 	seq := t.counter.Load() // line 130
 	t.counter.Add(1)        // line 131: open a new phase
 	t.stats.scans.Add(1)
@@ -65,15 +69,15 @@ func (t *Tree) scanInto(n *node, seq uint64, a, b int64, visit *func(int64) bool
 		t.help(in)
 	}
 	if a > n.key { // whole range is in the right subtree
-		return t.scanInto(readChild(n, false, seq), seq, a, b, visit)
+		return t.scanInto(mustReadChild(n, false, seq), seq, a, b, visit)
 	}
 	if b < n.key { // whole range is in the left subtree
-		return t.scanInto(readChild(n, true, seq), seq, a, b, visit)
+		return t.scanInto(mustReadChild(n, true, seq), seq, a, b, visit)
 	}
-	if !t.scanInto(readChild(n, true, seq), seq, a, b, visit) {
+	if !t.scanInto(mustReadChild(n, true, seq), seq, a, b, visit) {
 		return false
 	}
-	return t.scanInto(readChild(n, false, seq), seq, a, b, visit)
+	return t.scanInto(mustReadChild(n, false, seq), seq, a, b, visit)
 }
 
 // Keys returns every key currently in the set, ascending. Equivalent to

@@ -1,5 +1,10 @@
 package core
 
+import (
+	"runtime"
+	"sync/atomic"
+)
+
 // Snapshot is a wait-free, immutable point-in-time view of the set: the
 // tree T_seq of the phase that was current when the snapshot was taken.
 // A Snapshot may be read repeatedly and concurrently, long after later
@@ -7,11 +12,31 @@ package core
 //
 // This is the persistence pay-off the paper's title promises: because
 // every node keeps a prev pointer and a phase number, T_seq remains
-// reconstructible forever (old versions stay reachable while a Snapshot
-// references the root; Go's GC reclaims them afterwards).
+// reconstructible while the Snapshot is live. A live Snapshot pins the
+// reclamation horizon (Compact cannot prune versions it may read), so
+// long-lived snapshots retain memory proportional to the updates since
+// they were taken; call Release when done reading to let Compact and the
+// GC reclaim those versions. An unreleased Snapshot is also released
+// automatically when it becomes unreachable (a GC cleanup), so forgetting
+// Release delays reclamation but never blocks it forever.
 type Snapshot struct {
 	t   *Tree
 	seq uint64
+	reg *snapReg
+}
+
+// snapReg carries the snapshot's reader registration. It is a separate
+// allocation so the GC cleanup attached to the Snapshot may reference it.
+type snapReg struct {
+	t        *Tree
+	r        reader
+	released atomic.Bool
+}
+
+func (g *snapReg) release() {
+	if g.released.CompareAndSwap(false, true) {
+		g.t.releaseReader(g.r)
+	}
 }
 
 // Snapshot ends the current phase exactly like RangeScan does (read the
@@ -24,11 +49,22 @@ type Snapshot struct {
 // performed its first freeze CAS is doomed to abort by the handshaking
 // check, because the counter has already moved past its phase.
 func (t *Tree) Snapshot() *Snapshot {
+	reg := &snapReg{t: t, r: t.registerReader()}
 	seq := t.counter.Load()
 	t.counter.Add(1)
 	t.stats.scans.Add(1)
-	return &Snapshot{t: t, seq: seq}
+	s := &Snapshot{t: t, seq: seq, reg: reg}
+	runtime.AddCleanup(s, func(g *snapReg) { g.release() }, reg)
+	return s
 }
+
+// Release withdraws the snapshot's hold on the reclamation horizon,
+// allowing Compact to prune the versions only this snapshot could read.
+// Release is idempotent and safe to call concurrently. Reading a
+// snapshot after releasing it is a bug: reads either still succeed (the
+// versions survive until a Compact pass passes them) or panic — they are
+// never silently wrong.
+func (s *Snapshot) Release() { s.reg.release() }
 
 // Seq returns the phase number this snapshot captured.
 func (s *Snapshot) Seq() uint64 { return s.seq }
@@ -40,6 +76,7 @@ func (s *Snapshot) Contains(k int64) bool {
 	found := false
 	v := func(int64) bool { found = true; return false }
 	s.t.scanInto(s.t.root, s.seq, k, k, &v)
+	runtime.KeepAlive(s) // the cleanup must not release the registration mid-read
 	return found
 }
 
@@ -53,6 +90,7 @@ func (s *Snapshot) Range(a, b int64, visit func(k int64) bool) {
 		return
 	}
 	s.t.scanInto(s.t.root, s.seq, a, b, &visit)
+	runtime.KeepAlive(s) // the cleanup must not release the registration mid-read
 }
 
 // RangeScan returns every key in [a, b] of the snapshot, ascending.

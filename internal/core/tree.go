@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/epoch"
 )
 
 // Tree is a PNB-BST: a linearizable concurrent set of int64 keys with
@@ -25,6 +27,10 @@ type Tree struct {
 	// set this in production use.
 	disableHandshake bool
 
+	// readers tracks the phases of in-flight RangeScans and live
+	// Snapshots so Compact can bound the reclamation horizon (horizon.go).
+	readers epoch.Table
+
 	stats Stats
 }
 
@@ -34,7 +40,7 @@ type Tree struct {
 // (whose state is Abort, i.e. not frozen).
 func New() *Tree {
 	t := &Tree{}
-	dummyInfo := &info{}
+	dummyInfo := &info{retired: true} // reference-free; the pruner must never re-sweep it
 	dummyInfo.state.Store(stateAbort)
 	t.dummy = &descriptor{typ: flag, info: dummyInfo}
 
@@ -64,6 +70,14 @@ func checkKey(k int64) {
 // readChild implements ReadChild (lines 43-48): follow the left or right
 // child pointer of p, then chase prev pointers until reaching the first
 // node whose sequence number is at most seq (the "version-seq child").
+//
+// It returns nil when the chain was cut by the pruner before reaching a
+// phase-<=seq version. That can only happen when seq is below the
+// reclamation horizon: for registered readers (RangeScan, Snapshot) the
+// horizon never passes their phase, and for unregistered traversals
+// (Find, Insert, Delete) seq was read from the counter, so a cut chain
+// means the counter has moved on and the operation retries with a fresh
+// phase (see prune.go for the horizon argument).
 func readChild(p *node, left bool, seq uint64) *node {
 	var l *node
 	if left {
@@ -71,18 +85,31 @@ func readChild(p *node, left bool, seq uint64) *node {
 	} else {
 		l = p.right.Load()
 	}
-	for l.seq > seq {
-		l = l.prev
+	for l != nil && l.seq > seq {
+		l = l.prev.Load()
+	}
+	return l
+}
+
+// mustReadChild is readChild for registered readers, whose phase the
+// pruner can never overtake; a cut chain here means the registration was
+// released while the traversal was still running.
+func mustReadChild(p *node, left bool, seq uint64) *node {
+	l := readChild(p, left, seq)
+	if l == nil {
+		panic("core: version chain pruned below an active traversal's phase (Snapshot used after Release?)")
 	}
 	return l
 }
 
 // search implements Search(k, seq) (lines 32-42): traverse a branch of
 // T_seq from the root to a leaf, returning the leaf, its parent and its
-// grandparent (gp is nil when the leaf's parent is the root).
+// grandparent (gp is nil when the leaf's parent is the root). A nil leaf
+// reports that the pruner cut a version chain under seq; callers restart
+// with a fresh phase.
 func (t *Tree) search(k int64, seq uint64) (gp, p, l *node) {
 	l = t.root
-	for !l.leaf {
+	for l != nil && !l.leaf {
 		gp = p
 		p = l
 		l = readChild(p, k < p.key, seq)
@@ -136,6 +163,10 @@ func (t *Tree) Find(k int64) bool {
 	for {
 		seq := t.counter.Load()
 		gp, p, l := t.search(k, seq)
+		if l == nil {
+			t.stats.retriesHorizon.Add(1)
+			continue
+		}
 		validated, _, _ := t.validateLeaf(gp, p, l, k)
 		if validated {
 			return l.key == k
@@ -163,6 +194,10 @@ func (t *Tree) Insert(k int64) bool {
 	for {
 		seq := t.counter.Load()
 		gp, p, l := t.search(k, seq)
+		if l == nil {
+			t.stats.retriesHorizon.Add(1)
+			continue
+		}
 		validated, _, pupdate := t.validateLeaf(gp, p, l, k)
 		if !validated {
 			t.stats.retriesInsert.Add(1)
@@ -176,8 +211,7 @@ func (t *Tree) Insert(k int64) bool {
 		// (lines 161-163). The internal node's prev points at l.
 		nl := newLeaf(k, seq, t.dummy)
 		sib := newLeaf(l.key, seq, t.dummy)
-		ni := &node{key: maxKey(k, l.key), seq: seq, prev: l}
-		ni.update.Store(t.dummy)
+		ni := newNode(maxKey(k, l.key), seq, l, false, t.dummy)
 		if k < l.key {
 			ni.left.Store(nl)
 			ni.right.Store(sib)
@@ -206,6 +240,10 @@ func (t *Tree) Delete(k int64) bool {
 	for {
 		seq := t.counter.Load()
 		gp, p, l := t.search(k, seq)
+		if l == nil {
+			t.stats.retriesHorizon.Add(1)
+			continue
+		}
 		validated, gpupdate, pupdate := t.validateLeaf(gp, p, l, k)
 		if !validated {
 			t.stats.retriesDelete.Add(1)
@@ -218,6 +256,10 @@ func (t *Tree) Delete(k int64) bool {
 		// if l is p's right child (l.key >= p.key) the sibling is the left.
 		sibLeft := l.key >= p.key
 		sibling := readChild(p, sibLeft, seq)
+		if sibling == nil {
+			t.stats.retriesHorizon.Add(1)
+			continue
+		}
 		validated, _ = t.validateLink(p, sibling, sibLeft)
 		if !validated {
 			t.stats.retriesDelete.Add(1)
@@ -225,17 +267,16 @@ func (t *Tree) Delete(k int64) bool {
 		}
 		// Copy the sibling with the current phase; prev points at p, the
 		// node the copy replaces under gp (line 185).
-		newNode := &node{key: sibling.key, seq: seq, prev: p, leaf: sibling.leaf}
-		newNode.update.Store(t.dummy)
+		cp := newNode(sibling.key, seq, p, sibling.leaf, t.dummy)
 		var supdate *descriptor
 		if !sibling.leaf {
-			newNode.left.Store(sibling.left.Load())
-			newNode.right.Store(sibling.right.Load())
+			cp.left.Store(sibling.left.Load())
+			cp.right.Store(sibling.right.Load())
 			// Re-validate that the copied children are still current and
 			// the sibling is unfrozen (lines 186-188).
-			validated, supdate = t.validateLink(sibling, newNode.left.Load(), true)
+			validated, supdate = t.validateLink(sibling, cp.left.Load(), true)
 			if validated {
-				validated, _ = t.validateLink(sibling, newNode.right.Load(), false)
+				validated, _ = t.validateLink(sibling, cp.right.Load(), false)
 			}
 		} else {
 			supdate = sibling.update.Load()
@@ -245,7 +286,7 @@ func (t *Tree) Delete(k int64) bool {
 				[]*node{gp, p, l, sibling},
 				[]*descriptor{gpupdate, pupdate, l.update.Load(), supdate},
 				1<<1|1<<2|1<<3, // mark = {p, l, sibling}
-				gp, p, newNode, seq, false)
+				gp, p, cp, seq, false)
 			if ok {
 				return true
 			}

@@ -47,6 +47,12 @@ type descriptor struct {
 // info is the paper's Info object (Figure 2, lines 5-14). It describes one
 // attempt of an Insert or Delete so that any process can complete (help)
 // or abort it. All fields except state are immutable after creation.
+//
+// An info's node references (nodes, oldUpdate, par, oldChild) are only
+// needed while the attempt is undecided; afterwards they retain the
+// replaced nodes, which is why the pruner swaps decided descriptors for
+// fresh reference-free ones (retireUpdate in prune.go). retired marks
+// such replacements (and the dummy) so they are never swept again.
 type info struct {
 	state atomic.Int32 // ⊥ / Try / Commit / Abort
 
@@ -58,19 +64,35 @@ type info struct {
 	newChild  *node         // replacement child; newChild.prev == oldChild
 	seq       uint64        // phase of the attempt
 	ins       bool          // created by Insert (for introspection/stats only)
+	retired   bool          // reference-free replacement installed by the pruner
 }
 
 // node represents both Internal and Leaf nodes (paper Figure 2, lines
 // 15-27). A leaf never has its left/right pointers set; the leaf field
-// discriminates. key, seq, prev and leaf are immutable after creation.
+// discriminates. key, seq and leaf are immutable after creation. prev is
+// written once at creation (the node this one replaced in its parent;
+// nil for phase-0 nodes and fresh leaves) and may later be reset to nil
+// — exactly once, monotonically — by the version pruner when every
+// version behind it has fallen below the reclamation horizon (see
+// prune.go). Readers therefore load it atomically.
 type node struct {
 	key  int64
 	seq  uint64 // phase of the operation that created this node
-	prev *node  // node this one replaced in its parent (nil for phase-0 nodes and fresh leaves)
 	leaf bool
 
+	prev        atomic.Pointer[node]
 	update      atomic.Pointer[descriptor]
 	left, right atomic.Pointer[node] // internal nodes only
+}
+
+// newNode allocates a node whose prev pointer is initialized to the
+// replaced node (the paper writes prev at creation; it is never changed
+// afterwards except for the pruner's cut to nil).
+func newNode(key int64, seq uint64, prev *node, leaf bool, dummy *descriptor) *node {
+	n := &node{key: key, seq: seq, leaf: leaf}
+	n.prev.Store(prev)
+	n.update.Store(dummy)
+	return n
 }
 
 // newLeaf allocates a leaf initialized as the paper's Insert does

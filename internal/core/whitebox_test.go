@@ -85,8 +85,7 @@ func TestHelpIsIdempotent(t *testing.T) {
 	}
 	nl := newLeaf(20, tr.phase(), tr.dummy)
 	sib := newLeaf(l.key, tr.phase(), tr.dummy)
-	ni := &node{key: maxKey(int64(20), l.key), seq: tr.phase(), prev: l}
-	ni.update.Store(tr.dummy)
+	ni := newNode(maxKey(int64(20), l.key), tr.phase(), l, false, tr.dummy)
 	if 20 < l.key {
 		ni.left.Store(nl)
 		ni.right.Store(sib)
@@ -156,7 +155,7 @@ func TestReadChildVersioning(t *testing.T) {
 	if cur == old {
 		t.Fatal("versioned read did not diverge after later-phase updates")
 	}
-	if !cur.leaf && cur.prev != old {
+	if !cur.leaf && cur.prev.Load() != old {
 		t.Fatal("new child's prev does not point at the replaced node")
 	}
 	if !old.leaf || old.key != 50 {
@@ -182,20 +181,18 @@ func TestCASChildDirection(t *testing.T) {
 	p.left.Store(oldL)
 	p.right.Store(oldR)
 
-	newL := &node{key: 60, seq: 1, prev: oldL, leaf: true}
-	newL.update.Store(tr.dummy)
+	newL := newNode(60, 1, oldL, true, tr.dummy)
 	casChild(p, oldL, newL)
 	if p.left.Load() != newL || p.right.Load() != oldR {
 		t.Fatal("left-side casChild went wrong")
 	}
-	newR := &node{key: 140, seq: 1, prev: oldR, leaf: true}
-	newR.update.Store(tr.dummy)
+	newR := newNode(140, 1, oldR, true, tr.dummy)
 	casChild(p, oldR, newR)
 	if p.right.Load() != newR {
 		t.Fatal("right-side casChild went wrong")
 	}
 	// Failed CAS: old value no longer current.
-	stale := &node{key: 10, seq: 2, prev: oldL, leaf: true}
+	stale := newNode(10, 2, oldL, true, tr.dummy)
 	casChild(p, oldL, stale)
 	if p.left.Load() != newL {
 		t.Fatal("stale casChild overwrote current child")
@@ -270,7 +267,7 @@ func TestSequenceNumbersNeverExceedCounter(t *testing.T) {
 		if n.seq > ctr {
 			bad++
 		}
-		for q := n.prev; q != nil; q = q.prev {
+		for q := n.prev.Load(); q != nil; q = q.prev.Load() {
 			if q.seq > ctr {
 				bad++
 			}

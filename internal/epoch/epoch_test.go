@@ -1,0 +1,136 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegisterReleaseMin covers the slot encoding (including the
+// legitimate bound 0, representable only because slots store bound+1)
+// and Min against a ceiling.
+func TestRegisterReleaseMin(t *testing.T) {
+	var tab Table
+	if got := tab.Min(42); got != 42 {
+		t.Fatalf("empty table: Min(42) = %d", got)
+	}
+	r0 := tab.Register(0)
+	r7 := tab.Register(7)
+	if got := tab.Min(42); got != 0 {
+		t.Fatalf("with bound 0 registered: Min(42) = %d", got)
+	}
+	tab.Release(r0)
+	if got := tab.Min(42); got != 7 {
+		t.Fatalf("after releasing bound 0: Min(42) = %d", got)
+	}
+	if got := tab.Min(3); got != 3 {
+		t.Fatalf("ceiling below bounds: Min(3) = %d", got)
+	}
+	tab.Release(r7)
+	if got := tab.Min(42); got != 42 {
+		t.Fatalf("all released: Min(42) = %d", got)
+	}
+}
+
+// TestOverflowRefcounting drives more registrations than slots so the
+// mutex multiset engages, with duplicate bounds to exercise refcounts.
+func TestOverflowRefcounting(t *testing.T) {
+	var tab Table
+	const n = 3 * Slots
+	readers := make([]Reader, n)
+	for i := range readers {
+		readers[i] = tab.Register(uint64(100 + i%5)) // bounds 100..104, heavily duplicated
+	}
+	overflowed := 0
+	for _, r := range readers {
+		if r.slot == nil {
+			overflowed++
+		}
+	}
+	if overflowed != n-Slots {
+		t.Fatalf("%d overflow registrations, want %d", overflowed, n-Slots)
+	}
+	if got := tab.Min(1 << 30); got != 100 {
+		t.Fatalf("Min = %d, want 100", got)
+	}
+	// Release everything except one holder of the minimum bound; the
+	// refcounted multiset must keep it.
+	var keep Reader
+	kept := false
+	for _, r := range readers {
+		if !kept && r.bound == 100 {
+			keep, kept = r, true
+			continue
+		}
+		tab.Release(r)
+	}
+	if got := tab.Min(1 << 30); got != 100 {
+		t.Fatalf("one bound-100 holder left: Min = %d", got)
+	}
+	tab.Release(keep)
+	if got := tab.Min(1 << 30); got != 1<<30 {
+		t.Fatalf("all released: Min = %d", got)
+	}
+	if len(tab.overflow) != 0 {
+		t.Fatalf("overflow multiset not drained: %v", tab.overflow)
+	}
+}
+
+// TestSlotReuse: released slots are reacquirable, so a register/release
+// loop never leaks slots into the overflow path.
+func TestSlotReuse(t *testing.T) {
+	var tab Table
+	for i := 0; i < 10*Slots; i++ {
+		r := tab.Register(uint64(i))
+		if r.slot == nil {
+			t.Fatalf("iteration %d hit overflow despite sequential release", i)
+		}
+		tab.Release(r)
+	}
+}
+
+// TestConcurrentRegistry hammers Register/Release/Min from many
+// goroutines; with a bound-5 registration pinned for the whole run, Min
+// must never exceed 5. Run under -race.
+func TestConcurrentRegistry(t *testing.T) {
+	var tab Table
+	const workers = 8
+	pinned := tab.Register(5)
+
+	stop := make(chan struct{})
+	var checker sync.WaitGroup
+	checker.Add(1)
+	go func() {
+		defer checker.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if got := tab.Min(1 << 40); got > 5 {
+					t.Errorf("Min = %d with a bound-5 reader registered", got)
+					return
+				}
+			}
+		}
+	}()
+
+	var churn sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		churn.Add(1)
+		go func(w int) {
+			defer churn.Done()
+			for i := 0; i < 5_000; i++ {
+				r := tab.Register(uint64(10 + (w+i)%97))
+				tab.Release(r)
+			}
+		}(w)
+	}
+	churn.Wait()
+	close(stop)
+	checker.Wait()
+
+	tab.Release(pinned)
+	if got := tab.Min(123); got != 123 {
+		t.Fatalf("after full release: Min(123) = %d", got)
+	}
+}

@@ -151,9 +151,22 @@ func TestShardedTargets(t *testing.T) {
 			t.Fatalf("ParseShardedTarget(%q) = %d,%v, want %d", name, n, ok, want)
 		}
 	}
-	for _, bad := range []string{"sharded0", "sharded-1", "shardedx", "shard4"} {
+	// Only canonical spellings parse: every accepted name must round-trip
+	// through ShardedTarget (or be the bare default), so decorated
+	// decimals that strconv.Atoi would accept are rejected.
+	for _, bad := range []string{
+		"sharded0", "sharded-1", "shardedx", "shard4",
+		"sharded+4", "sharded04", "sharded 4", "sharded4 ", "sharded007",
+		"sharded0x10", "sharded1_0", "sharded4.0",
+	} {
 		if n, ok := ParseShardedTarget(bad); ok {
 			t.Fatalf("ParseShardedTarget(%q) accepted with n=%d", bad, n)
+		}
+	}
+	for _, n := range []int{1, 2, 8, 64, 1000} {
+		got, ok := ParseShardedTarget(ShardedTarget(n))
+		if !ok || got != n {
+			t.Fatalf("ShardedTarget(%d) does not round-trip: got %d,%v", n, got, ok)
 		}
 	}
 	// A sharded run over a focused key range completes ops and scans.

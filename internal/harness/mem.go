@@ -1,0 +1,28 @@
+package harness
+
+import "runtime"
+
+// MemSample is a point-in-time memory measurement taken around a target
+// instance: process-level heap figures from runtime.ReadMemStats plus —
+// for targets with version persistence — the size of the live version
+// graph. The E12 memory experiment records one sample per churn window;
+// cmd/stress reports samples alongside its op counters.
+type MemSample struct {
+	HeapAlloc        uint64 // bytes of allocated heap objects (post-GC)
+	HeapObjects      uint64 // number of allocated heap objects (post-GC)
+	LiveVersionNodes int    // version-graph size, or -1 for versionless targets
+}
+
+// MeasureMem forces a garbage collection (so retained versions, not
+// floating garbage, dominate the numbers) and samples the heap and the
+// instance's version graph. Call at quiescence for exact version counts.
+func MeasureMem(i Instance) MemSample {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := MemSample{HeapAlloc: ms.HeapAlloc, HeapObjects: ms.HeapObjects, LiveVersionNodes: -1}
+	if n, ok := VersionGraphSize(i); ok {
+		s.LiveVersionNodes = n
+	}
+	return s
+}

@@ -35,7 +35,10 @@ const DefaultShards = 8
 func ShardedTarget(n int) string { return fmt.Sprintf("sharded%d", n) }
 
 // ParseShardedTarget reports whether name selects the sharded target, and with
-// how many shards.
+// how many shards. Only canonical names are accepted: "sharded" or
+// "sharded<N>" where <N> is a positive decimal with no sign, leading
+// zeros or other decoration, so every accepted name round-trips through
+// ShardedTarget ("sharded+4" and "sharded04" are rejected).
 func ParseShardedTarget(name string) (int, bool) {
 	rest, ok := strings.CutPrefix(name, TargetSharded)
 	if !ok {
@@ -45,7 +48,7 @@ func ParseShardedTarget(name string) (int, bool) {
 		return DefaultShards, true
 	}
 	n, err := strconv.Atoi(rest)
-	if err != nil || n < 1 {
+	if err != nil || n < 1 || strconv.Itoa(n) != rest {
 		return 0, false
 	}
 	return n, true
@@ -173,5 +176,34 @@ func PNBStats(i Instance) (core.StatsSnapshot, bool) {
 		return v.s.Stats(), true
 	default:
 		return core.StatsSnapshot{}, false
+	}
+}
+
+// Compact prunes version memory of an instance built on the PNB-BST
+// (pnbbst, pnbbst-nohs, sharded<N>); ok is false for the baselines,
+// which retain no versions. The E12 memory experiment and cmd/stress
+// -compact drive pruning through this.
+func Compact(i Instance) (core.CompactStats, bool) {
+	switch v := i.(type) {
+	case pnbInstance:
+		return v.t.Compact(), true
+	case shInstance:
+		return v.s.Compact(), true
+	default:
+		return core.CompactStats{}, false
+	}
+}
+
+// VersionGraphSize returns the number of nodes reachable in the
+// instance's version graph (summed over shards); ok is false for targets
+// without version persistence. Exact only at quiescence.
+func VersionGraphSize(i Instance) (int, bool) {
+	switch v := i.(type) {
+	case pnbInstance:
+		return v.t.VersionGraphSize(), true
+	case shInstance:
+		return v.s.VersionGraphSize(), true
+	default:
+		return 0, false
 	}
 }

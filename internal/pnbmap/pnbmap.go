@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+
+	"repro/internal/epoch"
 )
 
 const (
@@ -71,15 +73,19 @@ type info[V any] struct {
 	oldChild  *node[V]
 	newChild  *node[V]
 	seq       uint64
+	retired   bool // reference-free replacement installed by the pruner
 }
 
 type node[V any] struct {
 	key  int64
 	val  V // meaningful for leaves only
 	seq  uint64
-	prev *node[V]
 	leaf bool
 
+	// prev is written at creation and may later be cut to nil — once,
+	// monotonically — by the pruner (see internal/core/prune.go for the
+	// horizon argument, which carries over unchanged).
+	prev        atomic.Pointer[node[V]]
 	update      atomic.Pointer[descriptor[V]]
 	left, right atomic.Pointer[node[V]]
 }
@@ -96,12 +102,25 @@ type Map[V any] struct {
 
 	root  *node[V]
 	dummy *descriptor[V]
+
+	// readers tracks in-flight scans and live snapshots for the
+	// reclamation horizon, exactly as in internal/core.
+	readers epoch.Table
+
+	// retriesHorizon counts point-op restarts caused by meeting a pruned
+	// chain (the map counterpart of core's Stats.RetriesHorizon).
+	retriesHorizon atomic.Uint64
 }
+
+// RetriesHorizon returns the number of Get/Put/Delete restarts caused by
+// compaction cutting a version chain under the operation's phase — the
+// observable for retry pressure from aggressive auto-compaction.
+func (m *Map[V]) RetriesHorizon() uint64 { return m.retriesHorizon.Load() }
 
 // New returns an empty map.
 func New[V any]() *Map[V] {
 	m := &Map[V]{}
-	dummyInfo := &info[V]{}
+	dummyInfo := &info[V]{retired: true}
 	dummyInfo.state.Store(stateAbort)
 	m.dummy = &descriptor[V]{typ: flag, info: dummyInfo}
 	root := &node[V]{key: inf2}
@@ -112,10 +131,17 @@ func New[V any]() *Map[V] {
 	return m
 }
 
-func (m *Map[V]) newLeaf(key int64, val V, seq uint64, prev *node[V]) *node[V] {
-	n := &node[V]{key: key, val: val, seq: seq, prev: prev, leaf: true}
+// newNode allocates a node with prev and the dummy update initialized
+// (mirrors core's newNode; keep node initialization in one place).
+func (m *Map[V]) newNode(key int64, val V, seq uint64, prev *node[V], leaf bool) *node[V] {
+	n := &node[V]{key: key, val: val, seq: seq, leaf: leaf}
+	n.prev.Store(prev)
 	n.update.Store(m.dummy)
 	return n
+}
+
+func (m *Map[V]) newLeaf(key int64, val V, seq uint64, prev *node[V]) *node[V] {
+	return m.newNode(key, val, seq, prev, true)
 }
 
 func checkKey(k int64) {
@@ -124,6 +150,10 @@ func checkKey(k int64) {
 	}
 }
 
+// readChild returns nil when the version chain was cut by the pruner
+// below seq; point operations then retry at a fresh phase, and scans
+// (whose registration keeps the horizon at or below their phase) treat
+// it as a misuse panic — as in internal/core.
 func readChild[V any](p *node[V], left bool, seq uint64) *node[V] {
 	var l *node[V]
 	if left {
@@ -131,15 +161,23 @@ func readChild[V any](p *node[V], left bool, seq uint64) *node[V] {
 	} else {
 		l = p.right.Load()
 	}
-	for l.seq > seq {
-		l = l.prev
+	for l != nil && l.seq > seq {
+		l = l.prev.Load()
+	}
+	return l
+}
+
+func mustReadChild[V any](p *node[V], left bool, seq uint64) *node[V] {
+	l := readChild(p, left, seq)
+	if l == nil {
+		panic("pnbmap: version chain pruned below an active traversal's phase (Snapshot used after Release?)")
 	}
 	return l
 }
 
 func (m *Map[V]) search(k int64, seq uint64) (gp, p, l *node[V]) {
 	l = m.root
-	for !l.leaf {
+	for l != nil && !l.leaf {
 		gp = p
 		p = l
 		l = readChild(p, k < p.key, seq)
@@ -197,6 +235,10 @@ func (m *Map[V]) Get(k int64) (V, bool) {
 	for {
 		seq := m.counter.Load()
 		gp, p, l := m.search(k, seq)
+		if l == nil {
+			m.retriesHorizon.Add(1)
+			continue // chain pruned under a stale phase; retry
+		}
 		validated, _, _ := m.validateLeaf(gp, p, l, k)
 		if validated {
 			if l.key == k {
@@ -279,6 +321,10 @@ func (m *Map[V]) Put(k int64, v V) (replaced bool) {
 	for {
 		seq := m.counter.Load()
 		gp, p, l := m.search(k, seq)
+		if l == nil {
+			m.retriesHorizon.Add(1)
+			continue // chain pruned under a stale phase; retry
+		}
 		validated, _, pupdate := m.validateLeaf(gp, p, l, k)
 		if !validated {
 			continue
@@ -297,8 +343,7 @@ func (m *Map[V]) Put(k int64, v V) (replaced bool) {
 		// Insert: grow a subtree of three nodes, as in the set.
 		nl := m.newLeaf(k, v, seq, nil)
 		sib := m.newLeaf(l.key, l.val, seq, nil)
-		ni := &node[V]{key: maxKey(k, l.key), seq: seq, prev: l}
-		ni.update.Store(m.dummy)
+		ni := m.newNode(maxKey(k, l.key), *new(V), seq, l, false)
 		if k < l.key {
 			ni.left.Store(nl)
 			ni.right.Store(sib)
@@ -321,6 +366,10 @@ func (m *Map[V]) Delete(k int64) bool {
 	for {
 		seq := m.counter.Load()
 		gp, p, l := m.search(k, seq)
+		if l == nil {
+			m.retriesHorizon.Add(1)
+			continue // chain pruned under a stale phase; retry
+		}
 		validated, gpupdate, pupdate := m.validateLeaf(gp, p, l, k)
 		if !validated {
 			continue
@@ -330,19 +379,22 @@ func (m *Map[V]) Delete(k int64) bool {
 		}
 		sibLeft := l.key >= p.key
 		sibling := readChild(p, sibLeft, seq)
+		if sibling == nil {
+			m.retriesHorizon.Add(1)
+			continue
+		}
 		validated, _ = m.validateLink(p, sibling, sibLeft)
 		if !validated {
 			continue
 		}
-		newNode := &node[V]{key: sibling.key, val: sibling.val, seq: seq, prev: p, leaf: sibling.leaf}
-		newNode.update.Store(m.dummy)
+		cp := m.newNode(sibling.key, sibling.val, seq, p, sibling.leaf)
 		var supdate *descriptor[V]
 		if !sibling.leaf {
-			newNode.left.Store(sibling.left.Load())
-			newNode.right.Store(sibling.right.Load())
-			validated, supdate = m.validateLink(sibling, newNode.left.Load(), true)
+			cp.left.Store(sibling.left.Load())
+			cp.right.Store(sibling.right.Load())
+			validated, supdate = m.validateLink(sibling, cp.left.Load(), true)
 			if validated {
-				validated, _ = m.validateLink(sibling, newNode.right.Load(), false)
+				validated, _ = m.validateLink(sibling, cp.right.Load(), false)
 			}
 		} else {
 			supdate = sibling.update.Load()
@@ -350,7 +402,7 @@ func (m *Map[V]) Delete(k int64) bool {
 		if validated && m.execute(
 			[]*node[V]{gp, p, l, sibling},
 			[]*descriptor[V]{gpupdate, pupdate, l.update.Load(), supdate},
-			1<<1|1<<2|1<<3, gp, p, newNode, seq) {
+			1<<1|1<<2|1<<3, gp, p, cp, seq) {
 			return true
 		}
 	}

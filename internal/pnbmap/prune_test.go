@@ -1,0 +1,122 @@
+package pnbmap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapQuiescentReclamation: heavy Put-replace churn (the map's extra
+// retention source: every rebind of a live key keeps the old value
+// through prev) is reclaimed to O(live set) by one quiescent Compact.
+func TestMapQuiescentReclamation(t *testing.T) {
+	const keys, rebinds = 64, 5_000
+	m := New[int]()
+	for r := 0; r < rebinds; r++ {
+		m.Put(int64(r%keys), r)
+	}
+	before := m.VersionGraphSize()
+	if before < rebinds/4 {
+		t.Fatalf("unpruned version graph = %d after %d rebinds", before, rebinds)
+	}
+	cs := m.Compact()
+	after := m.VersionGraphSize()
+	if limit := 4*m.Len() + 16; after > limit {
+		t.Fatalf("post-Compact graph = %d nodes for %d keys (limit %d)", after, m.Len(), limit)
+	}
+	if cs.PrunedLinks == 0 || cs.RetiredInfos == 0 {
+		t.Fatalf("CompactStats = %+v, want pruning and retiring progress", cs)
+	}
+	// Latest bindings survive: the largest r < rebinds with r%keys == k.
+	for k := 0; k < keys; k++ {
+		got, ok := m.Get(int64(k))
+		want := ((rebinds-1-k)/keys)*keys + k
+		if !ok || got != want {
+			t.Fatalf("Get(%d) = %d,%v after Compact, want %d", k, got, ok, want)
+		}
+	}
+}
+
+// TestMapSnapshotPinsValues: a live snapshot keeps its values readable
+// through churn + Compact; Release lets the next pass reclaim them.
+func TestMapSnapshotPinsValues(t *testing.T) {
+	m := New[string]()
+	m.Put(1, "old")
+	m.Put(2, "keep")
+	snap := m.Snapshot()
+	for i := 0; i < 2_000; i++ {
+		m.Put(1, "new")
+		m.Delete(2)
+		m.Put(2, "keep")
+	}
+	m.Compact()
+	if v, ok := snap.Get(1); !ok || v != "old" {
+		t.Fatalf("pinned snapshot Get(1) = %q,%v, want \"old\"", v, ok)
+	}
+	pinned := m.VersionGraphSize()
+	snap.Release()
+	m.Compact()
+	if reclaimed := m.VersionGraphSize(); reclaimed >= pinned {
+		t.Fatalf("Release + Compact did not reclaim: %d -> %d", pinned, reclaimed)
+	}
+	if v, ok := m.Get(1); !ok || v != "new" {
+		t.Fatalf("live Get(1) = %q,%v, want \"new\"", v, ok)
+	}
+}
+
+// TestMapCompactConcurrent: pruner racing putters, deleters and
+// scanners; run under -race in CI.
+func TestMapCompactConcurrent(t *testing.T) {
+	m := New[int]()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for !stop.Load() {
+				k := int64((i*7 + w*13) % 128)
+				switch i % 3 {
+				case 0, 1:
+					m.Put(k, i)
+				default:
+					m.Delete(k)
+				}
+				i++
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			m.Compact()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			prev := int64(-1)
+			ok := true
+			m.RangeScanFunc(0, 127, func(k int64, _ int) bool {
+				if k <= prev {
+					ok = false
+					return false
+				}
+				prev = k
+				return true
+			})
+			if !ok {
+				stop.Store(true)
+				t.Error("malformed scan under concurrent Compact")
+				return
+			}
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+}

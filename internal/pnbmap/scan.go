@@ -1,5 +1,12 @@
 package pnbmap
 
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+)
+
 // Entry is one key-value pair returned by scans.
 type Entry[V any] struct {
 	Key int64
@@ -28,6 +35,10 @@ func (m *Map[V]) RangeScanFunc(a, b int64, visit func(k int64, v V) bool) {
 	if a > b {
 		return
 	}
+	// Register before acquiring the phase so Compact's horizon cannot
+	// overtake this scan while it runs (see internal/epoch).
+	r := m.readers.Register(m.counter.Load())
+	defer m.readers.Release(r)
 	seq := m.counter.Load()
 	m.counter.Add(1)
 	m.scanInto(m.root, seq, a, b, &visit)
@@ -51,15 +62,15 @@ func (m *Map[V]) scanInto(n *node[V], seq uint64, a, b int64, visit *func(int64,
 		m.help(in)
 	}
 	if a > n.key {
-		return m.scanInto(readChild(n, false, seq), seq, a, b, visit)
+		return m.scanInto(mustReadChild(n, false, seq), seq, a, b, visit)
 	}
 	if b < n.key {
-		return m.scanInto(readChild(n, true, seq), seq, a, b, visit)
+		return m.scanInto(mustReadChild(n, true, seq), seq, a, b, visit)
 	}
-	if !m.scanInto(readChild(n, true, seq), seq, a, b, visit) {
+	if !m.scanInto(mustReadChild(n, true, seq), seq, a, b, visit) {
 		return false
 	}
-	return m.scanInto(readChild(n, false, seq), seq, a, b, visit)
+	return m.scanInto(mustReadChild(n, false, seq), seq, a, b, visit)
 }
 
 // Len returns the number of bound keys. Wait-free.
@@ -75,18 +86,43 @@ func (m *Map[V]) Keys() []int64 {
 	return out
 }
 
-// Snapshot is a frozen point-in-time view of the map.
+// Snapshot is a frozen point-in-time view of the map. A live Snapshot
+// pins the map's reclamation horizon; call Release when done reading it
+// (an unreachable Snapshot is released by a GC cleanup eventually).
 type Snapshot[V any] struct {
 	m   *Map[V]
 	seq uint64
+	reg *snapReg[V]
+}
+
+// snapReg carries the snapshot's reader registration in a separate
+// allocation so the GC cleanup attached to the Snapshot may reference it.
+type snapReg[V any] struct {
+	m        *Map[V]
+	r        epoch.Reader
+	released atomic.Bool
+}
+
+func (g *snapReg[V]) release() {
+	if g.released.CompareAndSwap(false, true) {
+		g.m.readers.Release(g.r)
+	}
 }
 
 // Snapshot ends the current phase and returns a handle on it.
 func (m *Map[V]) Snapshot() *Snapshot[V] {
+	reg := &snapReg[V]{m: m, r: m.readers.Register(m.counter.Load())}
 	seq := m.counter.Load()
 	m.counter.Add(1)
-	return &Snapshot[V]{m: m, seq: seq}
+	s := &Snapshot[V]{m: m, seq: seq, reg: reg}
+	runtime.AddCleanup(s, func(g *snapReg[V]) { g.release() }, reg)
+	return s
 }
+
+// Release withdraws the snapshot's hold on the reclamation horizon;
+// idempotent. Reading the snapshot afterwards is a bug (reads either
+// still succeed or panic; they are never silently wrong).
+func (s *Snapshot[V]) Release() { s.reg.release() }
 
 // Seq returns the snapshot's phase.
 func (s *Snapshot[V]) Seq() uint64 { return s.seq }
@@ -98,6 +134,7 @@ func (s *Snapshot[V]) Get(k int64) (V, bool) {
 	found := false
 	v := func(_ int64, x V) bool { val, found = x, true; return false }
 	s.m.scanInto(s.m.root, s.seq, k, k, &v)
+	runtime.KeepAlive(s) // the cleanup must not release the registration mid-read
 	return val, found
 }
 
@@ -110,6 +147,7 @@ func (s *Snapshot[V]) Range(a, b int64, visit func(k int64, v V) bool) {
 		return
 	}
 	s.m.scanInto(s.m.root, s.seq, a, b, &visit)
+	runtime.KeepAlive(s) // the cleanup must not release the registration mid-read
 }
 
 // Len returns the number of keys bound at the snapshot's phase.

@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestCompactReclaimsAcrossShards: churn a sharded set, verify the
+// summed version graph retains Θ(updates) without pruning and collapses
+// to O(set size) after Compact, preserving contents and invariants.
+func TestCompactReclaimsAcrossShards(t *testing.T) {
+	const keySpace, updates = 1 << 10, 30_000
+	s := NewRange(0, keySpace-1, 8)
+	rng := workload.NewRNG(5)
+	for i := 0; i < updates; i++ {
+		k := rng.Intn(keySpace)
+		if rng.Intn(2) == 0 {
+			s.Insert(k)
+		} else {
+			s.Delete(k)
+		}
+	}
+	want := s.Keys()
+
+	before := s.VersionGraphSize()
+	if before < updates/4 {
+		t.Fatalf("unpruned version graph = %d after %d updates", before, updates)
+	}
+	cs := s.Compact()
+	after := s.VersionGraphSize()
+	if limit := 4*s.Len() + 128*s.Shards(); after > limit {
+		t.Fatalf("post-Compact graph = %d nodes for %d keys over %d shards (limit %d)",
+			after, s.Len(), s.Shards(), limit)
+	}
+	if cs.PrunedLinks == 0 || cs.LiveNodes != after {
+		t.Fatalf("CompactStats = %+v, want PrunedLinks > 0 and LiveNodes == %d", cs, after)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Compact changed contents: %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Compact changed contents at %d", i)
+		}
+	}
+}
+
+// TestCompositeSnapshotPinsEveryShard: a composite snapshot must stay
+// readable through churn + Compact on every shard it covers, and its
+// Release must unpin all of them.
+func TestCompositeSnapshotPinsEveryShard(t *testing.T) {
+	const keySpace = 1 << 9
+	s := NewRange(0, keySpace-1, 4)
+	rng := workload.NewRNG(11)
+	for i := 0; i < keySpace/2; i++ {
+		s.Insert(rng.Intn(keySpace))
+	}
+	snap := s.Snapshot()
+	want := snap.Keys()
+
+	for i := 0; i < 20_000; i++ {
+		k := rng.Intn(keySpace)
+		if rng.Intn(2) == 0 {
+			s.Insert(k)
+		} else {
+			s.Delete(k)
+		}
+	}
+	s.Compact() // all four shards prune, each pinned at the snapshot's phase
+	got := snap.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("composite snapshot changed under Compact: %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("composite snapshot changed at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	pinned := s.VersionGraphSize()
+	snap.Release()
+	s.Compact()
+	if reclaimed := s.VersionGraphSize(); reclaimed >= pinned {
+		t.Fatalf("Release + Compact did not reclaim: %d -> %d", pinned, reclaimed)
+	}
+}
+
+// TestCompactConcurrentWithShardedOps: pruners racing updaters, scanners
+// and snapshotters on a sharded set; run under -race in CI.
+func TestCompactConcurrentWithShardedOps(t *testing.T) {
+	const keySpace = 1 << 9
+	s := NewRange(0, keySpace-1, 4)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(w) + 23)
+			for !stop.Load() {
+				k := rng.Intn(keySpace)
+				if rng.Intn(2) == 0 {
+					s.Insert(k)
+				} else {
+					s.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			s.Compact()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := workload.NewRNG(91)
+		for !stop.Load() {
+			a := rng.Intn(keySpace)
+			b := a + rng.Intn(keySpace/2)
+			prev := int64(-1)
+			s.RangeScanFunc(a, b, func(k int64) bool {
+				if k < a || k > b || k <= prev {
+					select {
+					case errc <- errMalformed:
+					default:
+					}
+					return false
+				}
+				prev = k
+				return true
+			})
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			snap := s.Snapshot()
+			a, b := snap.Len(), snap.Len()
+			snap.Release()
+			if a != b {
+				select {
+				case errc <- errUnstable:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var (
+	errMalformed = errString("malformed scan under concurrent Compact")
+	errUnstable  = errString("unstable snapshot under concurrent Compact")
+)
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -162,18 +162,58 @@ func (s *Set) Snapshot() *Snapshot {
 	return &Snapshot{r: s.r, snaps: snaps}
 }
 
+// Compact prunes every shard's version memory to that shard's own
+// reclamation horizon and returns the aggregated statistics (LiveNodes,
+// PrunedLinks and RetiredInfos are summed; Horizon is the minimum per-shard horizon —
+// phase counters are per-shard, so the value is only a progress
+// indicator). The cross-shard horizon rule (DESIGN.md §6): a composite
+// Snapshot registers on every shard it covers, so each shard's horizon
+// independently stays at or below the phase the composite captured
+// there; no cross-shard coordination is needed for safety.
+func (s *Set) Compact() core.CompactStats {
+	var sum core.CompactStats
+	for i, t := range s.trees {
+		cs := t.Compact()
+		if i == 0 || cs.Horizon < sum.Horizon {
+			sum.Horizon = cs.Horizon
+		}
+		sum.LiveNodes += cs.LiveNodes
+		sum.PrunedLinks += cs.PrunedLinks
+		sum.RetiredInfos += cs.RetiredInfos
+	}
+	return sum
+}
+
+// VersionGraphSize returns the summed size of the per-shard version
+// graphs (see core.Tree.VersionGraphSize). Diagnostic; exact only at
+// quiescence.
+func (s *Set) VersionGraphSize() int {
+	n := 0
+	for _, t := range s.trees {
+		n += t.VersionGraphSize()
+	}
+	return n
+}
+
 // Stats returns the element-wise sum of the per-shard instrumentation
-// counters.
+// counters (LastHorizon is the minimum per-shard horizon).
 func (s *Set) Stats() core.StatsSnapshot {
 	var sum core.StatsSnapshot
-	for _, t := range s.trees {
+	for i, t := range s.trees {
 		st := t.Stats()
 		sum.RetriesInsert += st.RetriesInsert
 		sum.RetriesDelete += st.RetriesDelete
 		sum.RetriesFind += st.RetriesFind
+		sum.RetriesHorizon += st.RetriesHorizon
 		sum.Helps += st.Helps
 		sum.HandshakeAborts += st.HandshakeAborts
 		sum.Scans += st.Scans
+		sum.Compactions += st.Compactions
+		sum.PrunedLinks += st.PrunedLinks
+		sum.LastLiveNodes += st.LastLiveNodes
+		if i == 0 || st.LastHorizon < sum.LastHorizon {
+			sum.LastHorizon = st.LastHorizon
+		}
 	}
 	return sum
 }
@@ -220,6 +260,15 @@ type Snapshot struct {
 
 // Contains reports whether k was present in the owning shard's cut.
 func (s *Snapshot) Contains(k int64) bool { return s.snaps[s.r.Of(k)].Contains(k) }
+
+// Release withdraws the composite snapshot's hold on every shard's
+// reclamation horizon (see core.Snapshot.Release). Idempotent; reading
+// the snapshot afterwards is a bug.
+func (s *Snapshot) Release() {
+	for _, snap := range s.snaps {
+		snap.Release()
+	}
+}
 
 // Range visits every key in [a, b] of the composite view in ascending
 // order; visit returning false stops early.
