@@ -1,4 +1,4 @@
-// Benchmarks: one Benchmark family per evaluation experiment (E1..E12 in
+// Benchmarks: one Benchmark family per evaluation experiment (E1..E13 in
 // DESIGN.md §4 / EXPERIMENTS.md). Each family measures a representative
 // point of its experiment with testing.B semantics; the full sweeps —
 // thread counts, key ranges, widths — are produced by cmd/benchbst.
@@ -9,6 +9,7 @@ package repro_test
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -458,6 +459,51 @@ func BenchmarkE12ChurnMemory(b *testing.B) {
 			runtime.ReadMemStats(&ms)
 			b.ReportMetric(float64(ms.HeapObjects), "heap-objects")
 			runtime.KeepAlive(tr) // the retained versions must count as live above
+		})
+	}
+}
+
+// BenchmarkE13AtomicVsRelaxedScan — experiment E13: the cost of the
+// atomic cross-shard cut. Full-range scans over an 8-shard set while
+// RunParallel updaters churn it, shared clock vs per-shard clocks vs the
+// single tree. The atomic scan pays registration on every covered shard
+// and re-couples the handshake across shards; the relaxed scan is the
+// pre-fix stitched composition (not one atomic cut).
+func BenchmarkE13AtomicVsRelaxedScan(b *testing.B) {
+	const keys = 1 << 16
+	for _, tgt := range []string{
+		harness.TargetPNBBST,
+		harness.ShardedTarget(8),
+		harness.ShardedRelaxedTarget(8),
+	} {
+		b.Run(tgt, func(b *testing.B) {
+			inst := prefilledRange(b, tgt, keys)
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ { // background churn on all shards
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := workload.NewRNG(uint64(w) + 11)
+					for !stop.Load() {
+						k := rng.Intn(keys)
+						if rng.Intn(2) == 0 {
+							inst.Insert(k)
+						} else {
+							inst.Delete(k)
+						}
+					}
+				}(w)
+			}
+			var got int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got += int64(inst.Scan(0, keys-1))
+			}
+			b.StopTimer()
+			stop.Store(true)
+			wg.Wait()
+			b.ReportMetric(float64(got)/float64(b.N), "keys/scan")
 		})
 	}
 }

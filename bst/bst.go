@@ -3,10 +3,11 @@
 // for the PNB-BST — wait-free linearizable RangeScan and Snapshot.
 //
 // The primary type is Tree (the paper's PNB-BST). ShardedMap partitions
-// the keyspace across several independent PNB-BSTs by fixed range
-// boundaries for scale-out (see DESIGN.md §5 for its relaxed cross-shard
-// scan semantics), and Map adds key-value bindings with a Put-replace
-// operation. Three baseline implementations of the Set interface are
+// the keyspace across several PNB-BSTs by fixed range boundaries for
+// scale-out; the shards share one phase clock, so cross-shard scans and
+// snapshots are single atomic cuts — linearizable like the single tree
+// (DESIGN.md §5; RelaxedScans opts out). Map adds key-value bindings
+// with a Put-replace operation. Three baseline implementations of the Set interface are
 // provided for comparison and benchmarking: the NB-BST the tree is built
 // on, a lock-based tree, and a lock-free skip list (optionally with
 // snap-collector scans).

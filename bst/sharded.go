@@ -20,18 +20,35 @@ import (
 // and root from the path of unrelated keys, so disjoint-key workloads
 // scale with P.
 //
-// RangeScan and Snapshot stitch per-shard wait-free scans together in
-// ascending key order. Within one shard the result is an atomic cut;
-// across shards the cuts are taken at successive instants, so a
-// multi-shard scan is serializable but not linearizable (each key is
-// read exactly once, from a per-shard linearization point; see DESIGN.md
-// §5.2 for the precise statement and an example). Scans confined to a
-// single shard remain fully linearizable.
+// RangeScan and Snapshot are wait-free and — by default — LINEARIZABLE
+// across shards: all P trees share one phase clock, so a multi-shard
+// scan or snapshot opens a single phase and takes every shard's
+// wait-free cut at that same phase, one atomic cut of the whole map,
+// linearized at the clock increment exactly like the paper's single-tree
+// scan (DESIGN.md §5.2). The per-shard results concatenate in key order
+// (shards hold disjoint ordered ranges), so no merging is needed.
+//
+// The RelaxedScans option restores fully independent per-shard phase
+// clocks: scans in one shard then never handshake with updates in
+// another, but a multi-shard scan degrades to a stitch of per-shard cuts
+// taken at successive instants — serializable, not linearizable.
+// Experiment E13 measures what the default atomicity costs against this
+// relaxed mode.
 //
 // ShardedMap implements Set. All methods are safe for concurrent use.
 type ShardedMap struct {
 	s *shard.Set
 }
+
+// ShardedOption configures a ShardedMap at construction.
+type ShardedOption = shard.Option
+
+// RelaxedScans opts a ShardedMap out of the shared phase clock: each
+// shard keeps a private clock, multi-shard scans and snapshots become
+// stitches of per-shard atomic cuts taken at successive instants
+// (serializable, not linearizable — see the type comment), and in
+// exchange scans never force handshake aborts outside their own shard.
+func RelaxedScans() ShardedOption { return shard.WithRelaxedScans() }
 
 // ShardedSnapshot is a frozen composite of per-shard snapshots; see
 // (*ShardedMap).Snapshot.
@@ -39,20 +56,23 @@ type ShardedSnapshot = shard.Snapshot
 
 // NewSharded returns an empty map of p shards whose boundaries split the
 // full key space [MinKey, MaxKey] evenly.
-func NewSharded(p int) *ShardedMap {
-	return &ShardedMap{s: shard.New(p)}
+func NewSharded(p int, opts ...ShardedOption) *ShardedMap {
+	return &ShardedMap{s: shard.New(p, opts...)}
 }
 
 // NewShardedRange returns an empty map of p shards whose boundaries
 // split [lo, hi] evenly; the edge shards absorb the rest of the key
 // space. Use this when the workload concentrates on a known interval so
 // that all p shards share its load.
-func NewShardedRange(lo, hi int64, p int) *ShardedMap {
-	return &ShardedMap{s: shard.NewRange(lo, hi, p)}
+func NewShardedRange(lo, hi int64, p int, opts ...ShardedOption) *ShardedMap {
+	return &ShardedMap{s: shard.NewRange(lo, hi, p, opts...)}
 }
 
 // Shards returns the shard count P.
 func (m *ShardedMap) Shards() int { return m.s.Shards() }
+
+// Relaxed reports whether the map was built with RelaxedScans.
+func (m *ShardedMap) Relaxed() bool { return m.s.Relaxed() }
 
 // ShardOf returns the index of the shard owning key k.
 func (m *ShardedMap) ShardOf(k int64) int { return m.s.Router().Of(k) }
@@ -69,8 +89,9 @@ func (m *ShardedMap) Delete(k int64) bool { return m.s.Delete(k) }
 // Contains reports whether k is present. Non-blocking.
 func (m *ShardedMap) Contains(k int64) bool { return m.s.Find(k) }
 
-// RangeScan returns the keys in [a, b], ascending. Wait-free; atomic per
-// shard, stitched across shards (see the type comment).
+// RangeScan returns the keys in [a, b], ascending. Wait-free and, by
+// default, one atomic cut across all covered shards (see the type
+// comment).
 func (m *ShardedMap) RangeScan(a, b int64) []int64 { return m.s.RangeScan(a, b) }
 
 // RangeScanFunc streams the keys in [a, b] in ascending order to visit
@@ -102,19 +123,20 @@ func (m *ShardedMap) Succ(k int64) (int64, bool) { return m.s.Succ(k) }
 // Pred returns the largest key <= k, if any.
 func (m *ShardedMap) Pred(k int64) (int64, bool) { return m.s.Pred(k) }
 
-// Snapshot returns a frozen composite view: each shard's wait-free
-// snapshot, taken in ascending shard order. Reads of the result are
-// stable (every read observes the same composite) and wait-free, but the
-// composite is not one atomic cut of the whole map — see the type
-// comment and DESIGN.md §5.2.
+// Snapshot returns a frozen composite view of all shards. By default
+// (shared clock) the composite is ONE atomic cut: every shard's
+// wait-free snapshot captures the same phase. Reads of the result are
+// stable and wait-free; call Release when done reading (reading after
+// Release is a bug, detected at the call site). See the type comment
+// for the RelaxedScans semantics.
 func (m *ShardedMap) Snapshot() *ShardedSnapshot { return m.s.Snapshot() }
 
 // Compact prunes every shard's version memory to that shard's own
-// reclamation horizon (each shard has an independent phase counter; a
-// composite Snapshot pins each covered shard's horizon separately, so
-// per-shard pruning needs no cross-shard coordination — DESIGN.md §6).
-// LiveNodes and PrunedLinks are summed over shards. Safe concurrently
-// with any mix of operations.
+// reclamation horizon (horizons stay per-shard even under the shared
+// clock: a composite Snapshot or in-flight cross-shard scan registers on
+// every shard it covers before opening its phase, pinning each horizon
+// separately — DESIGN.md §6). LiveNodes and PrunedLinks are summed over
+// shards. Safe concurrently with any mix of operations.
 func (m *ShardedMap) Compact() CompactStats { return m.s.Compact() }
 
 // StartAutoCompact runs Compact every interval on a background goroutine
@@ -124,7 +146,8 @@ func (m *ShardedMap) StartAutoCompact(interval time.Duration) (stop func()) {
 }
 
 // Stats returns the element-wise sum of per-shard instrumentation
-// counters.
+// counters, except Scans, which counts logical phase-opening reads on
+// the map (a scan covering P shards counts once, not P times).
 func (m *ShardedMap) Stats() Stats { return m.s.Stats() }
 
 // ResetStats zeroes every shard's counters.

@@ -1,5 +1,5 @@
 // Command benchbst regenerates the evaluation of the PNB-BST
-// reproduction (experiments E1..E12, see DESIGN.md §4 and
+// reproduction (experiments E1..E13, see DESIGN.md §4 and
 // EXPERIMENTS.md), and runs one-off workloads against a chosen
 // implementation.
 //
@@ -8,8 +8,10 @@
 //	benchbst -list
 //	benchbst -experiment E1 [-duration 2s] [-threads 8] [-csv]
 //	benchbst -experiment E12            # memory under churn, pruning on/off
+//	benchbst -experiment E13            # atomic vs relaxed cross-shard scans
 //	benchbst -all -quick
 //	benchbst -impl sharded -shards 16 [-keys 1048576] [-insert 25 -delete 25 -scan 10 -scanwidth 100]
+//	benchbst -impl sharded -shards 16 -relaxed   # per-shard clocks (§5.2 relaxed scans)
 //
 // With -all every experiment runs in order. -quick shrinks key ranges
 // and durations for a fast smoke pass; published numbers should use the
@@ -17,8 +19,10 @@
 //
 // With -impl a single harness run is executed against the named
 // implementation (any harness target: pnbbst, nbbst, lockbst, skiplist,
-// snapcollector, sharded); -shards selects the shard count when -impl is
-// "sharded" and is rejected otherwise.
+// snapcollector, sharded, sharded-relaxed); -shards selects the shard
+// count when -impl is a sharded family and is rejected otherwise, and
+// -relaxed switches a sharded -impl to per-shard phase clocks (relaxed
+// cross-shard scans).
 package main
 
 import (
@@ -36,7 +40,7 @@ import (
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
-		expID    = flag.String("experiment", "", "experiment id to run (E1..E12)")
+		expID    = flag.String("experiment", "", "experiment id to run (E1..E13)")
 		all      = flag.Bool("all", false, "run every experiment")
 		quick    = flag.Bool("quick", false, "smoke-scale: short durations, small key ranges")
 		duration = flag.Duration("duration", 2*time.Second, "measurement window per data point")
@@ -46,6 +50,7 @@ func main() {
 
 		impl      = flag.String("impl", "", "run one workload against this implementation instead of an experiment")
 		shards    = flag.Int("shards", harness.DefaultShards, "shard count (with -impl sharded)")
+		relaxed   = flag.Bool("relaxed", false, "per-shard phase clocks: relaxed cross-shard scans (with -impl sharded)")
 		keys      = flag.Int64("keys", 1<<20, "key-space size (with -impl)")
 		insertPct = flag.Int("insert", 25, "insert percentage (with -impl)")
 		deletePct = flag.Int("delete", 25, "delete percentage (with -impl)")
@@ -76,13 +81,28 @@ func main() {
 		target := *impl
 		if target == harness.TargetSharded {
 			target = harness.ShardedTarget(*shards)
+		} else if target == harness.TargetShardedRelax {
+			target = harness.ShardedRelaxedTarget(*shards)
 		} else if flagSet("shards") {
-			fmt.Fprintf(os.Stderr, "-shards only applies to -impl %s\n", harness.TargetSharded)
+			fmt.Fprintf(os.Stderr, "-shards only applies to -impl %s or %s\n", harness.TargetSharded, harness.TargetShardedRelax)
 			os.Exit(2)
 		}
+		if *relaxed {
+			if n, ok := harness.ParseShardedTarget(target); ok {
+				target = harness.ShardedRelaxedTarget(n)
+			} else if _, ok := harness.ParseShardedRelaxedTarget(target); !ok {
+				fmt.Fprintf(os.Stderr, "-relaxed only applies to sharded implementations\n")
+				os.Exit(2)
+			}
+		}
 		// Bound the shard count by the key range whichever way it was
-		// spelled (-impl sharded -shards N or -impl shardedN).
-		if n, ok := harness.ParseShardedTarget(target); ok && (n < 1 || int64(n) > *keys) {
+		// spelled (-impl sharded -shards N, -impl shardedN, or a -relaxed
+		// variant of either).
+		n, ok := harness.ParseShardedTarget(target)
+		if !ok {
+			n, ok = harness.ParseShardedRelaxedTarget(target)
+		}
+		if ok && (n < 1 || int64(n) > *keys) {
 			fmt.Fprintf(os.Stderr, "shard count %d outside [1, %d] (-keys bounds the shard count)\n", n, *keys)
 			os.Exit(2)
 		}

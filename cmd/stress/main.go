@@ -9,8 +9,8 @@
 //
 // Usage:
 //
-//	stress [-impl pnbbst|sharded] [-shards 8] [-duration 30s] [-threads N] [-keys 4096] [-seed 1]
-//	       [-compact] [-mem 1s]
+//	stress [-impl pnbbst|sharded] [-shards 8] [-relaxed] [-duration 30s] [-threads N] [-keys 4096]
+//	       [-seed 1] [-compact] [-mem 1s]
 //
 // With -compact a pruner goroutine runs Compact concurrently with the
 // chaos, exercising the version-reclamation path under full adversarial
@@ -38,6 +38,7 @@ func main() {
 	var (
 		impl     = flag.String("impl", "pnbbst", "implementation under stress: pnbbst or sharded")
 		shards   = flag.Int("shards", 8, "shard count (with -impl sharded)")
+		relaxed  = flag.Bool("relaxed", false, "per-shard phase clocks: relaxed cross-shard scans (with -impl sharded)")
 		duration = flag.Duration("duration", 30*time.Second, "total stress time")
 		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "updater goroutines")
 		keys     = flag.Int64("keys", 4096, "key-space size")
@@ -47,7 +48,11 @@ func main() {
 	)
 	flag.Parse()
 
-	if _, _, err := makeTarget(*impl, *shards, *keys); err != nil {
+	if *relaxed && *impl != "sharded" {
+		fmt.Fprintln(os.Stderr, "stress: -relaxed only applies to -impl sharded")
+		os.Exit(2)
+	}
+	if _, _, err := makeTarget(*impl, *shards, *relaxed, *keys); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -57,7 +62,7 @@ func main() {
 		extra = " + 1 pruner"
 	}
 	fmt.Printf("stress: %s, %v, %d updaters + 2 scanners + 1 snapshotter%s, %d keys\n",
-		describe(*impl, *shards), *duration, *threads, extra, *keys)
+		describe(*impl, *shards, *relaxed), *duration, *threads, extra, *keys)
 
 	deadline := time.Now().Add(*duration)
 	rounds := 0
@@ -67,7 +72,7 @@ func main() {
 		if rem := time.Until(deadline); rem < roundDur {
 			roundDur = rem
 		}
-		if err := round(*impl, *shards, roundDur, *threads, *keys, *seed+uint64(rounds), *compact, *memEvery); err != nil {
+		if err := round(*impl, *shards, *relaxed, roundDur, *threads, *keys, *seed+uint64(rounds), *compact, *memEvery); err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL (round %d): %v\n", rounds, err)
 			os.Exit(1)
 		}
@@ -95,9 +100,13 @@ func heapObjects() uint64 {
 	return ms.HeapObjects
 }
 
-func describe(impl string, shards int) string {
+func describe(impl string, shards int, relaxed bool) string {
 	if impl == "sharded" {
-		return fmt.Sprintf("sharded (%d shards)", shards)
+		mode := "shared clock"
+		if relaxed {
+			mode = "relaxed"
+		}
+		return fmt.Sprintf("sharded (%d shards, %s)", shards, mode)
 	}
 	return impl
 }
@@ -126,7 +135,7 @@ type snapView interface {
 // makeTarget builds the implementation under test plus a snapshot
 // factory (the two Snapshot methods return distinct types, so the common
 // shape is adapted through a closure).
-func makeTarget(impl string, shards int, keyRange int64) (set, func() snapView, error) {
+func makeTarget(impl string, shards int, relaxed bool, keyRange int64) (set, func() snapView, error) {
 	switch impl {
 	case "pnbbst":
 		t := core.New()
@@ -135,7 +144,11 @@ func makeTarget(impl string, shards int, keyRange int64) (set, func() snapView, 
 		if shards < 1 || int64(shards) > keyRange {
 			return nil, nil, fmt.Errorf("stress: -shards %d outside [1, %d] (-keys bounds the shard count)", shards, keyRange)
 		}
-		s := shard.NewRange(0, keyRange-1, shards)
+		var opts []shard.Option
+		if relaxed {
+			opts = append(opts, shard.WithRelaxedScans())
+		}
+		s := shard.NewRange(0, keyRange-1, shards, opts...)
 		return s, func() snapView { return s.Snapshot() }, nil
 	default:
 		return nil, nil, fmt.Errorf("stress: unknown -impl %q (have pnbbst, sharded)", impl)
@@ -143,8 +156,8 @@ func makeTarget(impl string, shards int, keyRange int64) (set, func() snapView, 
 }
 
 // round runs one bounded burst of chaos and then verifies quiescent state.
-func round(impl string, shards int, d time.Duration, threads int, keyRange int64, seed uint64, compact bool, memEvery time.Duration) error {
-	tr, snapshot, err := makeTarget(impl, shards, keyRange)
+func round(impl string, shards int, relaxed bool, d time.Duration, threads int, keyRange int64, seed uint64, compact bool, memEvery time.Duration) error {
+	tr, snapshot, err := makeTarget(impl, shards, relaxed, keyRange)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,11 +23,15 @@ import (
 
 const (
 	ingestors  = 4
-	runFor     = 2 * time.Second
 	windowSize = 100 * time.Millisecond
 )
 
+// runFor is how long the ingest/analytics race runs; CI shortens it so
+// the example doubles as a bounded end-to-end check of its assertions.
+var runFor = flag.Duration("runfor", 2*time.Second, "how long to run the ingest + analytics workload")
+
 func main() {
+	flag.Parse()
 	index := bst.New()
 	start := time.Now()
 	var ingested atomic.Int64
@@ -80,7 +85,7 @@ func main() {
 		}
 	}()
 
-	time.Sleep(runFor)
+	time.Sleep(*runFor)
 	stop.Store(true)
 	wg.Wait()
 	ingested.Store(int64(index.Len()))

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -26,10 +27,15 @@ type doc struct {
 const (
 	docs    = 100
 	writers = 4
-	runFor  = time.Second
 )
 
+// runFor is how long writers and snapshot readers race; CI shortens it
+// so the example doubles as a bounded end-to-end check of its
+// repeatable-read assertion.
+var runFor = flag.Duration("runfor", time.Second, "how long to run the writers + snapshot readers")
+
 func main() {
+	flag.Parse()
 	store := bst.NewMap[doc]()
 	for id := int64(0); id < docs; id++ {
 		store.Put(id, doc{Rev: 0})
@@ -87,7 +93,7 @@ func main() {
 		}()
 	}
 
-	time.Sleep(runFor)
+	time.Sleep(*runFor)
 	stop.Store(true)
 	wg.Wait()
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,11 +21,16 @@ const (
 	midPrice   = 50_000 // ticks
 	bookDepth  = 2_000  // ticks of initial depth each side
 	feeders    = 3
-	runFor     = time.Second
 	levelProbe = 10 // "top 10 levels" queries
 )
 
+// runFor is how long feeders and queries race; CI shortens it so the
+// example doubles as a bounded end-to-end check of its crossed-book
+// assertion.
+var runFor = flag.Duration("runfor", time.Second, "how long to run the feeders + trading queries")
+
 func main() {
+	flag.Parse()
 	bids := bst.New() // prices with resting buy interest
 	asks := bst.New() // prices with resting sell interest
 	for i := int64(1); i <= bookDepth; i++ {
@@ -74,7 +80,7 @@ func main() {
 		}
 	}()
 
-	time.Sleep(runFor)
+	time.Sleep(*runFor)
 	stop.Store(true)
 	wg.Wait()
 

@@ -1,0 +1,46 @@
+package core
+
+import "sync/atomic"
+
+// Clock is the PNB-BST phase counter, extracted into an injectable value
+// so that several trees can share one. The paper gives each tree its own
+// counter; sharing a single Clock across the P trees of a keyspace-sharded
+// set (internal/shard) is what makes a cross-shard range scan or snapshot
+// a single atomic cut: the scan opens ONE phase s on the shared clock and
+// takes every shard's wait-free cut at that same s, and the handshaking
+// check in every tree now compares update phases against the same counter,
+// so a phase-s update in any shard is doomed to abort once phase s closes
+// — exactly the paper's single-tree argument, applied set-wide.
+//
+// All the paper's counter properties are preserved because a Clock is
+// still just one monotone atomic word: phases are opened by reading the
+// counter and incrementing it (Open), concurrent openers may share a
+// phase (as in the paper, where two overlapping scans may both read the
+// same value), and node sequence numbers never exceed the counter.
+//
+// The zero value is ready to use; NewClock exists for the common
+// "construct and hand to several trees" pattern. All methods are safe for
+// concurrent use.
+type Clock struct {
+	_ [64]byte // keep the counter off neighbouring allocations' cache lines
+	c atomic.Uint64
+	_ [64]byte
+}
+
+// NewClock returns a fresh clock at phase 0.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current phase — the phase any update attempt or
+// unregistered traversal starting now would run at.
+func (c *Clock) Now() uint64 { return c.c.Load() }
+
+// Open closes the current phase and returns it (paper lines 130-131: read
+// the counter, then increment it; the caller owns the phase it read).
+// Callers that traverse at the returned phase for longer than one
+// instruction must have registered a reader bound BEFORE calling Open, or
+// the reclamation horizon may overtake them (see Tree.Register).
+func (c *Clock) Open() uint64 {
+	seq := c.c.Load()
+	c.c.Add(1)
+	return seq
+}

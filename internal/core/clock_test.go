@@ -1,0 +1,61 @@
+package core
+
+import "testing"
+
+// TestClockOpenSemantics: Open returns the phase it read and advances
+// the counter — the paper's lines 130-131 as one call.
+func TestClockOpenSemantics(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %d", c.Now())
+	}
+	if got := c.Open(); got != 0 {
+		t.Fatalf("first Open = %d", got)
+	}
+	if c.Now() != 1 {
+		t.Fatalf("counter = %d after one Open", c.Now())
+	}
+	if got := c.Open(); got != 1 {
+		t.Fatalf("second Open = %d", got)
+	}
+}
+
+// TestSharedClockAtomicCutAcrossTrees is the core-level form of the
+// tentpole property, using the exported phase-explicit surface exactly
+// as a composite caller does: two trees in one phase domain
+// (NewWithClock + Clock()), register on both, open ONE phase, read both
+// trees at it with RangeScanAt — updates applied between the per-tree
+// reads are invisible to both, because they belong to a later phase of
+// the shared domain.
+func TestSharedClockAtomicCutAcrossTrees(t *testing.T) {
+	t1 := New()
+	t2 := NewWithClock(t1.Clock())
+	if t1.Clock() != t2.Clock() {
+		t.Fatal("trees do not share the clock")
+	}
+	t1.Insert(1)
+	t2.Insert(100)
+
+	r1, r2 := t1.Register(), t2.Register()
+	defer r1.Release()
+	defer r2.Release()
+	seq := t1.Clock().Open()
+
+	got1 := t1.RangeScanAt(MinKey, MaxKey, seq)
+	// Between the two per-tree reads, mutate BOTH trees; phase seq is
+	// closed, so neither read may observe it.
+	t1.Insert(2)
+	t2.Delete(100)
+	got2 := t2.RangeScanAt(MinKey, MaxKey, seq)
+
+	if len(got1) != 1 || got1[0] != 1 {
+		t.Fatalf("tree 1 at phase %d = %v, want [1]", seq, got1)
+	}
+	if len(got2) != 1 || got2[0] != 100 {
+		t.Fatalf("tree 2 at phase %d = %v, want [100] (delete is phase > %d)", seq, got2, seq)
+	}
+	// The live trees do see the later phase.
+	if !t1.Find(2) || t2.Find(100) {
+		t.Fatal("post-cut updates lost")
+	}
+}

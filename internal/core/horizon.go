@@ -25,10 +25,10 @@ import "repro/internal/epoch"
 type reader = epoch.Reader
 
 // registerReader publishes a lower bound on the phase the caller is
-// about to acquire. The caller MUST read the counter again after this
+// about to acquire. The caller MUST read the clock again after this
 // returns and use that (or a later) value as its traversal phase.
 func (t *Tree) registerReader() reader {
-	return t.readers.Register(t.counter.Load())
+	return t.readers.Register(t.clock.Now())
 }
 
 // releaseReader withdraws a registration. Each handle must be released
@@ -37,10 +37,36 @@ func (t *Tree) releaseReader(r reader) {
 	t.readers.Release(r)
 }
 
+// Registration is an exported reader-registration handle, for callers
+// that coordinate one phase across several trees sharing a Clock
+// (internal/shard): Register on every covered tree FIRST, then open the
+// phase with Clock.Open, then traverse each tree at that phase
+// (RangeScanAtFunc, SnapshotAt, PredAt), then Release every handle. The
+// registration order guarantees each tree's published bound is at most
+// the opened phase, so no tree's reclamation horizon can overtake the
+// composite read while it runs.
+type Registration struct {
+	t *Tree
+	r reader
+}
+
+// Register publishes a lower bound on any phase subsequently opened on
+// the tree's clock and returns the handle. Release it exactly once.
+func (t *Tree) Register() Registration {
+	return Registration{t: t, r: t.registerReader()}
+}
+
+// Release withdraws the registration. Must be called exactly once per
+// handle (SnapshotAt adopts the handle, and Snapshot.Release then owns
+// the release).
+func (g Registration) Release() { g.t.releaseReader(g.r) }
+
 // Horizon returns the reclamation horizon: the minimum phase any active
 // or future reader may traverse. Versions wholly behind a phase-<=H node
 // are unreachable and may be pruned. With no registered readers the
-// horizon is the current counter value.
+// horizon is the clock's current phase. With a shared clock the ceiling
+// is the shared counter, but the registered bounds are still per-tree, so
+// each tree of a phase domain keeps its own horizon.
 func (t *Tree) Horizon() uint64 {
-	return t.readers.Min(t.counter.Load())
+	return t.readers.Min(t.clock.Now())
 }

@@ -20,7 +20,7 @@ import (
 //     node reachable in any version (acyclicity, Lemma 43 restricted to
 //     prev edges, which is what Search termination relies on).
 func (t *Tree) CheckInvariants() error {
-	ctr := t.counter.Load()
+	ctr := t.clock.Now()
 	var errs []error
 	var walk func(n *node, lo, hi int64, depth int)
 	seenInf1, seenInf2 := 0, 0

@@ -30,6 +30,7 @@ func (s *Snapshot) Iter(a, b int64) *Iterator {
 	}
 	it := &Iterator{snap: s, t: s.t, seq: s.seq, lo: a, hi: b}
 	if a <= b {
+		s.mustLive()
 		it.descend(s.t.root)
 	}
 	return it
@@ -62,6 +63,9 @@ func (it *Iterator) descend(n *node) {
 // Next advances to the next key, reporting whether one exists.
 func (it *Iterator) Next() bool {
 	defer runtime.KeepAlive(it.snap) // registration must outlive the traversal
+	if len(it.stack) > 0 {
+		it.snap.mustLive()
+	}
 	for len(it.stack) > 0 {
 		n := it.stack[len(it.stack)-1]
 		it.stack = it.stack[:len(it.stack)-1]

@@ -22,9 +22,21 @@ func (t *Tree) Max() (int64, bool) { return t.Pred(MaxKey) }
 // Succ returns the smallest key >= k, if any. Wait-free: an
 // early-stopping scan of [k, MaxKey].
 func (t *Tree) Succ(k int64) (int64, bool) {
+	reg := t.Register()
+	defer reg.Release()
+	seq := t.clock.Open()
+	t.stats.scans.Add(1)
+	return t.SuccAt(k, seq)
+}
+
+// SuccAt is the phase-explicit form of Succ: the smallest key >= k in
+// T_phase, via an early-stopping traversal. Like PredAt it neither opens
+// a phase nor counts as a scan, and the caller must hold a Registration
+// on this tree taken before phase was opened on the tree's clock.
+func (t *Tree) SuccAt(k int64, phase uint64) (int64, bool) {
 	var got int64
 	found := false
-	t.RangeScanFunc(k, MaxKey, func(x int64) bool {
+	t.RangeScanAtFunc(k, MaxKey, phase, func(x int64) bool {
 		got, found = x, true
 		return false
 	})
@@ -42,12 +54,20 @@ func (t *Tree) Succ(k int64) (int64, bool) {
 // sentinel leaves and the rightmost leaf is a valid answer.
 func (t *Tree) Pred(k int64) (int64, bool) {
 	checkKey(k)
-	r := t.registerReader()
-	defer t.releaseReader(r)
-	seq := t.counter.Load()
-	t.counter.Add(1)
+	reg := t.Register()
+	defer reg.Release()
+	seq := t.clock.Open()
 	t.stats.scans.Add(1)
+	return t.PredAt(k, seq)
+}
 
+// PredAt is the phase-explicit form of Pred: the largest key <= k in
+// T_phase. Like RangeScanAtFunc it neither opens a phase nor counts as a
+// scan, and the caller must hold a Registration on this tree taken
+// before phase was opened on the tree's clock.
+func (t *Tree) PredAt(k int64, phase uint64) (int64, bool) {
+	checkKey(k)
+	seq := phase
 	var pivot *node // last internal node where the walk went right
 	n := t.root
 	for !n.leaf {

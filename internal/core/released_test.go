@@ -1,0 +1,54 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanicReleased runs f and requires it to panic with the
+// released-snapshot misuse message (not the deep "version chain pruned"
+// one).
+func mustPanicReleased(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s on a released snapshot did not panic", what)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "released Snapshot") {
+			t.Fatalf("%s panicked with %v, want the released-Snapshot misuse message", what, r)
+		}
+	}()
+	f()
+}
+
+// TestSnapshotReadAfterReleasePanicsAtCallSite: reading a snapshot after
+// Release must fail immediately at the call site with a message naming
+// the misuse — deterministically, whether or not a Compact pass has
+// already pruned the snapshot's versions (before this check, the misuse
+// only surfaced if pruning had run, as an opaque panic deep inside
+// mustReadChild).
+func TestSnapshotReadAfterReleasePanicsAtCallSite(t *testing.T) {
+	tr := New()
+	for k := int64(0); k < 64; k++ {
+		tr.Insert(k)
+	}
+	s := tr.Snapshot()
+	if !s.Contains(7) || s.Released() {
+		t.Fatal("live snapshot misbehaves before Release")
+	}
+	it := s.Iter(MinKey, MaxKey) // created live, read after release
+	s.Release()
+	if !s.Released() {
+		t.Fatal("Released() false after Release")
+	}
+	mustPanicReleased(t, "Contains", func() { s.Contains(7) })
+	mustPanicReleased(t, "Range", func() { s.Range(0, 10, func(int64) bool { return true }) })
+	mustPanicReleased(t, "RangeScan", func() { s.RangeScan(0, 10) })
+	mustPanicReleased(t, "Keys", func() { s.Keys() })
+	mustPanicReleased(t, "Len", func() { s.Len() })
+	mustPanicReleased(t, "Iter", func() { s.Iter(0, 10) })
+	mustPanicReleased(t, "Iterator.Next", func() { it.Next() })
+	s.Release() // idempotent, still no double-release crash
+}

@@ -32,12 +32,56 @@ func (t *Tree) RangeScanFunc(a, b int64, visit func(k int64) bool) {
 	}
 	// Register before acquiring the phase so Compact's horizon cannot
 	// overtake this scan while it runs (horizon.go).
-	r := t.registerReader()
-	defer t.releaseReader(r)
-	seq := t.counter.Load() // line 130
-	t.counter.Add(1)        // line 131: open a new phase
+	reg := t.Register()
+	defer reg.Release()
+	seq := t.clock.Open() // lines 130-131: read the counter, open a new phase
 	t.stats.scans.Add(1)
 	t.scanInto(t.root, seq, a, b, &visit)
+}
+
+// RangeScanAtFunc is the phase-explicit form of RangeScanFunc: it
+// traverses T_phase — the frozen tree of an already-opened phase — calling
+// visit for every key in [a, b] in ascending order (visit returning false
+// stops early). It neither opens a phase nor counts as a scan in Stats:
+// the caller owns the phase and the accounting. This is the entry point
+// composite structures use to take one atomic cut across several trees
+// sharing a Clock (internal/shard): open ONE phase, then RangeScanAtFunc
+// every tree at it.
+//
+// Contract: the caller must hold, for the whole call, a Registration on
+// THIS tree that was taken before phase was opened on the tree's clock;
+// otherwise Compact may prune versions the traversal still needs (which
+// panics rather than returning wrong data). Wait-free, like RangeScanFunc.
+func (t *Tree) RangeScanAtFunc(a, b int64, phase uint64, visit func(k int64) bool) {
+	if b > MaxKey {
+		b = MaxKey
+	}
+	if a > b {
+		return
+	}
+	t.scanInto(t.root, phase, a, b, &visit)
+}
+
+// RangeScanAt returns every key in [a, b] of T_phase, ascending. Same
+// contract as RangeScanAtFunc.
+func (t *Tree) RangeScanAt(a, b int64, phase uint64) []int64 {
+	var out []int64
+	t.RangeScanAtFunc(a, b, phase, func(k int64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// RangeCountAt returns the number of keys of T_phase in [a, b] without
+// allocating. Same contract as RangeScanAtFunc.
+func (t *Tree) RangeCountAt(a, b int64, phase uint64) int {
+	n := 0
+	t.RangeScanAtFunc(a, b, phase, func(int64) bool {
+		n++
+		return true
+	})
+	return n
 }
 
 // RangeCount returns the number of keys in [a, b]; a wait-free counting

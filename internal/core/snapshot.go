@@ -49,22 +49,55 @@ func (g *snapReg) release() {
 // performed its first freeze CAS is doomed to abort by the handshaking
 // check, because the counter has already moved past its phase.
 func (t *Tree) Snapshot() *Snapshot {
-	reg := &snapReg{t: t, r: t.registerReader()}
-	seq := t.counter.Load()
-	t.counter.Add(1)
+	reg := t.Register()
+	seq := t.clock.Open()
 	t.stats.scans.Add(1)
-	s := &Snapshot{t: t, seq: seq, reg: reg}
-	runtime.AddCleanup(s, func(g *snapReg) { g.release() }, reg)
+	return t.SnapshotAt(seq, reg)
+}
+
+// SnapshotAt is the phase-explicit form of Snapshot: it wraps an
+// already-opened phase in a Snapshot handle, adopting reg — the reader
+// registration (taken on THIS tree, before phase was opened on the
+// tree's clock) that has been pinning the tree's reclamation horizon for
+// that phase. The returned Snapshot owns the registration: its Release
+// (or the GC cleanup) performs the one release; the caller must not
+// Release reg itself. SnapshotAt neither opens a phase nor counts as a
+// scan in Stats — composite structures (internal/shard) open one phase
+// for P trees and account for it once.
+func (t *Tree) SnapshotAt(phase uint64, reg Registration) *Snapshot {
+	if reg.t != t {
+		panic("core: SnapshotAt given a Registration from a different tree")
+	}
+	g := &snapReg{t: t, r: reg.r}
+	s := &Snapshot{t: t, seq: phase, reg: g}
+	runtime.AddCleanup(s, func(g *snapReg) { g.release() }, g)
 	return s
 }
 
 // Release withdraws the snapshot's hold on the reclamation horizon,
 // allowing Compact to prune the versions only this snapshot could read.
 // Release is idempotent and safe to call concurrently. Reading a
-// snapshot after releasing it is a bug: reads either still succeed (the
-// versions survive until a Compact pass passes them) or panic — they are
-// never silently wrong.
+// snapshot after releasing it is a bug; reads detect it and panic with a
+// message naming the misuse (see mustLive) — they are never silently
+// wrong.
 func (s *Snapshot) Release() { s.reg.release() }
+
+// Released reports whether the snapshot's registration has been
+// withdrawn (by Release or the GC cleanup). A released snapshot must not
+// be read.
+func (s *Snapshot) Released() bool { return s.reg.released.Load() }
+
+// mustLive fails fast at the call site when a released snapshot is read.
+// Without this check the misuse would surface — only if a Compact pass
+// has already pruned past the snapshot's phase — as an opaque
+// "version chain pruned below an active traversal's phase" panic deep in
+// the traversal (mustReadChild); the chain cut is still the backstop for
+// a Release that races mid-read.
+func (s *Snapshot) mustLive() {
+	if s.reg.released.Load() {
+		panic("core: read of a released Snapshot: Snapshot.Release (or the GC cleanup) already ran; call Release only after all reads are done")
+	}
+}
 
 // Seq returns the phase number this snapshot captured.
 func (s *Snapshot) Seq() uint64 { return s.seq }
@@ -73,6 +106,7 @@ func (s *Snapshot) Seq() uint64 { return s.seq }
 // Wait-free: it is a point range scan over T_seq.
 func (s *Snapshot) Contains(k int64) bool {
 	checkKey(k)
+	s.mustLive()
 	found := false
 	v := func(int64) bool { found = true; return false }
 	s.t.scanInto(s.t.root, s.seq, k, k, &v)
@@ -89,6 +123,7 @@ func (s *Snapshot) Range(a, b int64, visit func(k int64) bool) {
 	if a > b {
 		return
 	}
+	s.mustLive()
 	s.t.scanInto(s.t.root, s.seq, a, b, &visit)
 	runtime.KeepAlive(s) // the cleanup must not release the registration mid-read
 }

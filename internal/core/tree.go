@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/epoch"
 )
@@ -13,9 +12,10 @@ import (
 //
 // All methods are safe for concurrent use by any number of goroutines.
 type Tree struct {
-	_       [64]byte // keep counter off neighbouring allocations' cache lines
-	counter atomic.Uint64
-	_       [64]byte
+	// clock is the tree's phase counter. New gives every tree its own;
+	// NewWithClock lets several trees share one, which is what makes
+	// cross-shard scans atomic (see Clock and internal/shard).
+	clock *Clock
 
 	root  *node
 	dummy *descriptor
@@ -37,9 +37,23 @@ type Tree struct {
 // New returns an empty tree, initialized per Figure 2 (lines 28-31): the
 // root is an internal node with key ∞2 whose children are leaves ∞1 and
 // ∞2, all with sequence number 0 and flagged with the dummy Info object
-// (whose state is Abort, i.e. not frozen).
-func New() *Tree {
-	t := &Tree{}
+// (whose state is Abort, i.e. not frozen). The tree gets a private phase
+// clock; use NewWithClock to share one clock across several trees.
+func New() *Tree { return NewWithClock(NewClock()) }
+
+// NewWithClock returns an empty tree whose phase counter is the given
+// clock (nil gets a fresh private clock). Trees sharing a clock form one
+// phase domain: a phase opened on the clock closes the current phase of
+// every tree at once, so phase-explicit reads (RangeScanAt, SnapshotAt)
+// taken at that phase across the trees form a single atomic cut. The
+// price is that the handshaking check now aborts a pending update in any
+// tree of the domain when the shared clock advances, wherever the advance
+// came from.
+func NewWithClock(c *Clock) *Tree {
+	if c == nil {
+		c = NewClock()
+	}
+	t := &Tree{clock: c}
 	dummyInfo := &info{retired: true} // reference-free; the pruner must never re-sweep it
 	dummyInfo.state.Store(stateAbort)
 	t.dummy = &descriptor{typ: flag, info: dummyInfo}
@@ -161,7 +175,7 @@ func (t *Tree) validateLeaf(gp, p, l *node, k int64) (bool, *descriptor, *descri
 func (t *Tree) Find(k int64) bool {
 	checkKey(k)
 	for {
-		seq := t.counter.Load()
+		seq := t.clock.Now()
 		gp, p, l := t.search(k, seq)
 		if l == nil {
 			t.stats.retriesHorizon.Add(1)
@@ -192,7 +206,7 @@ func casChild(parent, old, new *node) {
 func (t *Tree) Insert(k int64) bool {
 	checkKey(k)
 	for {
-		seq := t.counter.Load()
+		seq := t.clock.Now()
 		gp, p, l := t.search(k, seq)
 		if l == nil {
 			t.stats.retriesHorizon.Add(1)
@@ -238,7 +252,7 @@ func (t *Tree) Insert(k int64) bool {
 func (t *Tree) Delete(k int64) bool {
 	checkKey(k)
 	for {
-		seq := t.counter.Load()
+		seq := t.clock.Now()
 		gp, p, l := t.search(k, seq)
 		if l == nil {
 			t.stats.retriesHorizon.Add(1)
@@ -332,7 +346,7 @@ func (t *Tree) execute(nodes []*node, oldUpdate []*descriptor, markMask uint32,
 // applies the child CAS and commits. Any process may help any attempt;
 // only the first freeze CAS per node and the first child CAS can succeed.
 func (t *Tree) help(in *info) bool {
-	if !t.disableHandshake && t.counter.Load() != in.seq {
+	if !t.disableHandshake && t.clock.Now() != in.seq {
 		if in.state.CompareAndSwap(stateUndecided, stateAbort) { // abort CAS
 			t.stats.handshakeAborts.Add(1)
 		}
@@ -366,5 +380,9 @@ func maxKey(a, b int64) int64 {
 
 // Root sequence accessors used by sibling files and tests.
 
-// phase returns the current value of the shared counter.
-func (t *Tree) phase() uint64 { return t.counter.Load() }
+// phase returns the current value of the phase clock.
+func (t *Tree) phase() uint64 { return t.clock.Now() }
+
+// Clock returns the tree's phase clock — the one it was constructed with
+// (shared with other trees if NewWithClock was used).
+func (t *Tree) Clock() *Clock { return t.clock }

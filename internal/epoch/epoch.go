@@ -23,6 +23,16 @@
 // counter read and its phase >= ceiling >= the returned horizon. If Min
 // sees the slot, the horizon is <= bound <= phase. Either way the
 // horizon never overtakes an active reader.
+//
+// The contract is per-Table but NOT per-counter: several Tables may
+// publish bounds read from one shared phase clock (core.Clock), which is
+// how the sharded front end keeps horizons per-shard while all shards
+// share a clock. A cross-shard reader registers on EVERY covered shard's
+// Table before opening its phase on the shared clock; the ordering
+// argument then applies to each (Table, clock) pair independently, so
+// every shard's Min stays at or below the phase the composite read owns.
+// Nothing in the Table itself changes — bound values from different
+// counters must simply never mix in one Table.
 package epoch
 
 import (

@@ -2,6 +2,7 @@ package epoch
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -132,5 +133,52 @@ func TestConcurrentRegistry(t *testing.T) {
 	tab.Release(pinned)
 	if got := tab.Min(123); got != 123 {
 		t.Fatalf("after full release: Min(123) = %d", got)
+	}
+}
+
+// TestSharedCounterAcrossTables models the sharded front end's use of
+// the registry: P tables (one per shard) publish bounds read from ONE
+// shared counter. A composite reader registers on every table before the
+// phase opens; each table's Min must then independently stay at or below
+// the composite's phase, while tables with no registration track the
+// shared counter freely.
+func TestSharedCounterAcrossTables(t *testing.T) {
+	const tables = 4
+	var counter atomic.Uint64
+	counter.Store(100)
+	var ts [tables]Table
+
+	// Composite reader: register everywhere, then open the phase.
+	var regs [tables]Reader
+	for i := range ts {
+		regs[i] = ts[i].Register(counter.Load())
+	}
+	phase := counter.Load()
+	counter.Add(1)
+
+	// Unrelated churn moves the shared counter on.
+	counter.Add(41)
+	for i := range ts {
+		if h := ts[i].Min(counter.Load()); h > phase {
+			t.Fatalf("table %d: horizon %d overtook the composite reader's phase %d", i, h, phase)
+		}
+	}
+	// Release one table: only its horizon jumps to the shared counter.
+	ts[2].Release(regs[2])
+	if h := ts[2].Min(counter.Load()); h != counter.Load() {
+		t.Fatalf("released table horizon = %d, want counter %d", h, counter.Load())
+	}
+	if h := ts[0].Min(counter.Load()); h > phase {
+		t.Fatalf("table 0 horizon %d overtook phase %d after another table's release", h, phase)
+	}
+	for i := range ts {
+		if i != 2 {
+			ts[i].Release(regs[i])
+		}
+	}
+	for i := range ts {
+		if h := ts[i].Min(counter.Load()); h != counter.Load() {
+			t.Fatalf("table %d horizon = %d after all releases, want %d", i, h, counter.Load())
+		}
 	}
 }

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// E13Atomicity — atomic vs. relaxed cross-shard scans (Fig./Table E13):
+// what does restoring the paper's linearizable-scan guarantee across
+// shard boundaries cost, and what anomaly does the relaxed mode admit?
+//
+// Part 1 (throughput): the shared phase clock re-couples shards — every
+// cross-shard scan advances the one clock, so a pending update in ANY
+// shard can be handshake-aborted by a scan anywhere, where relaxed
+// per-shard clocks confine that interference to the scanned shard. The
+// sweep drives an update-heavy mix plus wide scans (spanning many
+// shards) through sharded vs sharded-relaxed vs the single tree, by
+// thread count. The single tree is the lower bound (one clock AND one
+// root); relaxed sharding the upper (P clocks, P roots).
+//
+// Part 2 (anomalies): the §5.2 cross-boundary move is forced
+// deterministically from inside an in-flight scan's visitor — the
+// callback runs between the per-shard cuts, exactly the window in which
+// relaxed composition tears. Each observation is judged against the
+// seqset-oracle states the move's schedule allows (pre-, mid-, and
+// post-move); an observation matching none of them is an anomaly. The
+// shared clock must report zero anomalies; the relaxed mode tears on
+// every trial, in both move directions.
+func E13Atomicity(o Options) {
+	keys := o.scale(1 << 20)
+	targets := []string{
+		harness.TargetPNBBST,
+		harness.ShardedTarget(8),
+		harness.ShardedRelaxedTarget(8),
+	}
+	mixes := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"45i/45d/10s(w=keys/4)", workload.Mix{InsertPct: 45, DeletePct: 45, ScanPct: 10, ScanWidth: keys / 4}},
+		{"45i/45d/10s(w=100)", workload.Mix{InsertPct: 45, DeletePct: 45, ScanPct: 10, ScanWidth: 100}},
+	}
+	for _, m := range mixes {
+		tab := harness.NewTable(
+			fmt.Sprintf("E13: %s, %d keys — Mops/s by threads: atomic vs relaxed cross-shard scans", m.name, keys),
+			append([]string{"threads"}, targets...)...)
+		for _, th := range o.threadSweep() {
+			row := []any{th}
+			for _, tgt := range targets {
+				res := harness.Run(harness.Config{
+					Target:   tgt,
+					Threads:  th,
+					Duration: o.Duration,
+					KeyRange: keys,
+					Prefill:  -1,
+					Mix:      m.mix,
+					Seed:     o.Seed,
+				})
+				row = append(row, res.MOpsPerSec())
+			}
+			tab.AddRow(row...)
+		}
+		o.emit(tab)
+	}
+
+	// Part 2: forced cross-boundary moves, 100 trials per direction.
+	const trials = 100
+	tab := harness.NewTable(
+		"E13: forced cross-boundary move during a spanning scan — anomalous observations vs seqset oracle, per 100 trials",
+		"target", "move right (del,ins)", "move left (ins,del)")
+	for _, tgt := range []string{harness.ShardedTarget(4), harness.ShardedRelaxedTarget(4)} {
+		right := countScanAnomalies(tgt, trials, true)
+		left := countScanAnomalies(tgt, trials, false)
+		tab.AddRow(tgt, right, left)
+	}
+	o.emit(tab)
+}
+
+// countScanAnomalies runs `trials` deterministic cross-boundary moves
+// against a fresh 4-shard instance over [0, 999] (boundaries at 250,
+// 500, 750) and returns how many in-flight spanning scans observed a set
+// of hot keys that matches NO state the sequential oracle admits.
+//
+// The item lives at exactly one of home=200 (shard 0, whose cut is in
+// progress — and therefore phase-fixed — when the sentinel at 100 fires
+// the visitor) or away=600 (shard 2, not yet cut). Legal atomic cuts of
+// {home, away}: the pre-move state, the mid-move state (after the first
+// point op), and the post-move state. moveRight runs Delete(home) then
+// Insert(away) — states {home}, {}, {away}; an observation of BOTH is
+// anomalous. moveLeft runs Insert(home) then Delete(away) — states
+// {away}, {home, away}, {home}; an observation of NEITHER is anomalous.
+// Relaxed composition makes the updates in the phase-fixed shard 0
+// invisible but the updates in not-yet-cut shard 2 visible, hitting the
+// anomalous observation on every trial; the shared clock makes the whole
+// move invisible (it is entirely in the scan's future phase).
+func countScanAnomalies(target string, trials int, moveRight bool) int {
+	anomalies := 0
+	for trial := 0; trial < trials; trial++ {
+		inst := harness.NewInstanceRange(target, 0, 999)
+		fs, ok := inst.(harness.FuncScanner)
+		if !ok {
+			panic(fmt.Sprintf("experiments: target %q has no FuncScanner for E13", target))
+		}
+		const sentinel, home, away = 100, 200, 600
+		inst.Insert(sentinel)
+		src, dst := int64(home), int64(away)
+		if !moveRight {
+			src, dst = away, home
+		}
+		inst.Insert(src)
+		moved := false
+		sawHome, sawAway := false, false
+		fs.RangeScanFunc(0, 999, func(k int64) bool {
+			if !moved {
+				moved = true
+				if moveRight {
+					inst.Delete(src)
+					inst.Insert(dst)
+				} else {
+					inst.Insert(dst)
+					inst.Delete(src)
+				}
+			}
+			switch k {
+			case home:
+				sawHome = true
+			case away:
+				sawAway = true
+			}
+			return true
+		})
+		if moveRight && sawHome && sawAway {
+			anomalies++ // home and away were never both present
+		}
+		if !moveRight && !sawHome && !sawAway {
+			anomalies++ // home ∪ away was never empty
+		}
+	}
+	return anomalies
+}

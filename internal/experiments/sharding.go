@@ -22,11 +22,12 @@ var ShardSweep = []string{
 // E11Sharding — Figure E11: throughput of the keyspace-sharded front end
 // (DESIGN.md §5) versus the single PNB-BST, by thread count, for an
 // update-heavy mix and for a mixed workload with range scans. Sharding
-// splits the phase counter and the tree root P ways, so update
-// throughput should scale with shards once threads contend on the single
-// tree; scans pay one wait-free scan per covered shard, so narrow scans
-// (width ≪ shard width) stay cheap while full-range scans touch every
-// shard.
+// splits the tree root P ways (the phase clock stays shared for atomic
+// cross-shard scans — E13 isolates that axis), so update throughput
+// should scale with shards once threads contend on the single tree;
+// scans pay one wait-free per-shard traversal per covered shard, so
+// narrow scans (width ≪ shard width) stay cheap while full-range scans
+// touch every shard.
 func E11Sharding(o Options) {
 	keys := o.scale(1 << 20)
 	mixes := []struct {

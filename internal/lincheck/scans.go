@@ -1,0 +1,219 @@
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/seqset"
+)
+
+// Scan-aware linearizability checking.
+//
+// The per-key decomposition of Check is sound only for histories without
+// range queries: a range scan observes many keys at ONE instant, so its
+// legality is a joint property the per-key sub-histories cannot express.
+// (The cross-shard anomaly this checker exists to catch is exactly the
+// per-key-invisible kind: a scan that reports neither of two keys whose
+// union was non-empty at every instant decomposes into two individually
+// linearizable Find histories.)
+//
+// CheckWithScans therefore runs the Wing–Gong search over the WHOLE
+// history at once, with an internal/seqset.Set as the sequential oracle:
+// a candidate linearization applies point operations to the oracle and
+// requires each scan's observed keys to equal the oracle's RangeScan at
+// the scan's linearization point. Exponential in the worst case, so the
+// history size is capped (MaxScanHistoryOps); intended for focused
+// regression tests over a handful of hot keys, not bulk histories.
+
+// ScanEvent is one completed range-scan observation of a history: the
+// scanned interval [A, B], the keys the scan reported (ascending), and
+// the invocation/response timestamps from the same monotonic clock as
+// Event.
+type ScanEvent struct {
+	A, B     int64
+	Keys     []int64
+	Inv, Res int64
+}
+
+// MaxScanHistoryOps bounds the total history size (point ops + scans)
+// CheckWithScans accepts; the memoized search uses a 64-bit op bitmask.
+const MaxScanHistoryOps = 64
+
+// MaxScanHistoryKeys bounds the distinct keys a CheckWithScans history
+// may touch (the oracle state is fingerprinted as a 64-bit key bitmask
+// for memoization).
+const MaxScanHistoryKeys = 64
+
+// scanOp is the unified internal event: a point op or a scan.
+type scanOp struct {
+	point Event
+	scan  ScanEvent
+	isPt  bool
+	inv   int64
+	res   int64
+}
+
+// CheckWithScans verifies that a history of point operations and range
+// scans is linearizable against the sequential sorted-set model
+// (internal/seqset), assuming every key starts absent. It returns nil on
+// success and a descriptive error otherwise.
+func CheckWithScans(points []Event, scans []ScanEvent) error {
+	n := len(points) + len(scans)
+	if n == 0 {
+		return nil
+	}
+	if n > MaxScanHistoryOps {
+		return fmt.Errorf("lincheck: scan history has %d ops, exceeding the %d-op checker limit", n, MaxScanHistoryOps)
+	}
+	ops := make([]scanOp, 0, n)
+	for _, e := range points {
+		if e.Res < e.Inv {
+			return fmt.Errorf("lincheck: point op on key %d has response before invocation", e.Key)
+		}
+		ops = append(ops, scanOp{point: e, isPt: true, inv: e.Inv, res: e.Res})
+	}
+	for _, e := range scans {
+		if e.Res < e.Inv {
+			return fmt.Errorf("lincheck: scan [%d, %d] has response before invocation", e.A, e.B)
+		}
+		if !sort.SliceIsSorted(e.Keys, func(i, j int) bool { return e.Keys[i] < e.Keys[j] }) {
+			return fmt.Errorf("lincheck: scan [%d, %d] observed keys out of order: %v", e.A, e.B, e.Keys)
+		}
+		ops = append(ops, scanOp{scan: e, inv: e.Inv, res: e.Res})
+	}
+	// The key universe: every key a point op touched or a scan observed.
+	// A key outside the universe can never be present, so scans only need
+	// checking against universe keys inside their interval.
+	keySet := map[int64]int{}
+	for _, e := range points {
+		keySet[e.Key] = 0
+	}
+	for _, e := range scans {
+		for _, k := range e.Keys {
+			keySet[k] = 0
+		}
+	}
+	if len(keySet) > MaxScanHistoryKeys {
+		return fmt.Errorf("lincheck: scan history touches %d distinct keys, exceeding the %d-key checker limit", len(keySet), MaxScanHistoryKeys)
+	}
+	keys := make([]int64, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, k := range keys {
+		keySet[k] = i
+	}
+
+	type memoKey struct {
+		mask  uint64 // ops already linearized
+		state uint64 // oracle fingerprint: bit i = keys[i] present
+	}
+	visited := map[memoKey]bool{}
+	oracle := seqset.New()
+	fingerprint := func() uint64 {
+		var fp uint64
+		for _, k := range oracle.Keys() {
+			fp |= 1 << uint(keySet[k])
+		}
+		return fp
+	}
+	var dfs func(remaining uint64) bool
+	dfs = func(remaining uint64) bool {
+		if remaining == 0 {
+			return true
+		}
+		mk := memoKey{remaining, fingerprint()}
+		if visited[mk] {
+			return false // explored from this (ops, state) and failed
+		}
+		visited[mk] = true
+		// An op may linearize next only if no other remaining op responded
+		// before its invocation (real-time order).
+		minRes := int64(1<<63 - 1)
+		for i := range ops {
+			if remaining&(1<<uint(i)) != 0 && ops[i].res < minRes {
+				minRes = ops[i].res
+			}
+		}
+		for i := range ops {
+			bit := uint64(1) << uint(i)
+			if remaining&bit == 0 || ops[i].inv > minRes {
+				continue
+			}
+			op := &ops[i]
+			if op.isPt {
+				undo, ok := applyPoint(oracle, op.point)
+				if !ok {
+					continue // recorded return value inconsistent here
+				}
+				if dfs(remaining &^ bit) {
+					return true
+				}
+				undo()
+				continue
+			}
+			if !scanMatches(oracle, op.scan) {
+				continue
+			}
+			if dfs(remaining &^ bit) {
+				return true
+			}
+		}
+		return false
+	}
+	full := uint64(1)<<uint(n) - 1
+	if n == MaxScanHistoryOps {
+		full = ^uint64(0)
+	}
+	if !dfs(full) {
+		return fmt.Errorf("lincheck: history of %d point ops and %d scans over keys %v is not linearizable", len(points), len(scans), keys)
+	}
+	return nil
+}
+
+// applyPoint runs e against the oracle, reporting whether e's recorded
+// return value is consistent, and returning an undo closure for the DFS
+// backtrack.
+func applyPoint(oracle *seqset.Set, e Event) (undo func(), ok bool) {
+	switch e.Kind {
+	case Insert:
+		if e.Ret != !oracle.Contains(e.Key) {
+			return nil, false
+		}
+		if e.Ret {
+			oracle.Insert(e.Key)
+			return func() { oracle.Delete(e.Key) }, true
+		}
+		return func() {}, true
+	case Delete:
+		if e.Ret != oracle.Contains(e.Key) {
+			return nil, false
+		}
+		if e.Ret {
+			oracle.Delete(e.Key)
+			return func() { oracle.Insert(e.Key) }, true
+		}
+		return func() {}, true
+	default: // Find
+		if e.Ret != oracle.Contains(e.Key) {
+			return nil, false
+		}
+		return func() {}, true
+	}
+}
+
+// scanMatches reports whether the scan's observation equals the oracle's
+// current contents of [A, B].
+func scanMatches(oracle *seqset.Set, e ScanEvent) bool {
+	want := oracle.RangeScan(e.A, e.B)
+	if len(want) != len(e.Keys) {
+		return false
+	}
+	for i := range want {
+		if want[i] != e.Keys[i] {
+			return false
+		}
+	}
+	return true
+}

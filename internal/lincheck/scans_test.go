@@ -1,0 +1,103 @@
+package lincheck
+
+import "testing"
+
+// Timestamps in these tests are abstract instants; only their order
+// matters.
+
+// TestScansSequentialPasses: a straight-line history with scans at known
+// states is linearizable.
+func TestScansSequentialPasses(t *testing.T) {
+	points := []Event{
+		{Kind: Insert, Key: 10, Ret: true, Inv: 1, Res: 2},
+		{Kind: Insert, Key: 20, Ret: true, Inv: 3, Res: 4},
+		{Kind: Delete, Key: 10, Ret: true, Inv: 7, Res: 8},
+	}
+	scans := []ScanEvent{
+		{A: 0, B: 100, Keys: []int64{10, 20}, Inv: 5, Res: 6},
+		{A: 0, B: 100, Keys: []int64{20}, Inv: 9, Res: 10},
+		{A: 15, B: 100, Keys: []int64{20}, Inv: 11, Res: 12},
+	}
+	if err := CheckWithScans(points, scans); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScansConcurrentWindow: a scan overlapping an insert may report the
+// key or not — both linearizations exist.
+func TestScansConcurrentWindow(t *testing.T) {
+	points := []Event{{Kind: Insert, Key: 5, Ret: true, Inv: 2, Res: 5}}
+	for _, keys := range [][]int64{{}, {5}} {
+		if err := CheckWithScans(points, []ScanEvent{{A: 0, B: 10, Keys: keys, Inv: 1, Res: 6}}); err != nil {
+			t.Fatalf("observed %v: %v", keys, err)
+		}
+	}
+}
+
+// TestScansCrossShardAnomalyRejected encodes the §5.2 cross-shard
+// anomaly: a key moves from kR's side of a shard boundary to kL's side
+// (insert new home, then delete old home), so the union {kL, kR} is
+// non-empty at every instant — yet the scan reports neither. The per-key
+// checker cannot see the violation (each per-key sub-history is
+// individually fine); the joint scan checker must reject it.
+func TestScansCrossShardAnomalyRejected(t *testing.T) {
+	const kL, kR = 400, 600
+	points := []Event{
+		{Kind: Insert, Key: kR, Ret: true, Inv: 0, Res: 1}, // initial state {kR}
+		{Kind: Insert, Key: kL, Ret: true, Inv: 4, Res: 5}, // the move
+		{Kind: Delete, Key: kR, Ret: true, Inv: 6, Res: 7},
+	}
+	scan := ScanEvent{A: 0, B: 1000, Keys: nil, Inv: 3, Res: 9} // saw NEITHER
+	err := CheckWithScans(points, []ScanEvent{scan})
+	if err == nil {
+		t.Fatal("empty-scan anomaly accepted: no instant of the history had both keys absent")
+	}
+	// Decomposed per key (the scan read as two Finds), the same history
+	// is accepted — the reason Check alone cannot guard range queries.
+	decomposed := append(append([]Event(nil), points...),
+		Event{Kind: Find, Key: kL, Ret: false, Inv: scan.Inv, Res: scan.Res},
+		Event{Kind: Find, Key: kR, Ret: false, Inv: scan.Inv, Res: scan.Res},
+	)
+	if err := Check(decomposed); err != nil {
+		t.Fatalf("per-key decomposition unexpectedly rejected: %v", err)
+	}
+	// The legal observations of the same window all pass.
+	for _, keys := range [][]int64{{kR}, {kL}, {kL, kR}} {
+		ok := ScanEvent{A: 0, B: 1000, Keys: keys, Inv: 3, Res: 9}
+		if err := CheckWithScans(points, []ScanEvent{ok}); err != nil {
+			t.Fatalf("legal observation %v rejected: %v", keys, err)
+		}
+	}
+}
+
+// TestScansRealTimeOrderEnforced: a scan that responded before an insert
+// was invoked cannot observe it.
+func TestScansRealTimeOrderEnforced(t *testing.T) {
+	points := []Event{{Kind: Insert, Key: 5, Ret: true, Inv: 10, Res: 11}}
+	bad := ScanEvent{A: 0, B: 10, Keys: []int64{5}, Inv: 1, Res: 2}
+	if err := CheckWithScans(points, []ScanEvent{bad}); err == nil {
+		t.Fatal("scan observed an insert from its future")
+	}
+}
+
+// TestScansReturnValueChecked: point-op return values still participate.
+func TestScansReturnValueChecked(t *testing.T) {
+	points := []Event{
+		{Kind: Insert, Key: 5, Ret: true, Inv: 1, Res: 2},
+		{Kind: Insert, Key: 5, Ret: true, Inv: 3, Res: 4}, // impossible second true
+	}
+	if err := CheckWithScans(points, nil); err == nil {
+		t.Fatal("double successful insert accepted")
+	}
+}
+
+// TestScansLimits: oversized histories are refused, not mis-checked.
+func TestScansLimits(t *testing.T) {
+	var points []Event
+	for i := 0; i < MaxScanHistoryOps+1; i++ {
+		points = append(points, Event{Kind: Find, Key: 1, Ret: false, Inv: int64(i), Res: int64(i)})
+	}
+	if err := CheckWithScans(points, nil); err == nil {
+		t.Fatal("oversized history accepted")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/epoch"
 )
 
@@ -96,9 +97,12 @@ type node[V any] struct {
 // replacing a key's value installs a fresh immutable leaf (there is no
 // in-place mutation, which is what keeps old versions readable).
 type Map[V any] struct {
-	_       [64]byte
-	counter atomic.Uint64
-	_       [64]byte
+	// clock is the map's phase counter (core.Clock, already padded). New
+	// gives every map its own; NewWithClock lets a map share a phase
+	// domain with other maps or trees, so a future sharded map front end
+	// can take atomic cross-shard cuts exactly as internal/shard does for
+	// the set (DESIGN.md §5.2).
+	clock *core.Clock
 
 	root  *node[V]
 	dummy *descriptor[V]
@@ -117,9 +121,17 @@ type Map[V any] struct {
 // observable for retry pressure from aggressive auto-compaction.
 func (m *Map[V]) RetriesHorizon() uint64 { return m.retriesHorizon.Load() }
 
-// New returns an empty map.
-func New[V any]() *Map[V] {
-	m := &Map[V]{}
+// New returns an empty map with a private phase clock.
+func New[V any]() *Map[V] { return NewWithClock[V](core.NewClock()) }
+
+// NewWithClock returns an empty map whose phase counter is the given
+// shared clock (nil gets a fresh private clock); see core.NewWithClock
+// for the phase-domain semantics.
+func NewWithClock[V any](c *core.Clock) *Map[V] {
+	if c == nil {
+		c = core.NewClock()
+	}
+	m := &Map[V]{clock: c}
 	dummyInfo := &info[V]{retired: true}
 	dummyInfo.state.Store(stateAbort)
 	m.dummy = &descriptor[V]{typ: flag, info: dummyInfo}
@@ -233,7 +245,7 @@ func (m *Map[V]) validateLeaf(gp, p, l *node[V], k int64) (bool, *descriptor[V],
 func (m *Map[V]) Get(k int64) (V, bool) {
 	checkKey(k)
 	for {
-		seq := m.counter.Load()
+		seq := m.clock.Now()
 		gp, p, l := m.search(k, seq)
 		if l == nil {
 			m.retriesHorizon.Add(1)
@@ -289,7 +301,7 @@ func (m *Map[V]) execute(nodes []*node[V], oldUpdate []*descriptor[V], markMask 
 }
 
 func (m *Map[V]) help(in *info[V]) bool {
-	if m.counter.Load() != in.seq {
+	if m.clock.Now() != in.seq {
 		in.state.CompareAndSwap(stateUndecided, stateAbort)
 	} else {
 		in.state.CompareAndSwap(stateUndecided, stateTry)
@@ -319,7 +331,7 @@ func (m *Map[V]) help(in *info[V]) bool {
 func (m *Map[V]) Put(k int64, v V) (replaced bool) {
 	checkKey(k)
 	for {
-		seq := m.counter.Load()
+		seq := m.clock.Now()
 		gp, p, l := m.search(k, seq)
 		if l == nil {
 			m.retriesHorizon.Add(1)
@@ -364,7 +376,7 @@ func (m *Map[V]) Put(k int64, v V) (replaced bool) {
 func (m *Map[V]) Delete(k int64) bool {
 	checkKey(k)
 	for {
-		seq := m.counter.Load()
+		seq := m.clock.Now()
 		gp, p, l := m.search(k, seq)
 		if l == nil {
 			m.retriesHorizon.Add(1)

@@ -19,7 +19,7 @@ type CompactStats struct {
 // Horizon returns the minimum phase any active or future reader may
 // traverse.
 func (m *Map[V]) Horizon() uint64 {
-	return m.readers.Min(m.counter.Load())
+	return m.readers.Min(m.clock.Now())
 }
 
 // Compact prunes all versions behind the current reclamation horizon.

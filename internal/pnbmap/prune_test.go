@@ -1,6 +1,7 @@
 package pnbmap
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -119,4 +120,37 @@ func TestMapCompactConcurrent(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 	stop.Store(true)
 	wg.Wait()
+}
+
+// TestMapSnapshotReadAfterReleasePanicsAtCallSite: the map's snapshot
+// reads must detect the released state at the call site (the set
+// counterpart lives in internal/core/released_test.go).
+func TestMapSnapshotReadAfterReleasePanicsAtCallSite(t *testing.T) {
+	m := New[int]()
+	for k := int64(0); k < 32; k++ {
+		m.Put(k, int(k))
+	}
+	s := m.Snapshot()
+	if _, ok := s.Get(7); !ok || s.Released() {
+		t.Fatal("live snapshot misbehaves before Release")
+	}
+	s.Release()
+	if !s.Released() {
+		t.Fatal("Released() false after Release")
+	}
+	for what, read := range map[string]func(){
+		"Get":   func() { s.Get(7) },
+		"Range": func() { s.Range(0, 10, func(int64, int) bool { return true }) },
+		"Len":   func() { s.Len() },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "released Snapshot") {
+					t.Fatalf("%s on released snapshot: got %v, want the misuse panic", what, r)
+				}
+			}()
+			read()
+		}()
+	}
 }

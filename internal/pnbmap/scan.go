@@ -37,10 +37,9 @@ func (m *Map[V]) RangeScanFunc(a, b int64, visit func(k int64, v V) bool) {
 	}
 	// Register before acquiring the phase so Compact's horizon cannot
 	// overtake this scan while it runs (see internal/epoch).
-	r := m.readers.Register(m.counter.Load())
+	r := m.readers.Register(m.clock.Now())
 	defer m.readers.Release(r)
-	seq := m.counter.Load()
-	m.counter.Add(1)
+	seq := m.clock.Open()
 	m.scanInto(m.root, seq, a, b, &visit)
 }
 
@@ -111,18 +110,31 @@ func (g *snapReg[V]) release() {
 
 // Snapshot ends the current phase and returns a handle on it.
 func (m *Map[V]) Snapshot() *Snapshot[V] {
-	reg := &snapReg[V]{m: m, r: m.readers.Register(m.counter.Load())}
-	seq := m.counter.Load()
-	m.counter.Add(1)
+	reg := &snapReg[V]{m: m, r: m.readers.Register(m.clock.Now())}
+	seq := m.clock.Open()
 	s := &Snapshot[V]{m: m, seq: seq, reg: reg}
 	runtime.AddCleanup(s, func(g *snapReg[V]) { g.release() }, reg)
 	return s
 }
 
 // Release withdraws the snapshot's hold on the reclamation horizon;
-// idempotent. Reading the snapshot afterwards is a bug (reads either
-// still succeed or panic; they are never silently wrong).
+// idempotent. Reading the snapshot afterwards is a bug; reads detect the
+// released state and panic with a message naming the misuse (mustLive) —
+// they are never silently wrong.
 func (s *Snapshot[V]) Release() { s.reg.release() }
+
+// Released reports whether the snapshot's registration has been
+// withdrawn (by Release or the GC cleanup).
+func (s *Snapshot[V]) Released() bool { return s.reg.released.Load() }
+
+// mustLive fails fast at the call site when a released snapshot is read,
+// instead of letting the misuse surface later as an opaque
+// "version chain pruned" panic deep inside mustReadChild.
+func (s *Snapshot[V]) mustLive() {
+	if s.reg.released.Load() {
+		panic("pnbmap: read of a released Snapshot: Snapshot.Release (or the GC cleanup) already ran; call Release only after all reads are done")
+	}
+}
 
 // Seq returns the snapshot's phase.
 func (s *Snapshot[V]) Seq() uint64 { return s.seq }
@@ -130,6 +142,7 @@ func (s *Snapshot[V]) Seq() uint64 { return s.seq }
 // Get returns the value bound to k at the snapshot's phase. Wait-free.
 func (s *Snapshot[V]) Get(k int64) (V, bool) {
 	checkKey(k)
+	s.mustLive()
 	var val V
 	found := false
 	v := func(_ int64, x V) bool { val, found = x, true; return false }
@@ -146,6 +159,7 @@ func (s *Snapshot[V]) Range(a, b int64, visit func(k int64, v V) bool) {
 	if a > b {
 		return
 	}
+	s.mustLive()
 	s.m.scanInto(s.m.root, s.seq, a, b, &visit)
 	runtime.KeepAlive(s) // the cleanup must not release the registration mid-read
 }

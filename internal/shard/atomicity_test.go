@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lincheck"
+)
+
+// The cross-boundary move tests pin the tentpole property: a scan
+// spanning a shard boundary is ONE atomic cut. The adversarial schedule
+// is deterministic — the scan's visitor callback runs between the
+// shard-0 cut and the shard-1 cut, and performs the racing move right
+// there — so the §5.2 anomaly is forced, not hoped for. On the shared
+// clock the move lands in a later phase than the scan and is invisible;
+// on relaxed sets the move is visible to the not-yet-cut shard only,
+// splitting the scan across two states.
+
+// moveScan runs the deterministic schedule: a 2-shard set over [0, 999]
+// (boundary 500) holding sentinel k0=100 plus the "item" at exactly one
+// of home=400 (shard 0) or away=600 (shard 1); mid-scan, the visitor
+// moves the item to the other side (inserting the new location before
+// deleting the old, or the reverse). Returns the scanned keys.
+func moveScan(s *Set, item, dest int64, insertFirst bool) []int64 {
+	moved := false
+	var got []int64
+	s.RangeScanFunc(0, 999, func(k int64) bool {
+		if !moved {
+			moved = true
+			if insertFirst {
+				s.Insert(dest)
+				s.Delete(item)
+			} else {
+				s.Delete(item)
+				s.Insert(dest)
+			}
+		}
+		got = append(got, k)
+		return true
+	})
+	return got
+}
+
+// TestCrossShardScanAtomicCut: on the default (shared-clock) set, both
+// move directions are invisible to the in-flight scan — it reports
+// exactly the pre-move state, the atomic cut of its phase.
+func TestCrossShardScanAtomicCut(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		item, dest  int64
+		insertFirst bool
+	}{
+		{"move right into shard 1, union never empty", 600, 400, true},
+		{"move left out of shard 0, both never present", 400, 600, false},
+	} {
+		s := NewRange(0, 999, 2)
+		s.Insert(100)
+		s.Insert(tc.item)
+		got := moveScan(s, tc.item, tc.dest, tc.insertFirst)
+		want := []int64{100, tc.item}
+		if tc.item < 100 {
+			want = []int64{tc.item, 100}
+		}
+		if !equal(got, want) {
+			t.Fatalf("%s: scan = %v, want pre-move cut %v", tc.name, got, want)
+		}
+	}
+}
+
+// TestRelaxedCrossShardAnomaly pins the documented §5.2 relaxation —
+// and is exactly what Set.RangeScanFunc did for ALL sets before the
+// shared clock: the same schedules produce results no single instant of
+// the set ever held (the item vanishes entirely, or appears on both
+// sides of the boundary at once).
+func TestRelaxedCrossShardAnomaly(t *testing.T) {
+	// Item moves from shard 1 to shard 0: the insert lands in the
+	// already-cut shard (invisible), the delete in the not-yet-cut shard
+	// (visible) — the scan sees NEITHER location, though the union was
+	// never empty.
+	s := NewRange(0, 999, 2, WithRelaxedScans())
+	s.Insert(100)
+	s.Insert(600)
+	if got := moveScan(s, 600, 400, true); !equal(got, []int64{100}) {
+		t.Fatalf("relaxed move-left scan = %v, want the anomalous [100]", got)
+	}
+	// Item moves from shard 0 to shard 1: the delete is invisible, the
+	// insert visible — the scan sees BOTH locations, though at most one
+	// was ever present.
+	s = NewRange(0, 999, 2, WithRelaxedScans())
+	s.Insert(100)
+	s.Insert(400)
+	if got := moveScan(s, 400, 600, false); !equal(got, []int64{100, 400, 600}) {
+		t.Fatalf("relaxed move-right scan = %v, want the anomalous [100 400 600]", got)
+	}
+}
+
+// TestCrossShardSnapshotAtomicCut: the composite snapshot captures one
+// shared phase, and a snapshot taken mid-"move" (between the two point
+// ops) reports the intermediate state — not a torn one.
+func TestCrossShardSnapshotAtomicCut(t *testing.T) {
+	s := NewRange(0, 999, 2)
+	s.Insert(400)
+	snapBefore := s.Snapshot()
+	s.Insert(600) // move right: insert new home...
+	snapMid := s.Snapshot()
+	s.Delete(400) // ...then delete the old
+	snapAfter := s.Snapshot()
+	for _, c := range []struct {
+		name string
+		snap *Snapshot
+		want []int64
+	}{
+		{"before", snapBefore, []int64{400}},
+		{"mid", snapMid, []int64{400, 600}},
+		{"after", snapAfter, []int64{600}},
+	} {
+		if got := c.snap.Keys(); !equal(got, c.want) {
+			t.Fatalf("snapshot %s = %v, want %v", c.name, got, c.want)
+		}
+		if seq, ok := c.snap.Seq(); !ok {
+			t.Fatalf("snapshot %s: no shared phase (seq=%d)", c.name, seq)
+		}
+		if !c.snap.Atomic() {
+			t.Fatalf("snapshot %s not atomic", c.name)
+		}
+	}
+	if _, ok := NewRange(0, 9, 2, WithRelaxedScans()).Snapshot().Seq(); ok {
+		t.Fatal("relaxed composite snapshot claims a single shared phase")
+	}
+}
+
+// TestCrossShardMoveLincheck is the concurrent regression: a mover
+// shuttles an item across a shard boundary while scanners take
+// cross-boundary range scans; the full history (point ops + scan
+// observations) must be linearizable per the scan-aware checker backed
+// by the seqset oracle. This fails on relaxed-style composition whenever
+// a scan straddles a move; with the shared clock it must always pass.
+func TestCrossShardMoveLincheck(t *testing.T) {
+	const (
+		rounds   = 40
+		kL, kR   = 499, 500 // adjacent keys on opposite sides of the boundary
+		moves    = 8
+		scanners = 2
+		scansPer = 5
+	)
+	for round := 0; round < rounds; round++ {
+		s := NewRange(0, 999, 2)
+		var points []lincheck.Event
+		record := func(kind lincheck.OpKind, k int64, inv int64, ret bool) {
+			points = append(points, lincheck.Event{
+				Kind: kind, Key: k, Ret: ret, Inv: inv, Res: time.Now().UnixNano(),
+			})
+		}
+		inv := time.Now().UnixNano()
+		record(lincheck.Insert, kL, inv, s.Insert(kL))
+
+		scanHistories := make([][]lincheck.ScanEvent, scanners)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		wg.Add(1)
+		go func() { // the mover
+			defer wg.Done()
+			<-start
+			src, dst := int64(kL), int64(kR)
+			for i := 0; i < moves; i++ {
+				inv := time.Now().UnixNano()
+				record(lincheck.Insert, dst, inv, s.Insert(dst))
+				inv = time.Now().UnixNano()
+				record(lincheck.Delete, src, inv, s.Delete(src))
+				src, dst = dst, src
+			}
+		}()
+		for w := 0; w < scanners; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < scansPer; i++ {
+					inv := time.Now().UnixNano()
+					keys := s.RangeScan(0, 999)
+					scanHistories[w] = append(scanHistories[w], lincheck.ScanEvent{
+						A: 0, B: 999, Keys: keys,
+						Inv: inv, Res: time.Now().UnixNano(),
+					})
+				}
+			}(w)
+		}
+		close(start)
+		wg.Wait()
+		var scans []lincheck.ScanEvent
+		for _, h := range scanHistories {
+			scans = append(scans, h...)
+		}
+		if err := lincheck.CheckWithScans(points, scans); err != nil {
+			t.Fatalf("round %d: cross-boundary scan history not linearizable: %v", round, err)
+		}
+	}
+}
+
+// TestStatsLogicalScans is the table test for the Scans counter's
+// definition: one logical phase-opening read operation on the set counts
+// ONCE, however many shards it touches — with the shared clock a
+// cross-shard scan opens one phase; summing per-shard counters (the old
+// aggregation) would have counted it up to P times.
+func TestStatsLogicalScans(t *testing.T) {
+	prefill := []int64{10, 110, 210, 310} // one key per shard of NewRange(0, 399, 4)
+	cases := []struct {
+		name    string
+		relaxed bool
+		run     func(s *Set)
+		want    uint64
+	}{
+		{"scan spanning all shards", false, func(s *Set) { s.RangeScan(0, 399) }, 1},
+		{"scan spanning all shards, relaxed", true, func(s *Set) { s.RangeScan(0, 399) }, 1},
+		{"single-shard scan", false, func(s *Set) { s.RangeScan(0, 50) }, 1},
+		{"empty-range scan opens no phase", false, func(s *Set) { s.RangeScan(50, 40) }, 0},
+		{"count and len", false, func(s *Set) { s.RangeCount(0, 399); s.Len() }, 2},
+		{"count and len, relaxed", true, func(s *Set) { s.RangeCount(0, 399); s.Len() }, 2},
+		{"snapshot", false, func(s *Set) { s.Snapshot().Release() }, 1},
+		{"snapshot, relaxed", true, func(s *Set) { s.Snapshot().Release() }, 1},
+		{"ordered queries", false, func(s *Set) { s.Min(); s.Max(); s.Succ(10); s.Pred(310) }, 4},
+		{"ordered queries, relaxed", true, func(s *Set) { s.Min(); s.Max(); s.Succ(10); s.Pred(310) }, 4},
+		{"point ops are not scans", false, func(s *Set) { s.Insert(5); s.Find(5); s.Delete(5) }, 0},
+		{"ten wide scans", false, func(s *Set) {
+			for i := 0; i < 10; i++ {
+				s.RangeScan(0, 399)
+			}
+		}, 10},
+	}
+	for _, tc := range cases {
+		var opts []Option
+		if tc.relaxed {
+			opts = append(opts, WithRelaxedScans())
+		}
+		s := NewRange(0, 399, 4, opts...)
+		for _, k := range prefill {
+			s.Insert(k)
+		}
+		tc.run(s)
+		if got := s.Stats().Scans; got != tc.want {
+			t.Errorf("%s: Stats().Scans = %d, want %d", tc.name, got, tc.want)
+		}
+		s.ResetStats()
+		if got := s.Stats().Scans; got != 0 {
+			t.Errorf("%s: Scans = %d after ResetStats", tc.name, got)
+		}
+	}
+}

@@ -2,34 +2,80 @@ package shard
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
 
-// Set is a keyspace-sharded composite of P independent PNB-BSTs. Point
-// operations route to the shard owning the key and inherit that tree's
-// linearizability and non-blocking progress unchanged. Range scans and
-// snapshots compose per-shard wait-free scans in ascending shard order;
-// their cross-shard semantics are relaxed (see RangeScanFunc and
-// Snapshot). All methods are safe for concurrent use.
+// Set is a keyspace-sharded composite of P PNB-BSTs. Point operations
+// route to the shard owning the key and inherit that tree's
+// linearizability and non-blocking progress unchanged.
+//
+// By default the P trees share ONE phase clock (core.Clock), so a range
+// scan or snapshot spanning shards opens a single phase and takes every
+// shard's wait-free cut at that same phase — one atomic cut of the whole
+// set, with the paper's linearizable-scan guarantee intact across shard
+// boundaries (DESIGN.md §5.2). WithRelaxedScans restores the older
+// per-shard-clock composition, whose cross-shard scans are only
+// serializable; it exists so the cost of atomicity stays measurable
+// (experiment E13). All methods are safe for concurrent use.
 type Set struct {
 	r     Router
 	trees []*core.Tree
+
+	// clock is the phase clock shared by every shard; nil in relaxed
+	// mode, where each tree keeps a private clock and cross-shard reads
+	// take per-shard cuts at successive phases.
+	clock *core.Clock
+
+	// scans counts logical phase-opening read operations (scans,
+	// snapshots, ordered queries) started on the set — NOT per-shard
+	// phase opens, of which one cross-shard scan performs up to P.
+	scans atomic.Uint64
+}
+
+// Option configures a Set at construction.
+type Option func(*config)
+
+type config struct{ relaxed bool }
+
+// WithRelaxedScans gives every shard a private phase clock instead of
+// one shared clock. Cross-shard scans and snapshots then take per-shard
+// cuts at successive instants: serializable, reads-each-key-once, but
+// NOT one atomic cut (two updates racing the scan from opposite sides of
+// a shard boundary are observable out of order — DESIGN.md §5.2). In
+// exchange, scans in one shard never handshake with updates in another.
+// Use only when that isolation is worth the anomaly; E13 measures the
+// trade.
+func WithRelaxedScans() Option {
+	return func(c *config) { c.relaxed = true }
 }
 
 // New returns an empty set of p shards partitioning the full key space.
-func New(p int) *Set { return NewRange(core.MinKey, core.MaxKey, p) }
+func New(p int, opts ...Option) *Set {
+	return NewRange(core.MinKey, core.MaxKey, p, opts...)
+}
 
 // NewRange returns an empty set of p shards whose boundaries split
 // [lo, hi] evenly (edge shards absorb the rest of the key space), so a
-// workload concentrated on [lo, hi] spreads across all p shards.
-func NewRange(lo, hi int64, p int) *Set {
+// workload concentrated on [lo, hi] spreads across all p shards. Unless
+// WithRelaxedScans is given, all p trees share one phase clock, making
+// cross-shard scans and snapshots single atomic cuts.
+func NewRange(lo, hi int64, p int, opts ...Option) *Set {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	r := NewRouterRange(lo, hi, p)
 	trees := make([]*core.Tree, r.Shards())
-	for i := range trees {
-		trees[i] = core.New()
+	s := &Set{r: r, trees: trees}
+	if !cfg.relaxed {
+		s.clock = core.NewClock()
 	}
-	return &Set{r: r, trees: trees}
+	for i := range trees {
+		trees[i] = core.NewWithClock(s.clock) // nil clock → private clock per tree
+	}
+	return s
 }
 
 // Shards returns the shard count P.
@@ -37,6 +83,9 @@ func (s *Set) Shards() int { return s.r.Shards() }
 
 // Router returns the set's (immutable) key-to-shard router.
 func (s *Set) Router() Router { return s.r }
+
+// Relaxed reports whether the set was built with WithRelaxedScans.
+func (s *Set) Relaxed() bool { return s.clock == nil }
 
 // Insert adds k, reporting whether it was absent. Linearizable and
 // non-blocking: it is a plain PNB-BST Insert on the owning shard.
@@ -52,20 +101,50 @@ func (s *Set) Find(k int64) bool { return s.trees[s.r.Of(k)].Find(k) }
 // Contains is an alias for Find (the bst.Set spelling).
 func (s *Set) Contains(k int64) bool { return s.Find(k) }
 
+// openPhase opens one atomic cut across shards [first, last]: it
+// registers a reader on every covered shard — pinning each shard's
+// reclamation horizon — and only then closes the current phase of the
+// whole domain on the shared clock (paper lines 130-131, applied once
+// for all P trees). Registering before opening keeps each published
+// bound at or below the returned phase, so no shard's Compact can
+// overtake the composite read (internal/epoch ordering contract); this
+// function is the ONLY place that ordering is encoded — every
+// shared-clock read path goes through it. regs[i] belongs to shard
+// first+i; the caller traverses every covered shard at the returned
+// phase and then releases each registration exactly once (releaseAll,
+// or by handing it to SnapshotAt, which adopts it). Wait-free: one
+// registration CAS per shard, no locks.
+func (s *Set) openPhase(first, last int) (uint64, []core.Registration) {
+	regs := make([]core.Registration, last-first+1)
+	for i := first; i <= last; i++ {
+		regs[i-first] = s.trees[i].Register()
+	}
+	seq := s.clock.Open()
+	s.scans.Add(1)
+	return seq, regs
+}
+
+func releaseAll(regs []core.Registration) {
+	for _, r := range regs {
+		r.Release()
+	}
+}
+
 // RangeScanFunc visits every key in [a, b] in ascending order, calling
 // visit for each; visit returning false stops early.
 //
-// Cross-shard semantics: the scan visits the owning shards in ascending
-// key order and takes each shard's wait-free, linearizable scan as it
-// arrives there. Within one shard the observed keys are an atomic cut of
-// that shard; across shards the cuts are taken at successive (not
-// identical) instants, so a scan spanning multiple shards is NOT one
-// atomic snapshot of the whole set — it is the concatenation of per-shard
-// linearization points in key order (serializable, reads-only-once; see
-// DESIGN.md §5.2). Scans confined to one shard, and all scans in the
-// absence of concurrent cross-boundary updates, remain linearizable.
+// Cross-shard semantics (default, shared clock): the scan opens ONE
+// phase s and reconstructs T_s of every covered shard, in ascending key
+// order — a single atomic cut of the whole set, linearized at the
+// clock's increment exactly as the paper's single-tree scan. Wait-free.
+// With WithRelaxedScans the per-shard cuts are taken at successive
+// instants instead and the composite is only serializable (DESIGN.md
+// §5.2).
 func (s *Set) RangeScanFunc(a, b int64, visit func(k int64) bool) {
 	first, last := s.r.Covering(a, b)
+	if first > last {
+		return
+	}
 	stopped := false
 	wrapped := func(k int64) bool {
 		if !visit(k) {
@@ -73,8 +152,17 @@ func (s *Set) RangeScanFunc(a, b int64, visit func(k int64) bool) {
 		}
 		return !stopped
 	}
+	if s.clock == nil { // relaxed: successive per-shard phases
+		s.scans.Add(1)
+		for i := first; i <= last && !stopped; i++ {
+			s.trees[i].RangeScanFunc(a, b, wrapped)
+		}
+		return
+	}
+	seq, regs := s.openPhase(first, last)
+	defer releaseAll(regs)
 	for i := first; i <= last && !stopped; i++ {
-		s.trees[i].RangeScanFunc(a, b, wrapped)
+		s.trees[i].RangeScanAtFunc(a, b, seq, wrapped)
 	}
 }
 
@@ -94,9 +182,21 @@ func (s *Set) RangeScan(a, b int64) []int64 {
 // Semantics as RangeScanFunc.
 func (s *Set) RangeCount(a, b int64) int {
 	first, last := s.r.Covering(a, b)
+	if first > last {
+		return 0
+	}
 	n := 0
+	if s.clock == nil {
+		s.scans.Add(1)
+		for i := first; i <= last; i++ {
+			n += s.trees[i].RangeCount(a, b)
+		}
+		return n
+	}
+	seq, regs := s.openPhase(first, last)
+	defer releaseAll(regs)
 	for i := first; i <= last; i++ {
-		n += s.trees[i].RangeCount(a, b)
+		n += s.trees[i].RangeCountAt(a, b, seq)
 	}
 	return n
 }
@@ -104,14 +204,25 @@ func (s *Set) RangeCount(a, b int64) int {
 // Keys returns all keys, ascending.
 func (s *Set) Keys() []int64 { return s.RangeScan(core.MinKey, core.MaxKey) }
 
-// Len returns the number of keys (summed per-shard counts; semantics as
-// RangeScanFunc).
+// Len returns the number of keys (semantics as RangeScanFunc).
 func (s *Set) Len() int { return s.RangeCount(core.MinKey, core.MaxKey) }
 
-// Min returns the smallest key, if any.
+// Min returns the smallest key, if any. With the shared clock the probe
+// is one atomic cut over all shards.
 func (s *Set) Min() (int64, bool) {
+	if s.clock == nil {
+		s.scans.Add(1)
+		for _, t := range s.trees {
+			if k, ok := t.Min(); ok {
+				return k, true
+			}
+		}
+		return 0, false
+	}
+	seq, regs := s.openPhase(0, len(s.trees)-1)
+	defer releaseAll(regs)
 	for _, t := range s.trees {
-		if k, ok := t.Min(); ok {
+		if k, ok := t.SuccAt(core.MinKey, seq); ok {
 			return k, true
 		}
 	}
@@ -120,8 +231,19 @@ func (s *Set) Min() (int64, bool) {
 
 // Max returns the largest key, if any.
 func (s *Set) Max() (int64, bool) {
+	if s.clock == nil {
+		s.scans.Add(1)
+		for i := len(s.trees) - 1; i >= 0; i-- {
+			if k, ok := s.trees[i].Max(); ok {
+				return k, true
+			}
+		}
+		return 0, false
+	}
+	seq, regs := s.openPhase(0, len(s.trees)-1)
+	defer releaseAll(regs)
 	for i := len(s.trees) - 1; i >= 0; i-- {
-		if k, ok := s.trees[i].Max(); ok {
+		if k, ok := s.trees[i].PredAt(core.MaxKey, seq); ok {
 			return k, true
 		}
 	}
@@ -130,8 +252,20 @@ func (s *Set) Max() (int64, bool) {
 
 // Succ returns the smallest key >= k, if any.
 func (s *Set) Succ(k int64) (int64, bool) {
-	for i := s.r.Of(k); i < len(s.trees); i++ {
-		if succ, ok := s.trees[i].Succ(k); ok {
+	from := s.r.Of(k)
+	if s.clock == nil {
+		s.scans.Add(1)
+		for i := from; i < len(s.trees); i++ {
+			if succ, ok := s.trees[i].Succ(k); ok {
+				return succ, true
+			}
+		}
+		return 0, false
+	}
+	seq, regs := s.openPhase(from, len(s.trees)-1)
+	defer releaseAll(regs)
+	for i := from; i < len(s.trees); i++ {
+		if succ, ok := s.trees[i].SuccAt(k, seq); ok {
 			return succ, true
 		}
 	}
@@ -140,36 +274,56 @@ func (s *Set) Succ(k int64) (int64, bool) {
 
 // Pred returns the largest key <= k, if any.
 func (s *Set) Pred(k int64) (int64, bool) {
-	for i := s.r.Of(k); i >= 0; i-- {
-		if pred, ok := s.trees[i].Pred(k); ok {
+	upto := s.r.Of(k)
+	if s.clock == nil {
+		s.scans.Add(1)
+		for i := upto; i >= 0; i-- {
+			if pred, ok := s.trees[i].Pred(k); ok {
+				return pred, true
+			}
+		}
+		return 0, false
+	}
+	seq, regs := s.openPhase(0, upto)
+	defer releaseAll(regs)
+	for i := upto; i >= 0; i-- {
+		if pred, ok := s.trees[i].PredAt(k, seq); ok {
 			return pred, true
 		}
 	}
 	return 0, false
 }
 
-// Snapshot takes each shard's wait-free snapshot in ascending shard
-// order and returns the composite view. Each per-shard view is a frozen,
-// linearizable cut of that shard; the P cuts are taken at successive
-// instants, so the composite is not one atomic cut of the whole set
-// (DESIGN.md §5.2). Reads of the returned Snapshot are stable: repeated
-// reads always observe the same composite.
+// Snapshot returns a composite of per-shard wait-free snapshots. With
+// the shared clock (default) all P snapshots capture the SAME phase —
+// the composite is one atomic cut of the whole set, frozen at the
+// clock's increment. With WithRelaxedScans the P cuts are taken at
+// successive instants (DESIGN.md §5.2). Either way reads of the returned
+// Snapshot are stable: repeated reads always observe the same composite.
 func (s *Set) Snapshot() *Snapshot {
 	snaps := make([]*core.Snapshot, len(s.trees))
-	for i, t := range s.trees {
-		snaps[i] = t.Snapshot()
+	if s.clock == nil {
+		s.scans.Add(1)
+		for i, t := range s.trees {
+			snaps[i] = t.Snapshot()
+		}
+		return &Snapshot{r: s.r, snaps: snaps}
 	}
-	return &Snapshot{r: s.r, snaps: snaps}
+	seq, regs := s.openPhase(0, len(s.trees)-1)
+	for i, t := range s.trees {
+		snaps[i] = t.SnapshotAt(seq, regs[i]) // adopts the registration
+	}
+	return &Snapshot{r: s.r, snaps: snaps, seq: seq, atomicCut: true}
 }
 
 // Compact prunes every shard's version memory to that shard's own
 // reclamation horizon and returns the aggregated statistics (LiveNodes,
-// PrunedLinks and RetiredInfos are summed; Horizon is the minimum per-shard horizon —
-// phase counters are per-shard, so the value is only a progress
-// indicator). The cross-shard horizon rule (DESIGN.md §6): a composite
-// Snapshot registers on every shard it covers, so each shard's horizon
-// independently stays at or below the phase the composite captured
-// there; no cross-shard coordination is needed for safety.
+// PrunedLinks and RetiredInfos are summed; Horizon is the minimum
+// per-shard horizon). The cross-shard horizon rule (DESIGN.md §6): a
+// composite Snapshot or in-flight cross-shard scan registers on every
+// shard it covers BEFORE opening its phase, so each shard's horizon
+// independently stays at or below that phase; per-shard pruning needs no
+// further coordination even though the shards share a clock.
 func (s *Set) Compact() core.CompactStats {
 	var sum core.CompactStats
 	for i, t := range s.trees {
@@ -196,7 +350,13 @@ func (s *Set) VersionGraphSize() int {
 }
 
 // Stats returns the element-wise sum of the per-shard instrumentation
-// counters (LastHorizon is the minimum per-shard horizon).
+// counters, except: Scans is the number of LOGICAL phase-opening read
+// operations started on the set (one per cross-shard scan/snapshot,
+// however many shards it covers), and LastHorizon is the minimum
+// per-shard horizon. Summing the per-shard Scans counters would count
+// one logical scan up to P times — the per-tree counters stay per-tree
+// (they are zero on the shared-clock read path, which opens its phase at
+// the set level).
 func (s *Set) Stats() core.StatsSnapshot {
 	var sum core.StatsSnapshot
 	for i, t := range s.trees {
@@ -207,7 +367,6 @@ func (s *Set) Stats() core.StatsSnapshot {
 		sum.RetriesHorizon += st.RetriesHorizon
 		sum.Helps += st.Helps
 		sum.HandshakeAborts += st.HandshakeAborts
-		sum.Scans += st.Scans
 		sum.Compactions += st.Compactions
 		sum.PrunedLinks += st.PrunedLinks
 		sum.LastLiveNodes += st.LastLiveNodes
@@ -215,11 +374,14 @@ func (s *Set) Stats() core.StatsSnapshot {
 			sum.LastHorizon = st.LastHorizon
 		}
 	}
+	sum.Scans = s.scans.Load()
 	return sum
 }
 
-// ResetStats zeroes every shard's counters.
+// ResetStats zeroes every shard's counters and the set's logical scan
+// counter.
 func (s *Set) ResetStats() {
+	s.scans.Store(0)
 	for _, t := range s.trees {
 		t.ResetStats()
 	}
@@ -251,20 +413,49 @@ func (s *Set) CheckInvariants() error {
 }
 
 // Snapshot is a composite of per-shard wait-free snapshots, one per
-// shard, taken in ascending shard order. Reads are stable and wait-free;
-// see Set.Snapshot for the cross-shard caveat.
+// shard. With the shared clock all per-shard snapshots carry the same
+// phase (Seq) and the composite is one atomic cut; see Set.Snapshot.
+// Reads are stable and wait-free.
 type Snapshot struct {
-	r     Router
-	snaps []*core.Snapshot
+	r         Router
+	snaps     []*core.Snapshot
+	seq       uint64 // the shared phase (atomic mode only)
+	atomicCut bool   // all per-shard cuts share phase seq
+	released  atomic.Bool
+}
+
+// Atomic reports whether the composite is a single atomic cut (shared
+// clock) rather than a stitch of per-shard cuts (relaxed mode).
+func (s *Snapshot) Atomic() bool { return s.atomicCut }
+
+// Seq returns the phase captured by every per-shard cut, and whether
+// that single phase exists (false for snapshots of relaxed sets, whose
+// shards captured unrelated per-clock phases).
+func (s *Snapshot) Seq() (uint64, bool) { return s.seq, s.atomicCut }
+
+// mustLive fails fast at the call site when a released composite is
+// read; without it the misuse would surface only as an opaque
+// "version chain pruned" panic deep inside a shard's traversal (or not
+// at all until a Compact pass runs).
+func (s *Snapshot) mustLive() {
+	if s.released.Load() {
+		panic("shard: read of a released composite Snapshot: Release already ran; call Release only after all reads of the snapshot are done")
+	}
 }
 
 // Contains reports whether k was present in the owning shard's cut.
-func (s *Snapshot) Contains(k int64) bool { return s.snaps[s.r.Of(k)].Contains(k) }
+func (s *Snapshot) Contains(k int64) bool {
+	s.mustLive()
+	return s.snaps[s.r.Of(k)].Contains(k)
+}
 
 // Release withdraws the composite snapshot's hold on every shard's
 // reclamation horizon (see core.Snapshot.Release). Idempotent; reading
-// the snapshot afterwards is a bug.
+// the snapshot afterwards is a bug, detected at the call site.
 func (s *Snapshot) Release() {
+	if !s.released.CompareAndSwap(false, true) {
+		return
+	}
 	for _, snap := range s.snaps {
 		snap.Release()
 	}
@@ -273,6 +464,7 @@ func (s *Snapshot) Release() {
 // Range visits every key in [a, b] of the composite view in ascending
 // order; visit returning false stops early.
 func (s *Snapshot) Range(a, b int64, visit func(k int64) bool) {
+	s.mustLive()
 	first, last := s.r.Covering(a, b)
 	stopped := false
 	wrapped := func(k int64) bool {
@@ -301,6 +493,7 @@ func (s *Snapshot) Keys() []int64 { return s.RangeScan(core.MinKey, core.MaxKey)
 
 // Len returns the number of keys in the composite view.
 func (s *Snapshot) Len() int {
+	s.mustLive()
 	n := 0
 	for _, snap := range s.snaps {
 		n += snap.Len()
