@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -535,6 +536,45 @@ func BenchmarkE12CompactPass(b *testing.B) {
 				}
 				b.StartTimer()
 				tr.Compact()
+			}
+		})
+	}
+}
+
+// BenchmarkE14RebalanceZipf — experiment E14 (single point): clustered
+// zipfian point ops (skew 1.2, hot keys contiguous at the bottom of the
+// key space) on the static 8-shard set vs the same set with the online
+// rebalancer. Static range sharding concentrates nearly all of this
+// workload on shard 0; the rebalancer splits the hot shard at its median
+// until the heat spreads. The final shard count is reported as a metric.
+func BenchmarkE14RebalanceZipf(b *testing.B) {
+	const keys = 1 << 18
+	for _, tgt := range []string{harness.ShardedTarget(8), harness.ShardedAutoTarget(8)} {
+		b.Run(tgt, func(b *testing.B) {
+			inst := prefilledRange(b, tgt, keys)
+			var seed atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := workload.NewRNG(seed.Add(1))
+				z := workload.NewZipfClustered(0, keys, 1.2)
+				for pb.Next() {
+					k := z.Key(rng)
+					switch rng.Intn(5) {
+					case 0, 1:
+						inst.Insert(k)
+					case 2, 3:
+						inst.Delete(k)
+					default:
+						inst.Contains(k)
+					}
+				}
+			})
+			b.StopTimer()
+			if c, ok := inst.(io.Closer); ok {
+				c.Close()
+			}
+			if n, ok := harness.ShardCount(inst); ok {
+				b.ReportMetric(float64(n), "shards")
 			}
 		})
 	}

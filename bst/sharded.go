@@ -54,6 +54,19 @@ func RelaxedScans() ShardedOption { return shard.WithRelaxedScans() }
 // (*ShardedMap).Snapshot.
 type ShardedSnapshot = shard.Snapshot
 
+// RebalanceConfig tunes the online shard rebalancer; the zero value gets
+// the documented defaults. See shard.RebalanceConfig.
+type RebalanceConfig = shard.RebalanceConfig
+
+// Rebalancing errors, re-exported for errors.Is.
+var (
+	// ErrRelaxedRebalance: rebalancing needs the shared phase clock, which
+	// RelaxedScans removes.
+	ErrRelaxedRebalance = shard.ErrRelaxedRebalance
+	// ErrSplitTooSmall: the shard holds fewer than two keys.
+	ErrSplitTooSmall = shard.ErrSplitTooSmall
+)
+
 // NewSharded returns an empty map of p shards whose boundaries split the
 // full key space [MinKey, MaxKey] evenly.
 func NewSharded(p int, opts ...ShardedOption) *ShardedMap {
@@ -68,8 +81,37 @@ func NewShardedRange(lo, hi int64, p int, opts ...ShardedOption) *ShardedMap {
 	return &ShardedMap{s: shard.NewRange(lo, hi, p, opts...)}
 }
 
-// Shards returns the shard count P.
+// Shards returns the current shard count; it changes over time on a map
+// with an active rebalancer.
 func (m *ShardedMap) Shards() int { return m.s.Shards() }
+
+// Split divides shard i in two at the median key of its contents,
+// atomically at one phase of the shared clock: no operation — not even
+// a scan already in flight across the boundary — can observe a torn
+// state (DESIGN.md §7). Fails with ErrSplitTooSmall on shards holding
+// fewer than two keys and ErrRelaxedRebalance on RelaxedScans maps.
+func (m *ShardedMap) Split(i int) error { return m.s.Split(i) }
+
+// Merge fuses shards i and i+1 into one, with Split's atomicity.
+func (m *ShardedMap) Merge(i int) error { return m.s.Merge(i) }
+
+// StartAutoRebalance runs a load-driven rebalancer on a background
+// goroutine: every cfg.Interval it samples per-shard load and splits the
+// hottest shard or merges the coldest adjacent pair when the imbalance
+// crosses cfg's thresholds. It returns a stop function (idempotent;
+// returns after the rebalancer has fully quiesced) and fails with
+// ErrRelaxedRebalance on RelaxedScans maps.
+func (m *ShardedMap) StartAutoRebalance(cfg RebalanceConfig) (stop func(), err error) {
+	return m.s.AutoRebalance(cfg)
+}
+
+// Migrations reports how many shard splits and merges have completed.
+func (m *ShardedMap) Migrations() (splits, merges uint64) { return m.s.Migrations() }
+
+// ShardLoads returns the cumulative per-shard point-operation counts of
+// the current routing generation (they restart at zero on each
+// migration) — the signal the rebalancer acts on.
+func (m *ShardedMap) ShardLoads() []uint64 { return m.s.ShardLoads() }
 
 // Relaxed reports whether the map was built with RelaxedScans.
 func (m *ShardedMap) Relaxed() bool { return m.s.Relaxed() }

@@ -9,9 +9,11 @@
 //	benchbst -experiment E1 [-duration 2s] [-threads 8] [-csv]
 //	benchbst -experiment E12            # memory under churn, pruning on/off
 //	benchbst -experiment E13            # atomic vs relaxed cross-shard scans
+//	benchbst -experiment E14            # online shard rebalancing under zipf skew
 //	benchbst -all -quick
 //	benchbst -impl sharded -shards 16 [-keys 1048576] [-insert 25 -delete 25 -scan 10 -scanwidth 100]
-//	benchbst -impl sharded -shards 16 -relaxed   # per-shard clocks (§5.2 relaxed scans)
+//	benchbst -impl sharded -shards 16 -relaxed     # per-shard clocks (§5.2 relaxed scans)
+//	benchbst -impl sharded -shards 8 -rebalance [-zipf 1.2]   # online splits/merges under load
 //
 // With -all every experiment runs in order. -quick shrinks key ranges
 // and durations for a fast smoke pass; published numbers should use the
@@ -19,10 +21,14 @@
 //
 // With -impl a single harness run is executed against the named
 // implementation (any harness target: pnbbst, nbbst, lockbst, skiplist,
-// snapcollector, sharded, sharded-relaxed); -shards selects the shard
-// count when -impl is a sharded family and is rejected otherwise, and
-// -relaxed switches a sharded -impl to per-shard phase clocks (relaxed
-// cross-shard scans).
+// snapcollector, sharded, sharded-relaxed, sharded-auto); -shards
+// selects the shard count when -impl is a sharded family and is
+// rejected otherwise, -relaxed switches a sharded -impl to per-shard
+// phase clocks (relaxed cross-shard scans), -rebalance runs a background
+// load-driven rebalancer (online splits and merges; the two are mutually
+// exclusive), and -zipf draws point-op keys from a clustered zipfian
+// distribution with the given skew — the spatially concentrated workload
+// rebalancing exists for.
 package main
 
 import (
@@ -51,6 +57,8 @@ func main() {
 		impl      = flag.String("impl", "", "run one workload against this implementation instead of an experiment")
 		shards    = flag.Int("shards", harness.DefaultShards, "shard count (with -impl sharded)")
 		relaxed   = flag.Bool("relaxed", false, "per-shard phase clocks: relaxed cross-shard scans (with -impl sharded)")
+		rebalance = flag.Bool("rebalance", false, "background load-driven shard rebalancer: online splits/merges (with -impl sharded)")
+		zipf      = flag.Float64("zipf", 0, "clustered zipfian key skew, e.g. 1.2; 0 = uniform (with -impl)")
 		keys      = flag.Int64("keys", 1<<20, "key-space size (with -impl)")
 		insertPct = flag.Int("insert", 25, "insert percentage (with -impl)")
 		deletePct = flag.Int("delete", 25, "delete percentage (with -impl)")
@@ -87,6 +95,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-shards only applies to -impl %s or %s\n", harness.TargetSharded, harness.TargetShardedRelax)
 			os.Exit(2)
 		}
+		if *relaxed && *rebalance {
+			fmt.Fprintf(os.Stderr, "-relaxed and -rebalance are mutually exclusive: the rebalancer's migration cut needs the shared clock\n")
+			os.Exit(2)
+		}
 		if *relaxed {
 			if n, ok := harness.ParseShardedTarget(target); ok {
 				target = harness.ShardedRelaxedTarget(n)
@@ -95,12 +107,23 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		if *rebalance {
+			if n, ok := harness.ParseShardedTarget(target); ok {
+				target = harness.ShardedAutoTarget(n)
+			} else if _, ok := harness.ParseShardedAutoTarget(target); !ok {
+				fmt.Fprintf(os.Stderr, "-rebalance only applies to shared-clock sharded implementations\n")
+				os.Exit(2)
+			}
+		}
 		// Bound the shard count by the key range whichever way it was
 		// spelled (-impl sharded -shards N, -impl shardedN, or a -relaxed
-		// variant of either).
+		// or -rebalance variant of either).
 		n, ok := harness.ParseShardedTarget(target)
 		if !ok {
 			n, ok = harness.ParseShardedRelaxedTarget(target)
+		}
+		if !ok {
+			n, ok = harness.ParseShardedAutoTarget(target)
 		}
 		if ok && (n < 1 || int64(n) > *keys) {
 			fmt.Fprintf(os.Stderr, "shard count %d outside [1, %d] (-keys bounds the shard count)\n", n, *keys)
@@ -120,14 +143,20 @@ func main() {
 				InsertPct: *insertPct, DeletePct: *deletePct,
 				ScanPct: *scanPct, ScanWidth: *scanWidth,
 			},
-			Seed:        *seed,
-			SampleEvery: 64,
+			ZipfSkew:      *zipf,
+			ZipfClustered: *zipf > 1,
+			Seed:          *seed,
+			SampleEvery:   64,
 		})
 		fmt.Println(res)
 		if st, ok := harness.PNBStats(res.Inst); ok {
 			fmt.Printf("stats: helps=%d handshakeAborts=%d scans=%d retries=%d/%d/%d\n",
 				st.Helps, st.HandshakeAborts, st.Scans,
 				st.RetriesInsert, st.RetriesDelete, st.RetriesFind)
+		}
+		if splits, merges, ok := harness.Migrations(res.Inst); ok && (splits+merges > 0 || *rebalance) {
+			count, _ := harness.ShardCount(res.Inst)
+			fmt.Printf("rebalance: shards=%d splits=%d merges=%d\n", count, splits, merges)
 		}
 		return
 	}

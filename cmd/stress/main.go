@@ -10,14 +10,23 @@
 // Usage:
 //
 //	stress [-impl pnbbst|sharded] [-shards 8] [-relaxed] [-duration 30s] [-threads N] [-keys 4096]
-//	       [-seed 1] [-compact] [-mem 1s]
+//	       [-seed 1] [-compact] [-rebalance] [-zipf 1.2] [-mem 1s]
 //
 // With -compact a pruner goroutine runs Compact concurrently with the
 // chaos, exercising the version-reclamation path under full adversarial
 // load (scans + snapshots + updates); the quiescent checks then also
 // verify that pruning reduced the version graph to O(set size).
 //
-// Exit status 0 means every check passed.
+// With -rebalance (sharded only) a load-driven rebalancer splits and
+// merges shards concurrently with everything above, so routing-table
+// migrations race updates, scans, snapshots and (with -compact) pruning.
+// Pair it with -zipf to skew updater keys onto one shard (clustered
+// zipfian), which makes the rebalancer actually migrate; uniform load
+// correctly leaves the partition alone.
+//
+// Every round prints its effective seed before running, and every worker
+// re-prints it if it panics, so any failing interleaving can be replayed
+// with -seed. Exit status 0 means every check passed.
 package main
 
 import (
@@ -36,15 +45,17 @@ import (
 
 func main() {
 	var (
-		impl     = flag.String("impl", "pnbbst", "implementation under stress: pnbbst or sharded")
-		shards   = flag.Int("shards", 8, "shard count (with -impl sharded)")
-		relaxed  = flag.Bool("relaxed", false, "per-shard phase clocks: relaxed cross-shard scans (with -impl sharded)")
-		duration = flag.Duration("duration", 30*time.Second, "total stress time")
-		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "updater goroutines")
-		keys     = flag.Int64("keys", 4096, "key-space size")
-		seed     = flag.Uint64("seed", 1, "PRNG seed")
-		compact  = flag.Bool("compact", false, "run a concurrent version pruner (Compact) during every round")
-		memEvery = flag.Duration("mem", time.Second, "memory report interval during rounds (0 disables)")
+		impl      = flag.String("impl", "pnbbst", "implementation under stress: pnbbst or sharded")
+		shards    = flag.Int("shards", 8, "shard count (with -impl sharded)")
+		relaxed   = flag.Bool("relaxed", false, "per-shard phase clocks: relaxed cross-shard scans (with -impl sharded)")
+		duration  = flag.Duration("duration", 30*time.Second, "total stress time")
+		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "updater goroutines")
+		keys      = flag.Int64("keys", 4096, "key-space size")
+		seed      = flag.Uint64("seed", 1, "PRNG seed (each failing round reprints its derived seed for replay)")
+		compact   = flag.Bool("compact", false, "run a concurrent version pruner (Compact) during every round")
+		rebalance = flag.Bool("rebalance", false, "run a concurrent shard rebalancer: online splits/merges (with -impl sharded)")
+		zipf      = flag.Float64("zipf", 0, "clustered zipfian updater keys with this skew, e.g. 1.2; 0 = uniform (spatial skew makes -rebalance actually migrate)")
+		memEvery  = flag.Duration("mem", time.Second, "memory report interval during rounds (0 disables)")
 	)
 	flag.Parse()
 
@@ -52,17 +63,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stress: -relaxed only applies to -impl sharded")
 		os.Exit(2)
 	}
-	if _, _, err := makeTarget(*impl, *shards, *relaxed, *keys); err != nil {
+	if *rebalance && *impl != "sharded" {
+		fmt.Fprintln(os.Stderr, "stress: -rebalance only applies to -impl sharded")
+		os.Exit(2)
+	}
+	if *rebalance && *relaxed {
+		fmt.Fprintln(os.Stderr, "stress: -rebalance needs the shared clock; drop -relaxed")
+		os.Exit(2)
+	}
+	if _, _, _, err := makeTarget(*impl, *shards, *relaxed, *keys); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	extra := ""
 	if *compact {
-		extra = " + 1 pruner"
+		extra += " + 1 pruner"
 	}
-	fmt.Printf("stress: %s, %v, %d updaters + 2 scanners + 1 snapshotter%s, %d keys\n",
-		describe(*impl, *shards, *relaxed), *duration, *threads, extra, *keys)
+	if *rebalance {
+		extra += " + 1 rebalancer"
+	}
+	fmt.Printf("stress: %s, %v, %d updaters + 2 scanners + 1 snapshotter%s, %d keys, seed %d\n",
+		describe(*impl, *shards, *relaxed), *duration, *threads, extra, *keys, *seed)
 
 	deadline := time.Now().Add(*duration)
 	rounds := 0
@@ -72,8 +94,10 @@ func main() {
 		if rem := time.Until(deadline); rem < roundDur {
 			roundDur = rem
 		}
-		if err := round(*impl, *shards, *relaxed, roundDur, *threads, *keys, *seed+uint64(rounds), *compact, *memEvery); err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL (round %d): %v\n", rounds, err)
+		roundSeed := *seed + uint64(rounds)
+		fmt.Printf("round %d: seed=%d (replay: -seed %d)\n", rounds, roundSeed, roundSeed)
+		if err := round(*impl, *shards, *relaxed, roundDur, *threads, *keys, roundSeed, *compact, *rebalance, *zipf, *memEvery); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL (round %d, seed %d): %v\n", rounds, roundSeed, err)
 			os.Exit(1)
 		}
 		rounds++
@@ -134,30 +158,41 @@ type snapView interface {
 
 // makeTarget builds the implementation under test plus a snapshot
 // factory (the two Snapshot methods return distinct types, so the common
-// shape is adapted through a closure).
-func makeTarget(impl string, shards int, relaxed bool, keyRange int64) (set, func() snapView, error) {
+// shape is adapted through a closure) and, for sharded targets, the
+// shard.Set itself (so the rebalancer can drive migrations).
+func makeTarget(impl string, shards int, relaxed bool, keyRange int64) (set, func() snapView, *shard.Set, error) {
 	switch impl {
 	case "pnbbst":
 		t := core.New()
-		return t, func() snapView { return t.Snapshot() }, nil
+		return t, func() snapView { return t.Snapshot() }, nil, nil
 	case "sharded":
 		if shards < 1 || int64(shards) > keyRange {
-			return nil, nil, fmt.Errorf("stress: -shards %d outside [1, %d] (-keys bounds the shard count)", shards, keyRange)
+			return nil, nil, nil, fmt.Errorf("stress: -shards %d outside [1, %d] (-keys bounds the shard count)", shards, keyRange)
 		}
 		var opts []shard.Option
 		if relaxed {
 			opts = append(opts, shard.WithRelaxedScans())
 		}
 		s := shard.NewRange(0, keyRange-1, shards, opts...)
-		return s, func() snapView { return s.Snapshot() }, nil
+		return s, func() snapView { return s.Snapshot() }, s, nil
 	default:
-		return nil, nil, fmt.Errorf("stress: unknown -impl %q (have pnbbst, sharded)", impl)
+		return nil, nil, nil, fmt.Errorf("stress: unknown -impl %q (have pnbbst, sharded)", impl)
+	}
+}
+
+// guard re-prints the round's seed when the calling goroutine panics, so
+// the interleaving can be replayed with -seed, then re-panics.
+func guard(seed uint64) {
+	if r := recover(); r != nil {
+		fmt.Fprintf(os.Stderr, "PANIC (replay with -seed %d): %v\n", seed, r)
+		panic(r)
 	}
 }
 
 // round runs one bounded burst of chaos and then verifies quiescent state.
-func round(impl string, shards int, relaxed bool, d time.Duration, threads int, keyRange int64, seed uint64, compact bool, memEvery time.Duration) error {
-	tr, snapshot, err := makeTarget(impl, shards, relaxed, keyRange)
+func round(impl string, shards int, relaxed bool, d time.Duration, threads int, keyRange int64, seed uint64, compact, rebalance bool, zipf float64, memEvery time.Duration) error {
+	defer guard(seed)
+	tr, snapshot, shardSet, err := makeTarget(impl, shards, relaxed, keyRange)
 	if err != nil {
 		return err
 	}
@@ -170,9 +205,14 @@ func round(impl string, shards int, relaxed bool, d time.Duration, threads int, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer guard(seed)
 			rng := workload.NewRNG(seed*131 + uint64(w))
+			var gen workload.KeyGen = workload.Uniform{Lo: 0, Hi: keyRange}
+			if zipf > 1 {
+				gen = workload.NewZipfClustered(0, keyRange, zipf)
+			}
 			for !stop.Load() {
-				k := rng.Intn(keyRange)
+				k := gen.Key(rng)
 				if rng.Intn(2) == 0 {
 					if tr.Insert(k) {
 						balance[k].Add(1)
@@ -190,6 +230,7 @@ func round(impl string, shards int, relaxed bool, d time.Duration, threads int, 
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			defer guard(seed)
 			rng := workload.NewRNG(seed*977 + uint64(s))
 			for !stop.Load() {
 				a := rng.Intn(keyRange)
@@ -217,6 +258,7 @@ func round(impl string, shards int, relaxed bool, d time.Duration, threads int, 
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		defer guard(seed)
 		for !stop.Load() {
 			snap := snapshot()
 			a := snap.Len()
@@ -233,11 +275,23 @@ func round(impl string, shards int, relaxed bool, d time.Duration, threads int, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer guard(seed)
 			for !stop.Load() {
 				tr.Compact()
 				time.Sleep(50 * time.Millisecond)
 			}
 		}()
+	}
+	// Rebalancer: split/merge shards concurrently with everything above,
+	// so routing migrations race updates, scans, snapshots and pruning.
+	// It is stopped (and fully quiesced) before the post-round checks.
+	var stopRb func()
+	if rebalance {
+		var err error
+		stopRb, err = shardSet.AutoRebalance(shard.RebalanceConfig{Interval: 10 * time.Millisecond})
+		if err != nil {
+			return err
+		}
 	}
 	// Memory reporter: HeapAlloc/HeapObjects alongside the op counters so
 	// long adversarial runs surface version leaks as they happen.
@@ -263,6 +317,9 @@ func round(impl string, shards int, relaxed bool, d time.Duration, threads int, 
 	time.Sleep(d)
 	stop.Store(true)
 	wg.Wait()
+	if stopRb != nil {
+		stopRb() // waits for any in-flight migration; quiescence restored
+	}
 	select {
 	case err := <-errc:
 		return err
@@ -289,7 +346,7 @@ func round(impl string, shards int, relaxed bool, d time.Duration, threads int, 
 		vg := tr.VersionGraphSize()
 		perShard := 1 // sentinel overhead is per tree; -shards is unused for pnbbst
 		if impl == "sharded" {
-			perShard = shards
+			perShard = shardSet.Shards() // the rebalancer may have changed the count
 		}
 		limit := 4*tr.Len() + 128*perShard + 128
 		if vg > limit {
@@ -300,5 +357,9 @@ func round(impl string, shards int, relaxed bool, d time.Duration, threads int, 
 	st := tr.Stats()
 	fmt.Printf("  ops ok: len=%d helps=%d handshakeAborts=%d scans=%d horizonRetries=%d\n",
 		tr.Len(), st.Helps, st.HandshakeAborts, st.Scans, st.RetriesHorizon)
+	if rebalance {
+		splits, merges := shardSet.Migrations()
+		fmt.Printf("  rebalance ok: shards=%d splits=%d merges=%d\n", shardSet.Shards(), splits, merges)
+	}
 	return nil
 }

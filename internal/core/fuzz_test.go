@@ -6,6 +6,130 @@ import (
 	"repro/internal/seqset"
 )
 
+// FuzzTreeVsOracle is the wide-surface fuzz wall: arbitrary bytes decode
+// into an operation tape covering the full read/write surface — point
+// ops, range scans and counts, ordered queries (Succ/Pred/Min/Max),
+// snapshot cuts held across later updates, mid-tape snapshot releases,
+// bulk construction (BuildFromSorted as the starting state) and Compact
+// passes — every result checked against the sequential seqset oracle,
+// every live snapshot checked against the oracle state frozen when its
+// cut was taken. The checked-in corpus under testdata/fuzz covers each
+// opcode; run `go test -fuzz=FuzzTreeVsOracle` for continuous fuzzing
+// (CI runs a short-budget smoke).
+func FuzzTreeVsOracle(f *testing.F) {
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte{0, 5, 0, 4, 0, 0, 1, 5, 0, 5, 0, 0}, byte(0))                   // insert, snapshot, delete, verify+release
+	f.Add([]byte{6, 10, 0, 7, 10, 0, 3, 0, 200, 8, 0, 200}, byte(9))             // ordered queries + scans on a built tree
+	f.Add([]byte{0, 1, 0, 9, 0, 0, 1, 1, 0, 9, 0, 0, 2, 1, 0}, byte(3))          // compact between updates
+	f.Add([]byte{4, 0, 0, 0, 7, 0, 4, 0, 0, 1, 7, 0, 5, 0, 0, 5, 0, 0}, byte(0)) // stacked snapshots
+	f.Fuzz(func(t *testing.T, raw []byte, prefill byte) {
+		// Start from a bulk-built tree holding `prefill` evenly spread
+		// keys, so the tape also exercises BuildFromSorted shapes.
+		base := make([]int64, 0, int(prefill))
+		oracle := seqset.New()
+		for i := 0; i < int(prefill); i++ {
+			k := int64(i) * 3
+			base = append(base, k)
+			oracle.Insert(k)
+		}
+		tr, err := BuildFromSortedKeys(nil, base)
+		if err != nil {
+			t.Fatalf("BuildFromSortedKeys(%v): %v", base, err)
+		}
+		type cut struct {
+			snap *Snapshot
+			keys []int64
+		}
+		var cuts []cut
+		verifyOldest := func() {
+			if len(cuts) == 0 {
+				return
+			}
+			c := cuts[0]
+			cuts = cuts[1:]
+			if got := c.snap.Keys(); !equalKeys(got, c.keys) {
+				t.Fatalf("snapshot cut diverged: %v, want %v", got, c.keys)
+			}
+			c.snap.Release()
+		}
+		for i := 0; i+2 < len(raw); i += 3 {
+			k := int64(raw[i+1])
+			b := k + int64(raw[i+2])
+			switch raw[i] % 10 {
+			case 0:
+				if tr.Insert(k) != oracle.Insert(k) {
+					t.Fatalf("Insert(%d) diverged", k)
+				}
+			case 1:
+				if tr.Delete(k) != oracle.Delete(k) {
+					t.Fatalf("Delete(%d) diverged", k)
+				}
+			case 2:
+				if tr.Find(k) != oracle.Contains(k) {
+					t.Fatalf("Find(%d) diverged", k)
+				}
+			case 3:
+				if !equalKeys(tr.RangeScan(k, b), oracle.RangeScan(k, b)) {
+					t.Fatalf("RangeScan(%d,%d) diverged", k, b)
+				}
+			case 4:
+				if len(cuts) < 8 { // bound live horizon pins
+					cuts = append(cuts, cut{tr.Snapshot(), oracle.Keys()})
+				}
+			case 5:
+				verifyOldest()
+			case 6:
+				gotK, gotOK := tr.Succ(k)
+				wantK, wantOK := oracleSucc(oracle, k)
+				if gotOK != wantOK || (gotOK && gotK != wantK) {
+					t.Fatalf("Succ(%d) = %d,%v, want %d,%v", k, gotK, gotOK, wantK, wantOK)
+				}
+			case 7:
+				gotK, gotOK := tr.Pred(k)
+				wantK, wantOK := oraclePred(oracle, k)
+				if gotOK != wantOK || (gotOK && gotK != wantK) {
+					t.Fatalf("Pred(%d) = %d,%v, want %d,%v", k, gotK, gotOK, wantK, wantOK)
+				}
+			case 8:
+				if got, want := tr.RangeCount(k, b), len(oracle.RangeScan(k, b)); got != want {
+					t.Fatalf("RangeCount(%d,%d) = %d, want %d", k, b, got, want)
+				}
+			case 9:
+				tr.Compact() // live snapshots must pin their cuts through this
+			}
+		}
+		for len(cuts) > 0 {
+			verifyOldest()
+		}
+		tr.Compact()
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if !equalKeys(tr.Keys(), oracle.Keys()) {
+			t.Fatal("final keys diverged")
+		}
+	})
+}
+
+func oracleSucc(o *seqset.Set, k int64) (int64, bool) {
+	for _, x := range o.Keys() {
+		if x >= k {
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+func oraclePred(o *seqset.Set, k int64) (int64, bool) {
+	got, ok := int64(0), false
+	for _, x := range o.Keys() {
+		if x <= k {
+			got, ok = x, true
+		}
+	}
+	return got, ok
+}
+
 // FuzzOpsVsOracle decodes arbitrary bytes into an operation script and
 // cross-checks every return value, every scan, and the final structure
 // against the sequential oracle. Run with `go test -fuzz=FuzzOpsVsOracle`

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/epoch"
 )
@@ -30,6 +31,11 @@ type Tree struct {
 	// readers tracks the phases of in-flight RangeScans and live
 	// Snapshots so Compact can bound the reclamation horizon (horizon.go).
 	readers epoch.Table
+
+	// sealed permanently retires the tree from updates (Seal); set by a
+	// shard migration just before it opens its snapshot-cut phase, so that
+	// no update can ever commit here at a phase above the cut (seal.go).
+	sealed atomic.Bool
 
 	stats Stats
 }
@@ -202,11 +208,32 @@ func casChild(parent, old, new *node) {
 }
 
 // Insert adds k to the set, returning false if k was already present
-// (paper lines 147-168). Non-blocking.
+// (paper lines 147-168). Non-blocking. Insert on a sealed tree is a
+// routing bug (the caller should have re-resolved the owning tree) and
+// panics; composite structures use TryInsert.
 func (t *Tree) Insert(k int64) bool {
+	res, ok := t.TryInsert(k)
+	if !ok {
+		panic("core: Insert on a sealed Tree (re-route the key and use TryInsert; see Seal)")
+	}
+	return res
+}
+
+// TryInsert is Insert that refuses sealed trees: ok=false reports that
+// the tree is sealed and the insert did NOT take effect; the caller must
+// re-resolve which tree owns k and retry there. When ok=false the
+// operation left no trace: no attempt of this call committed, because
+// every iteration re-checks the seal after reading its phase and any
+// iteration that proceeded past the check has phase <= the seal's cut
+// (see Seal) — so a committed attempt is part of the migration snapshot
+// and TryInsert reports ok=true for it.
+func (t *Tree) TryInsert(k int64) (res, ok bool) {
 	checkKey(k)
 	for {
 		seq := t.clock.Now()
+		if t.sealed.Load() {
+			return false, false
+		}
 		gp, p, l := t.search(k, seq)
 		if l == nil {
 			t.stats.retriesHorizon.Add(1)
@@ -218,7 +245,7 @@ func (t *Tree) Insert(k int64) bool {
 			continue
 		}
 		if l.key == k {
-			return false // cannot insert duplicate key
+			return false, true // cannot insert duplicate key
 		}
 		// Build the replacement subtree: an internal node whose two
 		// children are a fresh leaf for k and a fresh copy of l
@@ -239,7 +266,7 @@ func (t *Tree) Insert(k int64) bool {
 			1<<1, // mark = {l}
 			p, l, ni, seq, true)
 		if ok {
-			return true
+			return true, true
 		}
 		t.stats.retriesInsert.Add(1)
 	}
@@ -248,11 +275,26 @@ func (t *Tree) Insert(k int64) bool {
 // Delete removes k from the set, returning false if k was absent (paper
 // lines 169-195). Unlike NB-BST, the surviving sibling is *copied* (with
 // the current phase and prev = p) rather than re-linked, which keeps the
-// prev/child graph acyclic (paper §4.2). Non-blocking.
+// prev/child graph acyclic (paper §4.2). Non-blocking. Delete on a sealed
+// tree panics, like Insert; composite structures use TryDelete.
 func (t *Tree) Delete(k int64) bool {
+	res, ok := t.TryDelete(k)
+	if !ok {
+		panic("core: Delete on a sealed Tree (re-route the key and use TryDelete; see Seal)")
+	}
+	return res
+}
+
+// TryDelete is Delete that refuses sealed trees, with exactly TryInsert's
+// contract: ok=false means the tree is sealed and the delete did not take
+// effect; ok=true results are part of the migration snapshot.
+func (t *Tree) TryDelete(k int64) (res, ok bool) {
 	checkKey(k)
 	for {
 		seq := t.clock.Now()
+		if t.sealed.Load() {
+			return false, false
+		}
 		gp, p, l := t.search(k, seq)
 		if l == nil {
 			t.stats.retriesHorizon.Add(1)
@@ -264,7 +306,7 @@ func (t *Tree) Delete(k int64) bool {
 			continue
 		}
 		if l.key != k {
-			return false // key not in the tree
+			return false, true // key not in the tree
 		}
 		// The sibling is on the opposite side of l under p (line 182):
 		// if l is p's right child (l.key >= p.key) the sibling is the left.
@@ -302,7 +344,7 @@ func (t *Tree) Delete(k int64) bool {
 				1<<1|1<<2|1<<3, // mark = {p, l, sibling}
 				gp, p, cp, seq, false)
 			if ok {
-				return true
+				return true, true
 			}
 		}
 		t.stats.retriesDelete.Add(1)

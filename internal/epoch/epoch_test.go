@@ -89,6 +89,144 @@ func TestSlotReuse(t *testing.T) {
 	}
 }
 
+// TestOverflowMassUnregisterReuse: after a mass unregister that drained
+// a fully overflowed table, fresh registrations must land back in the
+// lock-free slot array (the overflow multiset holds no stale entries
+// that could depress Min or leak), and the whole cycle is repeatable.
+func TestOverflowMassUnregisterReuse(t *testing.T) {
+	var tab Table
+	for cycle := 0; cycle < 3; cycle++ {
+		const n = 4 * Slots
+		readers := make([]Reader, n)
+		for i := range readers {
+			readers[i] = tab.Register(uint64(1000*cycle + i))
+		}
+		if got := tab.Min(1 << 40); got != uint64(1000*cycle) {
+			t.Fatalf("cycle %d: Min = %d, want %d", cycle, got, 1000*cycle)
+		}
+		// Mass unregister, deliberately releasing slot-held and
+		// overflow-held registrations interleaved.
+		for i := 0; i < n; i += 2 {
+			tab.Release(readers[i])
+		}
+		for i := 1; i < n; i += 2 {
+			tab.Release(readers[i])
+		}
+		if got := tab.Min(1 << 40); got != 1<<40 {
+			t.Fatalf("cycle %d: Min = %d after mass unregister, want the ceiling", cycle, got)
+		}
+		if len(tab.overflow) != 0 {
+			t.Fatalf("cycle %d: overflow multiset retains %v after mass unregister", cycle, tab.overflow)
+		}
+		// The slot array must be fully reusable: Slots sequential
+		// registrations may not spill into the overflow path again.
+		again := make([]Reader, Slots)
+		for i := range again {
+			again[i] = tab.Register(uint64(i))
+			if again[i].slot == nil {
+				t.Fatalf("cycle %d: registration %d overflowed after mass unregister", cycle, i)
+			}
+		}
+		for _, r := range again {
+			tab.Release(r)
+		}
+	}
+}
+
+// TestOverflowCeilingInterplay: bounds held only in the overflow
+// multiset clamp Min exactly like slot-held ones, including a bound of
+// 0 (the slot encoding's edge case does not exist on the overflow path,
+// but the observable behavior must match) and ceilings below every
+// registered bound.
+func TestOverflowCeilingInterplay(t *testing.T) {
+	var tab Table
+	fill := make([]Reader, Slots)
+	for i := range fill {
+		fill[i] = tab.Register(50)
+	}
+	over0 := tab.Register(0) // overflow path, bound 0
+	if over0.slot != nil {
+		t.Fatal("expected the table to be full")
+	}
+	if got := tab.Min(1 << 20); got != 0 {
+		t.Fatalf("Min = %d with overflow bound 0, want 0", got)
+	}
+	if got := tab.Min(0); got != 0 {
+		t.Fatalf("Min(0) = %d", got)
+	}
+	tab.Release(over0)
+	if got := tab.Min(1 << 20); got != 50 {
+		t.Fatalf("Min = %d after releasing the overflow bound, want 50", got)
+	}
+	if got := tab.Min(7); got != 7 {
+		t.Fatalf("ceiling below slot bounds: Min(7) = %d", got)
+	}
+	for _, r := range fill {
+		tab.Release(r)
+	}
+}
+
+// TestConcurrentOverflowChurn keeps the table saturated so that
+// Register/Release continuously cross the slot/overflow boundary from
+// many goroutines while a checker polls Min against a pinned overflow
+// registration. Run under -race: this is the mutex-protected path racing
+// the lock-free one.
+func TestConcurrentOverflowChurn(t *testing.T) {
+	var tab Table
+	// Saturate the slot array so churners constantly hit the overflow map.
+	fill := make([]Reader, Slots)
+	for i := range fill {
+		fill[i] = tab.Register(uint64(100 + i))
+	}
+	pinned := tab.Register(9) // overflow-held minimum
+	if pinned.slot != nil {
+		t.Fatal("pinned registration unexpectedly took a slot")
+	}
+
+	stop := make(chan struct{})
+	var checker sync.WaitGroup
+	checker.Add(1)
+	go func() {
+		defer checker.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if got := tab.Min(1 << 40); got > 9 {
+					t.Errorf("Min = %d with an overflow-held bound-9 reader", got)
+					return
+				}
+			}
+		}
+	}()
+	var churn sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		churn.Add(1)
+		go func(w int) {
+			defer churn.Done()
+			for i := 0; i < 3_000; i++ {
+				r := tab.Register(uint64(200 + (w*31+i)%13))
+				tab.Release(r)
+			}
+		}(w)
+	}
+	churn.Wait()
+	close(stop)
+	checker.Wait()
+
+	tab.Release(pinned)
+	for _, r := range fill {
+		tab.Release(r)
+	}
+	if got := tab.Min(777); got != 777 {
+		t.Fatalf("after full release: Min = %d", got)
+	}
+	if len(tab.overflow) != 0 {
+		t.Fatalf("overflow multiset not drained: %v", tab.overflow)
+	}
+}
+
 // TestConcurrentRegistry hammers Register/Release/Min from many
 // goroutines; with a bound-5 registration pinned for the whole run, Min
 // must never exceed 5. Run under -race.

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,7 +36,12 @@ type Config struct {
 	Mix      workload.Mix  // operation percentages + scan width
 	Disjoint bool          // give each worker an exclusive key partition
 	ZipfSkew float64       // >1 enables zipfian keys; 0 = uniform
-	Seed     uint64        // base PRNG seed (worker w uses Seed*1e6+w)
+	// ZipfClustered makes the zipfian hot set one contiguous key run
+	// instead of scattering it — maximal spatial skew, the adversarial
+	// case for range sharding that experiment E14 stresses rebalancing
+	// with. Requires ZipfSkew > 1.
+	ZipfClustered bool
+	Seed          uint64 // base PRNG seed (worker w uses Seed*1e6+w)
 
 	// SampleEvery controls point-operation latency sampling (every Nth
 	// op); 0 disables latency measurement. Scans are always timed when
@@ -153,6 +159,11 @@ func Run(cfg Config) *Result {
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	// Stop background machinery the instance runs (the sharded-auto
+	// rebalancer); the instance stays readable for post-run inspection.
+	if c, ok := inst.(io.Closer); ok {
+		c.Close() //nolint:errcheck // in-process stop, never fails
+	}
 
 	res := &Result{
 		Config:    cfg,
@@ -178,6 +189,8 @@ func keyGen(cfg Config, worker int) workload.KeyGen {
 	switch {
 	case cfg.Disjoint:
 		return workload.Partition{Lo: 0, Hi: cfg.KeyRange, Worker: worker, N: cfg.Threads}
+	case cfg.ZipfSkew > 1 && cfg.ZipfClustered:
+		return workload.NewZipfClustered(0, cfg.KeyRange, cfg.ZipfSkew)
 	case cfg.ZipfSkew > 1:
 		return workload.NewZipf(0, cfg.KeyRange, cfg.ZipfSkew)
 	default:

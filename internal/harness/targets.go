@@ -26,6 +26,7 @@ const (
 	TargetSnapCollector = "snapcollector"   // Petrank–Timnat scans on the skip list
 	TargetSharded       = "sharded"         // keyspace-sharded PNB-BSTs (DefaultShards shards, shared clock: atomic cross-shard scans)
 	TargetShardedRelax  = "sharded-relaxed" // sharded with per-shard clocks (relaxed cross-shard scans, E13 baseline)
+	TargetShardedAuto   = "sharded-auto"    // sharded with a background load-driven rebalancer (online splits/merges, E14)
 )
 
 // DefaultShards is the shard count of the plain "sharded" target.
@@ -55,6 +56,27 @@ func ParseShardedRelaxedTarget(name string) (int, bool) {
 	return ParseShardedTarget(base)
 }
 
+// autoSuffix marks the auto-rebalancing variant of the sharded family.
+const autoSuffix = "-auto"
+
+// ShardedAutoTarget returns the target name selecting an n-shard sharded
+// PNB-BST with a background load-driven rebalancer, e.g.
+// ShardedAutoTarget(16) == "sharded16-auto". n is only the INITIAL shard
+// count; the rebalancer splits and merges online.
+func ShardedAutoTarget(n int) string { return ShardedTarget(n) + autoSuffix }
+
+// ParseShardedAutoTarget reports whether name selects the
+// auto-rebalancing sharded variant, and with how many initial shards.
+// The same canonical-only rule as ParseShardedTarget applies, so every
+// accepted name round-trips through ShardedAutoTarget.
+func ParseShardedAutoTarget(name string) (int, bool) {
+	base, ok := strings.CutSuffix(name, autoSuffix)
+	if !ok {
+		return 0, false
+	}
+	return ParseShardedTarget(base)
+}
+
 // ParseShardedTarget reports whether name selects the sharded target, and with
 // how many shards. Only canonical names are accepted: "sharded" or
 // "sharded<N>" where <N> is a positive decimal with no sign, leading
@@ -76,14 +98,14 @@ func ParseShardedTarget(name string) (int, bool) {
 }
 
 // Targets returns all registered implementation names, sorted. The
-// parametric "sharded<N>" and "sharded<N>-relaxed" families are
-// represented by their default entries.
+// parametric "sharded<N>", "sharded<N>-relaxed" and "sharded<N>-auto"
+// families are represented by their default entries.
 func Targets() []string {
-	names := make([]string, 0, len(factories)+2)
+	names := make([]string, 0, len(factories)+3)
 	for n := range factories {
 		names = append(names, n)
 	}
-	names = append(names, TargetSharded, TargetShardedRelax)
+	names = append(names, TargetSharded, TargetShardedRelax, TargetShardedAuto)
 	sort.Strings(names)
 	return names
 }
@@ -113,10 +135,20 @@ func FactoryRange(name string) (func(lo, hi int64) Instance, error) {
 			return shInstance{shard.NewRange(lo, hi, n, shard.WithRelaxedScans())}
 		}, nil
 	}
+	if n, ok := ParseShardedAutoTarget(name); ok {
+		return func(lo, hi int64) Instance {
+			s := shard.NewRange(lo, hi, n)
+			stop, err := s.AutoRebalance(shard.RebalanceConfig{})
+			if err != nil {
+				panic(err) // unreachable: the set is not relaxed
+			}
+			return &shAutoInstance{shInstance: shInstance{s}, stop: stop}
+		}, nil
+	}
 	if n, ok := ParseShardedTarget(name); ok {
 		return func(lo, hi int64) Instance { return shInstance{shard.NewRange(lo, hi, n)} }, nil
 	}
-	return nil, fmt.Errorf("harness: unknown target %q (have %v, sharded<N> and sharded<N>-relaxed)", name, Targets())
+	return nil, fmt.Errorf("harness: unknown target %q (have %v, plus sharded<N>, sharded<N>-relaxed and sharded<N>-auto)", name, Targets())
 }
 
 // Factory returns the no-argument constructor for a named target;
@@ -194,6 +226,50 @@ func (i shInstance) RangeScanFunc(a, b int64, visit func(k int64) bool) {
 	i.s.RangeScanFunc(a, b, visit)
 }
 
+// shAutoInstance is a sharded instance with a running background
+// rebalancer. Close stops the rebalancer; Run closes every closing
+// instance when the measurement window ends (the instance itself
+// remains readable afterwards — only migrations stop).
+type shAutoInstance struct {
+	shInstance
+	stop func()
+}
+
+func (i *shAutoInstance) Close() error { i.stop(); return nil }
+
+// ShardCount reports the current number of shards of a sharded-family
+// instance; ok is false for unsharded targets. With an auto-rebalancing
+// instance the count moves while the workload runs (experiment E14
+// traces it).
+func ShardCount(i Instance) (int, bool) {
+	if s, ok := shardSetOf(i); ok {
+		return s.Shards(), true
+	}
+	return 0, false
+}
+
+// Migrations reports how many shard splits and merges an instance has
+// performed; ok is false for unsharded targets.
+func Migrations(i Instance) (splits, merges uint64, ok bool) {
+	if s, ok := shardSetOf(i); ok {
+		splits, merges = s.Migrations()
+		return splits, merges, true
+	}
+	return 0, 0, false
+}
+
+// shardSetOf unwraps the shard.Set behind any sharded-family instance.
+func shardSetOf(i Instance) (*shard.Set, bool) {
+	switch v := i.(type) {
+	case shInstance:
+		return v.s, true
+	case *shAutoInstance:
+		return v.s, true
+	default:
+		return nil, false
+	}
+}
+
 // FuncScanner is the optional streaming-scan surface of an Instance.
 // The E13 atomicity experiment uses it to interleave updates with an
 // in-flight scan (from the visitor) and to inspect exactly which keys a
@@ -207,14 +283,13 @@ type FuncScanner interface {
 // targets not built on the PNB-BST. Sharded instances report the
 // element-wise sum over their shards.
 func PNBStats(i Instance) (core.StatsSnapshot, bool) {
-	switch v := i.(type) {
-	case pnbInstance:
+	if v, ok := i.(pnbInstance); ok {
 		return v.t.Stats(), true
-	case shInstance:
-		return v.s.Stats(), true
-	default:
-		return core.StatsSnapshot{}, false
 	}
+	if s, ok := shardSetOf(i); ok {
+		return s.Stats(), true
+	}
+	return core.StatsSnapshot{}, false
 }
 
 // Compact prunes version memory of an instance built on the PNB-BST
@@ -222,26 +297,24 @@ func PNBStats(i Instance) (core.StatsSnapshot, bool) {
 // which retain no versions. The E12 memory experiment and cmd/stress
 // -compact drive pruning through this.
 func Compact(i Instance) (core.CompactStats, bool) {
-	switch v := i.(type) {
-	case pnbInstance:
+	if v, ok := i.(pnbInstance); ok {
 		return v.t.Compact(), true
-	case shInstance:
-		return v.s.Compact(), true
-	default:
-		return core.CompactStats{}, false
 	}
+	if s, ok := shardSetOf(i); ok {
+		return s.Compact(), true
+	}
+	return core.CompactStats{}, false
 }
 
 // VersionGraphSize returns the number of nodes reachable in the
 // instance's version graph (summed over shards); ok is false for targets
 // without version persistence. Exact only at quiescence.
 func VersionGraphSize(i Instance) (int, bool) {
-	switch v := i.(type) {
-	case pnbInstance:
+	if v, ok := i.(pnbInstance); ok {
 		return v.t.VersionGraphSize(), true
-	case shInstance:
-		return v.s.VersionGraphSize(), true
-	default:
-		return 0, false
 	}
+	if s, ok := shardSetOf(i); ok {
+		return s.VersionGraphSize(), true
+	}
+	return 0, false
 }

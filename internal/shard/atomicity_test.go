@@ -198,6 +198,185 @@ func TestCrossShardMoveLincheck(t *testing.T) {
 	}
 }
 
+// TestSplitDuringScanAtomicCut is the deterministic split-during-scan
+// regression: mid-scan (from the visitor, i.e. strictly between visits
+// of an in-flight atomic scan), shard 0 is split so that the NEW
+// boundary lands inside the scanned range, and a move is performed
+// across that new boundary. The scan owns a phase opened before the
+// migration cut, so it must observe exactly the pre-split, pre-move
+// state — the single-phase cut — with zero tears, even though it
+// finishes traversing trees that are no longer in the routing table.
+func TestSplitDuringScanAtomicCut(t *testing.T) {
+	s := NewRange(0, 999, 2) // boundary at 500
+	for _, k := range []int64{100, 400, 600} {
+		s.Insert(k)
+	}
+	migrated := false
+	var got []int64
+	s.RangeScanFunc(0, 999, func(k int64) bool {
+		if !migrated {
+			migrated = true
+			// Split shard 0 at the median of {100, 400}: new boundary 400,
+			// inside this scan's range.
+			if err := s.Split(0); err != nil {
+				t.Fatalf("split during scan: %v", err)
+			}
+			if s.Shards() != 3 {
+				t.Fatalf("Shards() = %d mid-scan, want 3", s.Shards())
+			}
+			// Move a key across the NEW boundary both ways: 100 (left of
+			// it) moves to 450 (right of it). Neither side may be torn
+			// into the in-flight scan.
+			s.Insert(450)
+			s.Delete(100)
+		}
+		got = append(got, k)
+		return true
+	})
+	if want := []int64{100, 400, 600}; !equal(got, want) {
+		t.Fatalf("scan through a split = %v, want the pre-split cut %v", got, want)
+	}
+	// The live set reflects the move, and the split boundary is the
+	// median key.
+	if want := []int64{400, 450, 600}; !equal(s.Keys(), want) {
+		t.Fatalf("post-scan keys = %v, want %v", s.Keys(), want)
+	}
+	if lo, _ := s.Router().Bounds(1); lo != 400 {
+		t.Fatalf("split boundary = %d, want the median 400", lo)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeDuringScanAtomicCut is the same schedule with the boundary
+// REMOVED mid-scan: the two-shard set is merged into one while a
+// cross-boundary scan is in flight, and a move races right behind the
+// merge. The scan must still report its own phase's cut.
+func TestMergeDuringScanAtomicCut(t *testing.T) {
+	s := NewRange(0, 999, 2)
+	for _, k := range []int64{100, 600} {
+		s.Insert(k)
+	}
+	migrated := false
+	var got []int64
+	s.RangeScanFunc(0, 999, func(k int64) bool {
+		if !migrated {
+			migrated = true
+			if err := s.Merge(0); err != nil {
+				t.Fatalf("merge during scan: %v", err)
+			}
+			s.Insert(300)
+			s.Delete(600)
+		}
+		got = append(got, k)
+		return true
+	})
+	if want := []int64{100, 600}; !equal(got, want) {
+		t.Fatalf("scan through a merge = %v, want the pre-merge cut %v", got, want)
+	}
+	if want := []int64{100, 300}; !equal(s.Keys(), want) {
+		t.Fatalf("post-scan keys = %v, want %v", s.Keys(), want)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalanceLincheck extends the cross-boundary lincheck rounds with
+// a concurrent rebalancer: a mover shuttles an item across the (moving)
+// shard boundary, scanners take cross-boundary range scans, and a
+// splitter goroutine splits and re-merges the shards the whole time.
+// The complete history — point ops plus scan observations — must stay
+// linearizable per the scan-aware checker; any update stranded above a
+// migration cut, or any scan observing half a migration, fails it.
+func TestRebalanceLincheck(t *testing.T) {
+	const (
+		rounds   = 30
+		kL, kR   = 499, 500
+		moves    = 6
+		scanners = 2
+		scansPer = 4
+	)
+	for round := 0; round < rounds; round++ {
+		s := NewRange(0, 999, 2)
+		// A little ballast so splits have medians on both sides of the
+		// boundary; ballast keys are outside every scanned range.
+		// (Scans cover [400, 699]; ballast sits in [0, 99] and [900, 999].)
+		for k := int64(0); k < 100; k += 10 {
+			s.Insert(k)
+			s.Insert(900 + k)
+		}
+		var mu sync.Mutex
+		var points []lincheck.Event
+		record := func(kind lincheck.OpKind, k int64, inv int64, ret bool) {
+			mu.Lock()
+			points = append(points, lincheck.Event{
+				Kind: kind, Key: k, Ret: ret, Inv: inv, Res: time.Now().UnixNano(),
+			})
+			mu.Unlock()
+		}
+		inv := time.Now().UnixNano()
+		record(lincheck.Insert, kL, inv, s.Insert(kL))
+
+		scanHistories := make([][]lincheck.ScanEvent, scanners)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		wg.Add(1)
+		go func() { // the mover
+			defer wg.Done()
+			<-start
+			src, dst := int64(kL), int64(kR)
+			for i := 0; i < moves; i++ {
+				inv := time.Now().UnixNano()
+				record(lincheck.Insert, dst, inv, s.Insert(dst))
+				inv = time.Now().UnixNano()
+				record(lincheck.Delete, src, inv, s.Delete(src))
+				src, dst = dst, src
+			}
+		}()
+		for w := 0; w < scanners; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < scansPer; i++ {
+					inv := time.Now().UnixNano()
+					keys := s.RangeScan(400, 699)
+					scanHistories[w] = append(scanHistories[w], lincheck.ScanEvent{
+						A: 400, B: 699, Keys: keys,
+						Inv: inv, Res: time.Now().UnixNano(),
+					})
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func(round int) { // the splitter: churn the routing table
+			defer wg.Done()
+			<-start
+			for i := 0; i < 8; i++ {
+				if p := s.Shards(); p < 4 {
+					s.Split((round + i) % p) //nolint:errcheck // benign races expected
+				} else {
+					s.Merge((round + i) % (p - 1)) //nolint:errcheck
+				}
+			}
+		}(round)
+		close(start)
+		wg.Wait()
+		var scans []lincheck.ScanEvent
+		for _, h := range scanHistories {
+			scans = append(scans, h...)
+		}
+		if err := lincheck.CheckWithScans(points, scans); err != nil {
+			t.Fatalf("round %d: history under rebalancing not linearizable: %v", round, err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
 // TestStatsLogicalScans is the table test for the Scans counter's
 // definition: one logical phase-opening read operation on the set counts
 // ONCE, however many shards it touches — with the shared clock a

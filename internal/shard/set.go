@@ -2,36 +2,98 @@ package shard
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 )
 
-// Set is a keyspace-sharded composite of P PNB-BSTs. Point operations
+// table is one immutable generation of the set's routing state: the
+// boundary slice (Router), the shard trees, and the per-shard load
+// counters the rebalancer samples. A migration (Split/Merge) never
+// mutates a table; it builds a replacement and swaps the Set's pointer,
+// so readers resolve routes with one atomic load and no lock, ever.
+type table struct {
+	r     Router
+	trees []*core.Tree
+	loads []shardLoad
+	gen   uint64 // migration generation; 0 for the construction table
+}
+
+// loadStripes spreads one shard's load counter over several cache
+// lines. Padding between shards prevents false sharing, but a skewed
+// workload sends every op to ONE shard, whose single counter would then
+// be an invalidation storm on exactly the hot path rebalancing exists
+// to fix. Striping by the key's low bits works best precisely there:
+// clustered hot keys are contiguous, so consecutive keys hit distinct
+// stripes.
+const loadStripes = 8
+
+// shardLoad is a striped, padded per-shard point-operation counter.
+type shardLoad struct {
+	stripes [loadStripes]struct {
+		n atomic.Uint64
+		_ [56]byte
+	}
+}
+
+// add counts one point op on key k.
+func (l *shardLoad) add(k int64) { l.stripes[uint64(k)%loadStripes].n.Add(1) }
+
+// total sums the stripes (approximate under concurrent adds, like any
+// statistics counter).
+func (l *shardLoad) total() uint64 {
+	var n uint64
+	for i := range l.stripes {
+		n += l.stripes[i].n.Load()
+	}
+	return n
+}
+
+// Set is a keyspace-sharded composite of PNB-BSTs. Point operations
 // route to the shard owning the key and inherit that tree's
 // linearizability and non-blocking progress unchanged.
 //
-// By default the P trees share ONE phase clock (core.Clock), so a range
+// By default the trees share ONE phase clock (core.Clock), so a range
 // scan or snapshot spanning shards opens a single phase and takes every
 // shard's wait-free cut at that same phase — one atomic cut of the whole
 // set, with the paper's linearizable-scan guarantee intact across shard
 // boundaries (DESIGN.md §5.2). WithRelaxedScans restores the older
 // per-shard-clock composition, whose cross-shard scans are only
 // serializable; it exists so the cost of atomicity stays measurable
-// (experiment E13). All methods are safe for concurrent use.
+// (experiment E13).
+//
+// The shard map is not fixed: Split, Merge and AutoRebalance replace
+// shards online (DESIGN.md §7). Migration swaps an immutable routing
+// table behind an atomic pointer, so reads never lock; updates to a
+// shard being replaced briefly yield until the swap lands. Relaxed sets
+// have no shared clock to cut a migration with, so they cannot
+// rebalance. All methods are safe for concurrent use.
 type Set struct {
-	r     Router
-	trees []*core.Tree
-
 	// clock is the phase clock shared by every shard; nil in relaxed
 	// mode, where each tree keeps a private clock and cross-shard reads
 	// take per-shard cuts at successive phases.
 	clock *core.Clock
 
+	tab atomic.Pointer[table]
+
 	// scans counts logical phase-opening read operations (scans,
 	// snapshots, ordered queries) started on the set — NOT per-shard
 	// phase opens, of which one cross-shard scan performs up to P.
 	scans atomic.Uint64
+
+	// migrateMu serializes migrations (Split/Merge). Operations never
+	// take it; only the rebalancer and explicit Split/Merge callers do.
+	migrateMu sync.Mutex
+
+	splits atomic.Uint64
+	merges atomic.Uint64
+
+	// retiredMu guards retired, the folded-in counters of trees replaced
+	// by migrations, so Stats stays cumulative across table swaps.
+	retiredMu sync.Mutex
+	retired   core.StatsSnapshot
 }
 
 // Option configures a Set at construction.
@@ -45,8 +107,9 @@ type config struct{ relaxed bool }
 // NOT one atomic cut (two updates racing the scan from opposite sides of
 // a shard boundary are observable out of order — DESIGN.md §5.2). In
 // exchange, scans in one shard never handshake with updates in another.
-// Use only when that isolation is worth the anomaly; E13 measures the
-// trade.
+// Relaxed sets cannot rebalance (no shared clock to take the migration
+// cut with). Use only when that isolation is worth the anomaly; E13
+// measures the trade.
 func WithRelaxedScans() Option {
 	return func(c *config) { c.relaxed = true }
 }
@@ -67,41 +130,92 @@ func NewRange(lo, hi int64, p int, opts ...Option) *Set {
 		o(&cfg)
 	}
 	r := NewRouterRange(lo, hi, p)
-	trees := make([]*core.Tree, r.Shards())
-	s := &Set{r: r, trees: trees}
+	s := &Set{}
 	if !cfg.relaxed {
 		s.clock = core.NewClock()
 	}
+	trees := make([]*core.Tree, r.Shards())
 	for i := range trees {
 		trees[i] = core.NewWithClock(s.clock) // nil clock → private clock per tree
 	}
+	s.tab.Store(&table{r: r, trees: trees, loads: make([]shardLoad, len(trees))})
 	return s
 }
 
-// Shards returns the shard count P.
-func (s *Set) Shards() int { return s.r.Shards() }
+// Shards returns the current shard count. It can change between calls on
+// a set with an active rebalancer.
+func (s *Set) Shards() int { return len(s.tab.Load().trees) }
 
-// Router returns the set's (immutable) key-to-shard router.
-func (s *Set) Router() Router { return s.r }
+// Router returns the set's current key-to-shard router. The returned
+// value is an immutable copy of one routing generation; a migration
+// replaces the set's router rather than mutating it, so the copy stays
+// internally consistent but may fall behind the live set.
+func (s *Set) Router() Router { return s.tab.Load().r }
+
+// Generation returns the routing-table generation: 0 at construction,
+// +1 per completed migration (split or merge).
+func (s *Set) Generation() uint64 { return s.tab.Load().gen }
 
 // Relaxed reports whether the set was built with WithRelaxedScans.
 func (s *Set) Relaxed() bool { return s.clock == nil }
 
 // Insert adds k, reporting whether it was absent. Linearizable and
-// non-blocking: it is a plain PNB-BST Insert on the owning shard.
-func (s *Set) Insert(k int64) bool { return s.trees[s.r.Of(k)].Insert(k) }
+// non-blocking: it is a PNB-BST insert on the owning shard. If a
+// migration seals that shard mid-operation the insert re-routes through
+// the replacement table (yielding until the swap publishes it).
+func (s *Set) Insert(k int64) bool {
+	for {
+		tab := s.tab.Load()
+		i := tab.r.Of(k)
+		if res, ok := tab.trees[i].TryInsert(k); ok {
+			tab.loads[i].add(k)
+			return res
+		}
+		runtime.Gosched() // owning shard mid-migration; wait for the swap
+	}
+}
 
 // Delete removes k, reporting whether it was present. Linearizable and
-// non-blocking.
-func (s *Set) Delete(k int64) bool { return s.trees[s.r.Of(k)].Delete(k) }
+// non-blocking, re-routing across migrations like Insert.
+func (s *Set) Delete(k int64) bool {
+	for {
+		tab := s.tab.Load()
+		i := tab.r.Of(k)
+		if res, ok := tab.trees[i].TryDelete(k); ok {
+			tab.loads[i].add(k)
+			return res
+		}
+		runtime.Gosched()
+	}
+}
 
 // Find reports whether k is present. Linearizable and non-blocking.
-func (s *Set) Find(k int64) bool { return s.trees[s.r.Of(k)].Find(k) }
+// Reads never wait on migrations: a sealed shard still answers (its last
+// state is exactly the migration cut the replacement trees start from).
+func (s *Set) Find(k int64) bool {
+	tab := s.tab.Load()
+	i := tab.r.Of(k)
+	tab.loads[i].add(k)
+	return tab.trees[i].Find(k)
+}
 
 // Contains is an alias for Find (the bst.Set spelling).
 func (s *Set) Contains(k int64) bool { return s.Find(k) }
 
-// openPhase opens one atomic cut across shards [first, last]: it
+// ShardLoads returns the cumulative per-shard point-operation counts
+// (Insert+Delete+Find) of the current routing table. Counters start at
+// zero whenever a migration installs a new table, so consumers (the
+// rebalancer, traces) sample deltas per generation.
+func (s *Set) ShardLoads() []uint64 {
+	tab := s.tab.Load()
+	out := make([]uint64, len(tab.loads))
+	for i := range tab.loads {
+		out[i] = tab.loads[i].total()
+	}
+	return out
+}
+
+// openPhase opens one atomic cut across shards [first, last] of tab: it
 // registers a reader on every covered shard — pinning each shard's
 // reclamation horizon — and only then closes the current phase of the
 // whole domain on the shared clock (paper lines 130-131, applied once
@@ -109,24 +223,66 @@ func (s *Set) Contains(k int64) bool { return s.Find(k) }
 // bound at or below the returned phase, so no shard's Compact can
 // overtake the composite read (internal/epoch ordering contract); this
 // function is the ONLY place that ordering is encoded — every
-// shared-clock read path goes through it. regs[i] belongs to shard
-// first+i; the caller traverses every covered shard at the returned
-// phase and then releases each registration exactly once (releaseAll,
-// or by handing it to SnapshotAt, which adopts it). Wait-free: one
-// registration CAS per shard, no locks.
-func (s *Set) openPhase(first, last int) (uint64, []core.Registration) {
+// shared-clock read path goes through it.
+//
+// After opening, the routing table is revalidated: ok=false reports that
+// a migration swapped tables since tab was loaded (the registrations are
+// already released; the caller re-resolves its shards against the new
+// table and retries). Revalidating AFTER the phase opens is what makes
+// the cut sound against migrations — if the table is still current then,
+// every shard replacement that happened before this phase also happened
+// before the revalidating load, and would have been seen. A shard of tab
+// sealed by a still-running migration is harmless: its migration cut was
+// opened before this phase, so the shard provably has no updates between
+// that cut and this phase (core.Seal), and reading it frozen IS the
+// atomic cut. Wait-free apart from the (rare, migration-bounded) retry:
+// one registration CAS per shard, no locks.
+//
+// regs[i] belongs to shard first+i; the caller traverses every covered
+// shard at the returned phase and then releases each registration
+// exactly once (releaseAll, or by handing it to SnapshotAt, which
+// adopts it).
+func (s *Set) openPhase(tab *table, first, last int) (uint64, []core.Registration, bool) {
 	regs := make([]core.Registration, last-first+1)
 	for i := first; i <= last; i++ {
-		regs[i-first] = s.trees[i].Register()
+		regs[i-first] = tab.trees[i].Register()
 	}
 	seq := s.clock.Open()
+	if s.tab.Load() != tab {
+		releaseAll(regs)
+		return 0, nil, false
+	}
 	s.scans.Add(1)
-	return seq, regs
+	return seq, regs, true
 }
 
 func releaseAll(regs []core.Registration) {
 	for _, r := range regs {
 		r.Release()
+	}
+}
+
+// atomicCut is the one retry/release scaffold behind every shared-clock
+// read except Snapshot (which adopts its registrations instead of
+// releasing them): resolve the covered shards against the current
+// table, open one phase over them (openPhase), run body at that phase,
+// release. A cover returning first > last skips the read entirely (no
+// phase is opened); a failed revalidation re-resolves against the new
+// table. Callers must not call this in relaxed mode (no shared clock).
+func (s *Set) atomicCut(cover func(*table) (first, last int), body func(tab *table, seq uint64, first, last int)) {
+	for {
+		tab := s.tab.Load()
+		first, last := cover(tab)
+		if first > last {
+			return
+		}
+		seq, regs, ok := s.openPhase(tab, first, last)
+		if !ok {
+			continue
+		}
+		defer releaseAll(regs)
+		body(tab, seq, first, last)
+		return
 	}
 }
 
@@ -136,15 +292,11 @@ func releaseAll(regs []core.Registration) {
 // Cross-shard semantics (default, shared clock): the scan opens ONE
 // phase s and reconstructs T_s of every covered shard, in ascending key
 // order — a single atomic cut of the whole set, linearized at the
-// clock's increment exactly as the paper's single-tree scan. Wait-free.
-// With WithRelaxedScans the per-shard cuts are taken at successive
-// instants instead and the composite is only serializable (DESIGN.md
-// §5.2).
+// clock's increment exactly as the paper's single-tree scan. Wait-free,
+// and immune to concurrent rebalancing (openPhase). With
+// WithRelaxedScans the per-shard cuts are taken at successive instants
+// instead and the composite is only serializable (DESIGN.md §5.2).
 func (s *Set) RangeScanFunc(a, b int64, visit func(k int64) bool) {
-	first, last := s.r.Covering(a, b)
-	if first > last {
-		return
-	}
 	stopped := false
 	wrapped := func(k int64) bool {
 		if !visit(k) {
@@ -153,17 +305,24 @@ func (s *Set) RangeScanFunc(a, b int64, visit func(k int64) bool) {
 		return !stopped
 	}
 	if s.clock == nil { // relaxed: successive per-shard phases
+		tab := s.tab.Load()
+		first, last := tab.r.Covering(a, b)
+		if first > last {
+			return
+		}
 		s.scans.Add(1)
 		for i := first; i <= last && !stopped; i++ {
-			s.trees[i].RangeScanFunc(a, b, wrapped)
+			tab.trees[i].RangeScanFunc(a, b, wrapped)
 		}
 		return
 	}
-	seq, regs := s.openPhase(first, last)
-	defer releaseAll(regs)
-	for i := first; i <= last && !stopped; i++ {
-		s.trees[i].RangeScanAtFunc(a, b, seq, wrapped)
-	}
+	s.atomicCut(
+		func(tab *table) (int, int) { return tab.r.Covering(a, b) },
+		func(tab *table, seq uint64, first, last int) {
+			for i := first; i <= last && !stopped; i++ {
+				tab.trees[i].RangeScanAtFunc(a, b, seq, wrapped)
+			}
+		})
 }
 
 // RangeScan returns the keys in [a, b], ascending. Per-shard results are
@@ -181,23 +340,27 @@ func (s *Set) RangeScan(a, b int64) []int64 {
 // RangeCount returns the number of keys in [a, b] without allocating.
 // Semantics as RangeScanFunc.
 func (s *Set) RangeCount(a, b int64) int {
-	first, last := s.r.Covering(a, b)
-	if first > last {
-		return 0
-	}
-	n := 0
 	if s.clock == nil {
+		tab := s.tab.Load()
+		first, last := tab.r.Covering(a, b)
+		if first > last {
+			return 0
+		}
 		s.scans.Add(1)
+		n := 0
 		for i := first; i <= last; i++ {
-			n += s.trees[i].RangeCount(a, b)
+			n += tab.trees[i].RangeCount(a, b)
 		}
 		return n
 	}
-	seq, regs := s.openPhase(first, last)
-	defer releaseAll(regs)
-	for i := first; i <= last; i++ {
-		n += s.trees[i].RangeCountAt(a, b, seq)
-	}
+	n := 0
+	s.atomicCut(
+		func(tab *table) (int, int) { return tab.r.Covering(a, b) },
+		func(tab *table, seq uint64, first, last int) {
+			for i := first; i <= last; i++ {
+				n += tab.trees[i].RangeCountAt(a, b, seq)
+			}
+		})
 	return n
 }
 
@@ -211,122 +374,158 @@ func (s *Set) Len() int { return s.RangeCount(core.MinKey, core.MaxKey) }
 // is one atomic cut over all shards.
 func (s *Set) Min() (int64, bool) {
 	if s.clock == nil {
+		tab := s.tab.Load()
 		s.scans.Add(1)
-		for _, t := range s.trees {
+		for _, t := range tab.trees {
 			if k, ok := t.Min(); ok {
 				return k, true
 			}
 		}
 		return 0, false
 	}
-	seq, regs := s.openPhase(0, len(s.trees)-1)
-	defer releaseAll(regs)
-	for _, t := range s.trees {
-		if k, ok := t.SuccAt(core.MinKey, seq); ok {
-			return k, true
-		}
-	}
-	return 0, false
+	var got int64
+	found := false
+	s.atomicCut(
+		func(tab *table) (int, int) { return 0, len(tab.trees) - 1 },
+		func(tab *table, seq uint64, first, last int) {
+			for _, t := range tab.trees {
+				if k, ok := t.SuccAt(core.MinKey, seq); ok {
+					got, found = k, true
+					return
+				}
+			}
+		})
+	return got, found
 }
 
 // Max returns the largest key, if any.
 func (s *Set) Max() (int64, bool) {
 	if s.clock == nil {
+		tab := s.tab.Load()
 		s.scans.Add(1)
-		for i := len(s.trees) - 1; i >= 0; i-- {
-			if k, ok := s.trees[i].Max(); ok {
+		for i := len(tab.trees) - 1; i >= 0; i-- {
+			if k, ok := tab.trees[i].Max(); ok {
 				return k, true
 			}
 		}
 		return 0, false
 	}
-	seq, regs := s.openPhase(0, len(s.trees)-1)
-	defer releaseAll(regs)
-	for i := len(s.trees) - 1; i >= 0; i-- {
-		if k, ok := s.trees[i].PredAt(core.MaxKey, seq); ok {
-			return k, true
-		}
-	}
-	return 0, false
+	var got int64
+	found := false
+	s.atomicCut(
+		func(tab *table) (int, int) { return 0, len(tab.trees) - 1 },
+		func(tab *table, seq uint64, first, last int) {
+			for i := last; i >= 0; i-- {
+				if k, ok := tab.trees[i].PredAt(core.MaxKey, seq); ok {
+					got, found = k, true
+					return
+				}
+			}
+		})
+	return got, found
 }
 
 // Succ returns the smallest key >= k, if any.
 func (s *Set) Succ(k int64) (int64, bool) {
-	from := s.r.Of(k)
 	if s.clock == nil {
+		tab := s.tab.Load()
 		s.scans.Add(1)
-		for i := from; i < len(s.trees); i++ {
-			if succ, ok := s.trees[i].Succ(k); ok {
+		for i := tab.r.Of(k); i < len(tab.trees); i++ {
+			if succ, ok := tab.trees[i].Succ(k); ok {
 				return succ, true
 			}
 		}
 		return 0, false
 	}
-	seq, regs := s.openPhase(from, len(s.trees)-1)
-	defer releaseAll(regs)
-	for i := from; i < len(s.trees); i++ {
-		if succ, ok := s.trees[i].SuccAt(k, seq); ok {
-			return succ, true
-		}
-	}
-	return 0, false
+	var got int64
+	found := false
+	s.atomicCut(
+		func(tab *table) (int, int) { return tab.r.Of(k), len(tab.trees) - 1 },
+		func(tab *table, seq uint64, first, last int) {
+			for i := first; i <= last; i++ {
+				if succ, ok := tab.trees[i].SuccAt(k, seq); ok {
+					got, found = succ, true
+					return
+				}
+			}
+		})
+	return got, found
 }
 
 // Pred returns the largest key <= k, if any.
 func (s *Set) Pred(k int64) (int64, bool) {
-	upto := s.r.Of(k)
 	if s.clock == nil {
+		tab := s.tab.Load()
 		s.scans.Add(1)
-		for i := upto; i >= 0; i-- {
-			if pred, ok := s.trees[i].Pred(k); ok {
+		for i := tab.r.Of(k); i >= 0; i-- {
+			if pred, ok := tab.trees[i].Pred(k); ok {
 				return pred, true
 			}
 		}
 		return 0, false
 	}
-	seq, regs := s.openPhase(0, upto)
-	defer releaseAll(regs)
-	for i := upto; i >= 0; i-- {
-		if pred, ok := s.trees[i].PredAt(k, seq); ok {
-			return pred, true
-		}
-	}
-	return 0, false
+	var got int64
+	found := false
+	s.atomicCut(
+		func(tab *table) (int, int) { return 0, tab.r.Of(k) },
+		func(tab *table, seq uint64, first, last int) {
+			for i := last; i >= 0; i-- {
+				if pred, ok := tab.trees[i].PredAt(k, seq); ok {
+					got, found = pred, true
+					return
+				}
+			}
+		})
+	return got, found
 }
 
 // Snapshot returns a composite of per-shard wait-free snapshots. With
-// the shared clock (default) all P snapshots capture the SAME phase —
-// the composite is one atomic cut of the whole set, frozen at the
-// clock's increment. With WithRelaxedScans the P cuts are taken at
-// successive instants (DESIGN.md §5.2). Either way reads of the returned
-// Snapshot are stable: repeated reads always observe the same composite.
+// the shared clock (default) all per-shard snapshots capture the SAME
+// phase — the composite is one atomic cut of the whole set, frozen at
+// the clock's increment. With WithRelaxedScans the per-shard cuts are
+// taken at successive instants (DESIGN.md §5.2). Either way reads of the
+// returned Snapshot are stable: repeated reads always observe the same
+// composite, even after later migrations retire the captured trees
+// (retired trees are never pruned, so the cut stays reconstructible).
 func (s *Set) Snapshot() *Snapshot {
-	snaps := make([]*core.Snapshot, len(s.trees))
 	if s.clock == nil {
+		tab := s.tab.Load()
 		s.scans.Add(1)
-		for i, t := range s.trees {
+		snaps := make([]*core.Snapshot, len(tab.trees))
+		for i, t := range tab.trees {
 			snaps[i] = t.Snapshot()
 		}
-		return &Snapshot{r: s.r, snaps: snaps}
+		return &Snapshot{r: tab.r, snaps: snaps}
 	}
-	seq, regs := s.openPhase(0, len(s.trees)-1)
-	for i, t := range s.trees {
-		snaps[i] = t.SnapshotAt(seq, regs[i]) // adopts the registration
+	for {
+		tab := s.tab.Load()
+		seq, regs, ok := s.openPhase(tab, 0, len(tab.trees)-1)
+		if !ok {
+			continue
+		}
+		snaps := make([]*core.Snapshot, len(tab.trees))
+		for i, t := range tab.trees {
+			snaps[i] = t.SnapshotAt(seq, regs[i]) // adopts the registration
+		}
+		return &Snapshot{r: tab.r, snaps: snaps, seq: seq, atomicCut: true}
 	}
-	return &Snapshot{r: s.r, snaps: snaps, seq: seq, atomicCut: true}
 }
 
-// Compact prunes every shard's version memory to that shard's own
+// Compact prunes every live shard's version memory to that shard's own
 // reclamation horizon and returns the aggregated statistics (LiveNodes,
 // PrunedLinks and RetiredInfos are summed; Horizon is the minimum
 // per-shard horizon). The cross-shard horizon rule (DESIGN.md §6): a
 // composite Snapshot or in-flight cross-shard scan registers on every
 // shard it covers BEFORE opening its phase, so each shard's horizon
 // independently stays at or below that phase; per-shard pruning needs no
-// further coordination even though the shards share a clock.
+// further coordination even though the shards share a clock. Trees
+// retired by migrations are never compacted — in-flight readers of a
+// pre-migration table may still traverse any of their versions — so they
+// are reclaimed whole by the GC once unreferenced.
 func (s *Set) Compact() core.CompactStats {
+	tab := s.tab.Load()
 	var sum core.CompactStats
-	for i, t := range s.trees {
+	for i, t := range tab.trees {
 		cs := t.Compact()
 		if i == 0 || cs.Horizon < sum.Horizon {
 			sum.Horizon = cs.Horizon
@@ -338,28 +537,37 @@ func (s *Set) Compact() core.CompactStats {
 	return sum
 }
 
-// VersionGraphSize returns the summed size of the per-shard version
-// graphs (see core.Tree.VersionGraphSize). Diagnostic; exact only at
-// quiescence.
+// VersionGraphSize returns the summed size of the current shards'
+// version graphs (see core.Tree.VersionGraphSize). Diagnostic; exact
+// only at quiescence.
 func (s *Set) VersionGraphSize() int {
+	tab := s.tab.Load()
 	n := 0
-	for _, t := range s.trees {
+	for _, t := range tab.trees {
 		n += t.VersionGraphSize()
 	}
 	return n
 }
 
 // Stats returns the element-wise sum of the per-shard instrumentation
-// counters, except: Scans is the number of LOGICAL phase-opening read
-// operations started on the set (one per cross-shard scan/snapshot,
-// however many shards it covers), and LastHorizon is the minimum
-// per-shard horizon. Summing the per-shard Scans counters would count
-// one logical scan up to P times — the per-tree counters stay per-tree
-// (they are zero on the shared-clock read path, which opens its phase at
-// the set level).
+// counters — cumulative across migrations (counters of retired trees are
+// folded in when their table is replaced) — except: Scans is the number
+// of LOGICAL phase-opening read operations started on the set (one per
+// cross-shard scan/snapshot, however many shards it covers), and
+// LastHorizon is the minimum per-shard horizon of the current table.
+// Summing the per-shard Scans counters would count one logical scan up
+// to P times — the per-tree counters stay per-tree (they are zero on the
+// shared-clock read path, which opens its phase at the set level).
 func (s *Set) Stats() core.StatsSnapshot {
-	var sum core.StatsSnapshot
-	for i, t := range s.trees {
+	// Capture the table and the folded counters under one lock: install
+	// folds retiring trees and swaps the table while holding retiredMu,
+	// so this pair is always consistent (no shard counted twice or not
+	// at all mid-migration).
+	s.retiredMu.Lock()
+	tab := s.tab.Load()
+	sum := s.retired
+	s.retiredMu.Unlock()
+	for i, t := range tab.trees {
 		st := t.Stats()
 		sum.RetriesInsert += st.RetriesInsert
 		sum.RetriesDelete += st.RetriesDelete
@@ -378,24 +586,64 @@ func (s *Set) Stats() core.StatsSnapshot {
 	return sum
 }
 
-// ResetStats zeroes every shard's counters and the set's logical scan
-// counter.
+// foldRetired accumulates the final counters of trees a migration is
+// retiring, so Stats stays cumulative across table swaps. LastLiveNodes
+// and LastHorizon describe current trees only and are not folded. The
+// caller (install) holds retiredMu.
+func (s *Set) foldRetired(trees []*core.Tree) {
+	for _, t := range trees {
+		st := t.Stats()
+		s.retired.RetriesInsert += st.RetriesInsert
+		s.retired.RetriesDelete += st.RetriesDelete
+		s.retired.RetriesFind += st.RetriesFind
+		s.retired.RetriesHorizon += st.RetriesHorizon
+		s.retired.Helps += st.Helps
+		s.retired.HandshakeAborts += st.HandshakeAborts
+		s.retired.Compactions += st.Compactions
+		s.retired.PrunedLinks += st.PrunedLinks
+	}
+}
+
+// ResetStats zeroes every current shard's counters, the folded counters
+// of retired shards, and the set's logical scan counter.
 func (s *Set) ResetStats() {
+	s.retiredMu.Lock()
+	tab := s.tab.Load()
+	s.retired = core.StatsSnapshot{}
+	s.retiredMu.Unlock()
 	s.scans.Store(0)
-	for _, t := range s.trees {
+	for _, t := range tab.trees {
 		t.ResetStats()
 	}
 }
 
-// CheckInvariants validates every shard's structural invariants and that
-// every stored key lies inside its shard's bounds. Quiescent use only
-// (as core.Tree.CheckInvariants).
+// CheckInvariants validates every shard's structural invariants, that
+// every stored key lies inside its shard's bounds, and that the routing
+// table itself is well-formed. Quiescent use only (as
+// core.Tree.CheckInvariants).
 func (s *Set) CheckInvariants() error {
-	for i, t := range s.trees {
+	tab := s.tab.Load()
+	if len(tab.trees) != tab.r.Shards() || len(tab.loads) != tab.r.Shards() {
+		return fmt.Errorf("shard: table has %d trees / %d load slots for %d shards",
+			len(tab.trees), len(tab.loads), tab.r.Shards())
+	}
+	if tab.r.starts[0] != core.MinKey {
+		return fmt.Errorf("shard: first boundary %d is not MinKey", tab.r.starts[0])
+	}
+	for i := 1; i < len(tab.r.starts); i++ {
+		if tab.r.starts[i] <= tab.r.starts[i-1] {
+			return fmt.Errorf("shard: boundaries not strictly ascending at %d (%d after %d)",
+				i, tab.r.starts[i], tab.r.starts[i-1])
+		}
+	}
+	for i, t := range tab.trees {
+		if t.Sealed() {
+			return fmt.Errorf("shard %d: live table holds a sealed tree", i)
+		}
 		if err := t.CheckInvariants(); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
-		lo, hi := s.r.Bounds(i)
+		lo, hi := tab.r.Bounds(i)
 		bad := int64(0)
 		misrouted := false
 		t.RangeScanFunc(core.MinKey, core.MaxKey, func(k int64) bool {

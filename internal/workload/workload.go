@@ -61,23 +61,39 @@ func (u Uniform) Range() (int64, int64) { return u.Lo, u.Hi }
 
 // Zipf draws keys from [Lo, Hi) with a zipfian rank distribution
 // (skew s > 1), using rejection-free inverse-CDF approximation over the
-// generalized harmonic numbers. Hot keys are the low ranks; ranks are
-// scattered over the interval by a fixed multiplicative hash so the hot
-// set is not spatially clustered in the tree.
+// generalized harmonic numbers. Hot keys are the low ranks; by default
+// ranks are scattered over the interval by a fixed multiplicative hash
+// so the hot set is not spatially clustered in the tree. With Clustered
+// the scatter is skipped — rank r maps to key Lo+r, so the hot set is
+// one contiguous run at the bottom of the interval. Clustered zipf is
+// the adversarial case for range partitioning (all heat lands on the
+// shard owning the low keys) and is what experiment E14 drives the
+// shard rebalancer with.
 type Zipf struct {
-	Lo, Hi int64
-	S      float64 // skew, > 1; typical 1.1-1.5
+	Lo, Hi    int64
+	S         float64 // skew, > 1; typical 1.1-1.5
+	Clustered bool    // hot ranks spatially contiguous at Lo
 
 	// precomputed normalization
 	hInt float64
 }
 
-// NewZipf returns a zipfian generator over [lo, hi) with skew s.
+// NewZipf returns a zipfian generator over [lo, hi) with skew s, hot
+// keys scattered across the interval.
 func NewZipf(lo, hi int64, s float64) *Zipf {
 	z := &Zipf{Lo: lo, Hi: hi, S: s}
 	n := float64(hi - lo)
 	// Integral approximation of the generalized harmonic number H_{n,s}.
 	z.hInt = (math.Pow(n, 1-s) - 1) / (1 - s)
+	return z
+}
+
+// NewZipfClustered returns a zipfian generator over [lo, hi) with skew s
+// whose hot keys are one contiguous run at lo — maximal spatial skew,
+// the worst case for a static range partition.
+func NewZipfClustered(lo, hi int64, s float64) *Zipf {
+	z := NewZipf(lo, hi, s)
+	z.Clustered = true
 	return z
 }
 
@@ -93,6 +109,9 @@ func (z *Zipf) Key(r *RNG) int64 {
 	}
 	if rank >= n {
 		rank = n - 1
+	}
+	if z.Clustered {
+		return z.Lo + rank
 	}
 	// Scatter ranks over the interval deterministically.
 	scattered := int64(uint64(rank) * 0x9E3779B97F4A7C15 % uint64(n))
