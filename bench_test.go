@@ -1,4 +1,4 @@
-// Benchmarks: one Benchmark family per evaluation experiment (E1..E13 in
+// Benchmarks: one Benchmark family per evaluation experiment (E1..E15 in
 // DESIGN.md §4 / EXPERIMENTS.md). Each family measures a representative
 // point of its experiment with testing.B semantics; the full sweeps —
 // thread counts, key ranges, widths — are produced by cmd/benchbst.
@@ -8,15 +8,20 @@
 package repro_test
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/bst"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -578,6 +583,59 @@ func BenchmarkE14RebalanceZipf(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE15WireOps — experiment E15 (single point): point operations
+// over loopback TCP against the serving layer fronting the 8-shard map,
+// one connection, depth-16 pipeline. Measures the full wire cost per
+// operation — encode, socket, server handle, reply — which the in-process
+// E1 numbers can be compared against; cmd/benchbst -experiment E15 runs
+// the full conns × pipeline sweep.
+func BenchmarkE15WireOps(b *testing.B) {
+	const keys = 1 << 16
+	m := bst.NewShardedRange(0, keys-1, 8)
+	srv, err := server.Start(server.Config{Addr: "127.0.0.1:0", Store: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+	c, err := wire.Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	rng := workload.NewRNG(7)
+	const depth = 16
+	inflight := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := wire.OpInsert
+		switch i % 3 {
+		case 1:
+			op = wire.OpDelete
+		case 2:
+			op = wire.OpContains
+		}
+		if err := c.Send(wire.Request{Op: op, A: rng.Intn(keys)}); err != nil {
+			b.Fatal(err)
+		}
+		if inflight++; inflight == depth {
+			if _, err := c.Recv(); err != nil {
+				b.Fatal(err)
+			}
+			inflight--
+		}
+	}
+	for ; inflight > 0; inflight-- {
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
 }
 
 func itoa(v int64) string {

@@ -1,0 +1,161 @@
+package bst_test
+
+import (
+	"testing"
+
+	"repro/bst"
+	"repro/internal/workload"
+)
+
+// TestShardRoutingConsistentAcrossMigrations pins the ShardOf /
+// ShardBounds contract — every key routes to exactly the shard whose
+// bounds contain it, and the bounds tile the key space with no gaps or
+// overlaps — and re-checks it after Split and Merge change the shard
+// map, against data that must stay reachable through the new routes.
+func TestShardRoutingConsistentAcrossMigrations(t *testing.T) {
+	const keys = 1 << 12
+	m := bst.NewShardedRange(0, keys-1, 4)
+	rng := workload.NewRNG(3)
+	inserted := map[int64]bool{}
+	for i := 0; i < keys/2; i++ {
+		k := rng.Intn(keys)
+		m.Insert(k)
+		inserted[k] = true
+	}
+
+	checkRouting := func(when string) {
+		t.Helper()
+		p := m.Shards()
+		// Bounds tile the whole key space in order.
+		lo0, _ := m.ShardBounds(0)
+		if lo0 != bst.MinKey {
+			t.Fatalf("%s: shard 0 starts at %d, not MinKey", when, lo0)
+		}
+		_, hiLast := m.ShardBounds(p - 1)
+		if hiLast != bst.MaxKey {
+			t.Fatalf("%s: shard %d ends at %d, not MaxKey", when, p-1, hiLast)
+		}
+		for i := 0; i < p-1; i++ {
+			_, hi := m.ShardBounds(i)
+			nextLo, _ := m.ShardBounds(i + 1)
+			if nextLo != hi+1 {
+				t.Fatalf("%s: shard %d ends at %d but shard %d starts at %d", when, i, hi, i+1, nextLo)
+			}
+		}
+		// ShardOf agrees with ShardBounds: bounds route to their own
+		// shard, and sampled keys route to a shard whose bounds hold them.
+		for i := 0; i < p; i++ {
+			lo, hi := m.ShardBounds(i)
+			if m.ShardOf(lo) != i || m.ShardOf(hi) != i {
+				t.Fatalf("%s: bounds of shard %d route to shards %d/%d", when, i, m.ShardOf(lo), m.ShardOf(hi))
+			}
+		}
+		for k := int64(0); k < keys; k += 37 {
+			i := m.ShardOf(k)
+			lo, hi := m.ShardBounds(i)
+			if k < lo || k > hi {
+				t.Fatalf("%s: key %d routed to shard %d owning [%d, %d]", when, k, i, lo, hi)
+			}
+		}
+		// The data is still reachable through the (possibly new) routes.
+		for k := range inserted {
+			if !m.Contains(k) {
+				t.Fatalf("%s: key %d lost", when, k)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", when, err)
+		}
+	}
+
+	checkRouting("initial")
+	hot := m.ShardOf(keys / 8) // a shard holding plenty of keys
+	if err := m.Split(hot); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if m.Shards() != 5 {
+		t.Fatalf("Shards after split = %d", m.Shards())
+	}
+	checkRouting("after split")
+	if err := m.Merge(hot); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if m.Shards() != 4 {
+		t.Fatalf("Shards after merge = %d", m.Shards())
+	}
+	checkRouting("after merge")
+	if splits, merges := m.Migrations(); splits != 1 || merges != 1 {
+		t.Fatalf("Migrations = %d, %d", splits, merges)
+	}
+}
+
+// TestShardedStatsMonotonic pins the Stats/ResetStats contract: counters
+// only grow under load (cumulatively across migrations), Scans counts
+// logical scans (not per-shard visits), and ResetStats zeroes the lot.
+func TestShardedStatsMonotonic(t *testing.T) {
+	const keys = 1 << 10
+	m := bst.NewShardedRange(0, keys-1, 4)
+	rng := workload.NewRNG(11)
+	for i := 0; i < 2000; i++ {
+		k := rng.Intn(keys)
+		if i%2 == 0 {
+			m.Insert(k)
+		} else {
+			m.Delete(k)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		m.RangeScan(0, keys-1) // spans all 4 shards; must count once each
+	}
+	st1 := m.Stats()
+	if st1.Scans != 7 {
+		t.Fatalf("Scans = %d after 7 logical scans (per-shard phase opens must not be summed)", st1.Scans)
+	}
+
+	// More load of every kind, plus a migration: counters must not move
+	// backwards (migration folds retired trees' counters in).
+	if err := m.Split(0); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	for i := 0; i < 2000; i++ {
+		k := rng.Intn(keys)
+		if i%2 == 0 {
+			m.Insert(k)
+		} else {
+			m.Delete(k)
+		}
+	}
+	m.RangeScan(0, keys-1)
+	st2 := m.Stats()
+	if st2.Scans < st1.Scans+1 {
+		t.Fatalf("Scans moved backwards: %d then %d", st1.Scans, st2.Scans)
+	}
+	for _, c := range []struct {
+		name   string
+		v1, v2 uint64
+	}{
+		{"RetriesInsert", st1.RetriesInsert, st2.RetriesInsert},
+		{"RetriesDelete", st1.RetriesDelete, st2.RetriesDelete},
+		{"RetriesFind", st1.RetriesFind, st2.RetriesFind},
+		{"RetriesHorizon", st1.RetriesHorizon, st2.RetriesHorizon},
+		{"Helps", st1.Helps, st2.Helps},
+		{"HandshakeAborts", st1.HandshakeAborts, st2.HandshakeAborts},
+		{"Compactions", st1.Compactions, st2.Compactions},
+		{"PrunedLinks", st1.PrunedLinks, st2.PrunedLinks},
+	} {
+		if c.v2 < c.v1 {
+			t.Errorf("%s moved backwards across a migration: %d then %d", c.name, c.v1, c.v2)
+		}
+	}
+
+	m.ResetStats()
+	st3 := m.Stats()
+	if st3.Scans != 0 || st3.Helps != 0 || st3.RetriesInsert != 0 || st3.HandshakeAborts != 0 {
+		t.Fatalf("ResetStats left %+v", st3)
+	}
+	// Counters resume from zero.
+	m.RangeScan(0, keys-1)
+	if got := m.Stats().Scans; got != 1 {
+		t.Fatalf("Scans after reset = %d", got)
+	}
+}

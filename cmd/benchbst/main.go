@@ -1,5 +1,5 @@
 // Command benchbst regenerates the evaluation of the PNB-BST
-// reproduction (experiments E1..E13, see DESIGN.md §4 and
+// reproduction (experiments E1..E15, see DESIGN.md §4 and
 // EXPERIMENTS.md), and runs one-off workloads against a chosen
 // implementation.
 //
@@ -10,6 +10,7 @@
 //	benchbst -experiment E12            # memory under churn, pruning on/off
 //	benchbst -experiment E13            # atomic vs relaxed cross-shard scans
 //	benchbst -experiment E14            # online shard rebalancing under zipf skew
+//	benchbst -experiment E15            # network serving layer over real TCP
 //	benchbst -all -quick
 //	benchbst -impl sharded -shards 16 [-keys 1048576] [-insert 25 -delete 25 -scan 10 -scanwidth 100]
 //	benchbst -impl sharded -shards 16 -relaxed     # per-shard clocks (§5.2 relaxed scans)
@@ -21,14 +22,15 @@
 //
 // With -impl a single harness run is executed against the named
 // implementation (any harness target: pnbbst, nbbst, lockbst, skiplist,
-// snapcollector, sharded, sharded-relaxed, sharded-auto); -shards
-// selects the shard count when -impl is a sharded family and is
-// rejected otherwise, -relaxed switches a sharded -impl to per-shard
-// phase clocks (relaxed cross-shard scans), -rebalance runs a background
-// load-driven rebalancer (online splits and merges; the two are mutually
-// exclusive), and -zipf draws point-op keys from a clustered zipfian
-// distribution with the given skew — the spatially concentrated workload
-// rebalancing exists for.
+// snapcollector, sharded, sharded-relaxed, sharded-auto). The
+// -impl/-shards/-relaxed/-rebalance/-zipf cluster and its resolution
+// rules are shared with cmd/stress and cmd/bstserver
+// (harness.TargetFlags): -shards selects the shard count of a sharded
+// family, -relaxed switches to per-shard phase clocks (relaxed
+// cross-shard scans), -rebalance runs a background load-driven
+// rebalancer (the two are mutually exclusive), and -zipf draws point-op
+// keys from a clustered zipfian distribution with the given skew — the
+// spatially concentrated workload rebalancing exists for.
 package main
 
 import (
@@ -40,31 +42,22 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/harness"
-	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
-		expID    = flag.String("experiment", "", "experiment id to run (E1..E13)")
+		expID    = flag.String("experiment", "", "experiment id to run (E1..E15)")
 		all      = flag.Bool("all", false, "run every experiment")
 		quick    = flag.Bool("quick", false, "smoke-scale: short durations, small key ranges")
 		duration = flag.Duration("duration", 2*time.Second, "measurement window per data point")
 		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "top of the thread sweep")
 		seed     = flag.Uint64("seed", 42, "base PRNG seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-
-		impl      = flag.String("impl", "", "run one workload against this implementation instead of an experiment")
-		shards    = flag.Int("shards", harness.DefaultShards, "shard count (with -impl sharded)")
-		relaxed   = flag.Bool("relaxed", false, "per-shard phase clocks: relaxed cross-shard scans (with -impl sharded)")
-		rebalance = flag.Bool("rebalance", false, "background load-driven shard rebalancer: online splits/merges (with -impl sharded)")
-		zipf      = flag.Float64("zipf", 0, "clustered zipfian key skew, e.g. 1.2; 0 = uniform (with -impl)")
-		keys      = flag.Int64("keys", 1<<20, "key-space size (with -impl)")
-		insertPct = flag.Int("insert", 25, "insert percentage (with -impl)")
-		deletePct = flag.Int("delete", 25, "delete percentage (with -impl)")
-		scanPct   = flag.Int("scan", 10, "range-scan percentage (with -impl; rest is find)")
-		scanWidth = flag.Int64("scanwidth", 100, "range-scan width in keys (with -impl)")
+		keys     = flag.Int64("keys", 1<<20, "key-space size (with -impl)")
 	)
+	target := harness.RegisterTargetFlags(flag.CommandLine, "", true)
+	mixFlags := harness.RegisterMixFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -74,7 +67,7 @@ func main() {
 		return
 	}
 
-	if *impl != "" {
+	if target.Impl != "" {
 		for _, conflict := range []struct {
 			set  bool
 			name string
@@ -86,65 +79,25 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		target := *impl
-		if target == harness.TargetSharded {
-			target = harness.ShardedTarget(*shards)
-		} else if target == harness.TargetShardedRelax {
-			target = harness.ShardedRelaxedTarget(*shards)
-		} else if flagSet("shards") {
-			fmt.Fprintf(os.Stderr, "-shards only applies to -impl %s or %s\n", harness.TargetSharded, harness.TargetShardedRelax)
+		name, err := target.Resolve(*keys)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		if *relaxed && *rebalance {
-			fmt.Fprintf(os.Stderr, "-relaxed and -rebalance are mutually exclusive: the rebalancer's migration cut needs the shared clock\n")
-			os.Exit(2)
-		}
-		if *relaxed {
-			if n, ok := harness.ParseShardedTarget(target); ok {
-				target = harness.ShardedRelaxedTarget(n)
-			} else if _, ok := harness.ParseShardedRelaxedTarget(target); !ok {
-				fmt.Fprintf(os.Stderr, "-relaxed only applies to sharded implementations\n")
-				os.Exit(2)
-			}
-		}
-		if *rebalance {
-			if n, ok := harness.ParseShardedTarget(target); ok {
-				target = harness.ShardedAutoTarget(n)
-			} else if _, ok := harness.ParseShardedAutoTarget(target); !ok {
-				fmt.Fprintf(os.Stderr, "-rebalance only applies to shared-clock sharded implementations\n")
-				os.Exit(2)
-			}
-		}
-		// Bound the shard count by the key range whichever way it was
-		// spelled (-impl sharded -shards N, -impl shardedN, or a -relaxed
-		// or -rebalance variant of either).
-		n, ok := harness.ParseShardedTarget(target)
-		if !ok {
-			n, ok = harness.ParseShardedRelaxedTarget(target)
-		}
-		if !ok {
-			n, ok = harness.ParseShardedAutoTarget(target)
-		}
-		if ok && (n < 1 || int64(n) > *keys) {
-			fmt.Fprintf(os.Stderr, "shard count %d outside [1, %d] (-keys bounds the shard count)\n", n, *keys)
-			os.Exit(2)
-		}
-		if _, err := harness.Factory(target); err != nil {
+		mix, err := mixFlags.Mix()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		res := harness.Run(harness.Config{
-			Target:   target,
-			Threads:  *threads,
-			Duration: *duration,
-			KeyRange: *keys,
-			Prefill:  -1,
-			Mix: workload.Mix{
-				InsertPct: *insertPct, DeletePct: *deletePct,
-				ScanPct: *scanPct, ScanWidth: *scanWidth,
-			},
-			ZipfSkew:      *zipf,
-			ZipfClustered: *zipf > 1,
+			Target:        name,
+			Threads:       *threads,
+			Duration:      *duration,
+			KeyRange:      *keys,
+			Prefill:       -1,
+			Mix:           mix,
+			ZipfSkew:      target.Zipf(),
+			ZipfClustered: target.Zipf() > 1,
 			Seed:          *seed,
 			SampleEvery:   64,
 		})
@@ -154,7 +107,7 @@ func main() {
 				st.Helps, st.HandshakeAborts, st.Scans,
 				st.RetriesInsert, st.RetriesDelete, st.RetriesFind)
 		}
-		if splits, merges, ok := harness.Migrations(res.Inst); ok && (splits+merges > 0 || *rebalance) {
+		if splits, merges, ok := harness.Migrations(res.Inst); ok && (splits+merges > 0 || target.Rebalance) {
 			count, _ := harness.ShardCount(res.Inst)
 			fmt.Printf("rebalance: shards=%d splits=%d merges=%d\n", count, splits, merges)
 		}
@@ -169,7 +122,7 @@ func main() {
 		CSV:        *csv,
 		Out:        os.Stdout,
 	}
-	if *quick && !flagSet("duration") {
+	if *quick && !harness.FlagWasSet(flag.CommandLine, "duration") {
 		opts.Duration = 200 * time.Millisecond
 	}
 
@@ -192,14 +145,4 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-}
-
-func flagSet(name string) bool {
-	set := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == name {
-			set = true
-		}
-	})
-	return set
 }

@@ -1,0 +1,135 @@
+// Command bstserver serves a PNB-BST-backed ordered key set over TCP
+// using the internal/wire protocol: INSERT/DELETE/CONTAINS point ops,
+// streaming SCAN served from a single phase-clock cut (the paper's
+// linearizable-scan guarantee, preserved across the wire — DESIGN.md
+// §8), COUNT/MIN/MAX/SUCC/PRED/LEN ordered queries, and STATS.
+//
+// Usage:
+//
+//	bstserver -addr :7700 [-metrics :7701] [-impl sharded] [-shards 8] [-keys 1048576]
+//	bstserver -impl sharded -relaxed      # per-shard clocks: relaxed cross-shard scans
+//	bstserver -impl sharded -rebalance    # online load-driven splits/merges
+//	bstserver -impl pnbbst                # single tree, no sharding
+//
+// -keys declares the key interval [0, keys) the workload concentrates
+// on; sharded implementations split their shard boundaries over it (the
+// full int64 space stays storable either way). -compact runs periodic
+// version-memory pruning so a long-lived server's heap tracks the live
+// set, not the update count.
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
+// finishes in-flight and pipelined requests, flushes, and exits 0 — the
+// CI smoke job asserts exactly this. cmd/loadgen is the matching
+// closed-loop client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/bst"
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7700", "TCP listen address")
+		metrics  = flag.String("metrics", "", "HTTP metrics listen address (/metrics, /healthz); empty disables")
+		keys     = flag.Int64("keys", 1<<20, "key interval [0, keys) that shard boundaries split (sharded impls)")
+		compact  = flag.Duration("compact", 0, "periodic version-memory pruning interval; 0 disables")
+		drainFor = flag.Duration("drain", 10*time.Second, "graceful-drain budget on shutdown")
+	)
+	target := harness.RegisterTargetFlags(flag.CommandLine, harness.TargetSharded, false)
+	flag.Parse()
+
+	name, store, stops, err := buildStore(target, *keys, *compact)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bstserver:", err)
+		os.Exit(2)
+	}
+
+	srv, err := server.Start(server.Config{
+		Addr:        *addr,
+		MetricsAddr: *metrics,
+		Store:       store,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bstserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bstserver: serving %s on %s", name, srv.Addr())
+	if m := srv.MetricsAddr(); m != nil {
+		fmt.Printf(", metrics on http://%s/metrics", m)
+	}
+	fmt.Println()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("bstserver: %v: draining (budget %v)\n", got, *drainFor)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	for _, stop := range stops {
+		stop()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bstserver:", err)
+		os.Exit(1)
+	}
+	fmt.Println("bstserver: drained cleanly")
+}
+
+// buildStore resolves the target cluster and constructs the served
+// implementation, returning its canonical name plus the stop functions
+// of any background machinery (rebalancer, compactor).
+func buildStore(target *harness.TargetFlags, keys int64, compact time.Duration) (string, server.Store, []func(), error) {
+	if keys < 1 {
+		return "", nil, nil, fmt.Errorf("-keys must be positive")
+	}
+	name, err := target.Resolve(keys)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	var stops []func()
+	var store server.Store
+	switch {
+	case name == harness.TargetPNBBST:
+		t := bst.New()
+		if compact > 0 {
+			stops = append(stops, t.StartAutoCompact(compact))
+		}
+		store = t
+	default:
+		n, ok := harness.ParseAnySharded(name)
+		if !ok {
+			return "", nil, nil, fmt.Errorf("-impl %s is not servable (use pnbbst or a sharded target; the baselines have no linearizable scans to serve)", name)
+		}
+		var opts []bst.ShardedOption
+		if _, relaxed := harness.ParseShardedRelaxedTarget(name); relaxed {
+			opts = append(opts, bst.RelaxedScans())
+		}
+		m := bst.NewShardedRange(0, keys-1, n, opts...)
+		if _, auto := harness.ParseShardedAutoTarget(name); auto {
+			stop, err := m.StartAutoRebalance(bst.RebalanceConfig{})
+			if err != nil {
+				return "", nil, nil, err
+			}
+			stops = append(stops, stop)
+		}
+		if compact > 0 {
+			stops = append(stops, m.StartAutoCompact(compact))
+		}
+		store = m
+	}
+	return name, store, stops, nil
+}

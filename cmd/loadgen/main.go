@@ -1,0 +1,93 @@
+// Command loadgen drives a bstserver with a closed-loop, pipelined,
+// multi-connection workload and reports throughput and latency
+// percentiles — the wire-level counterpart of cmd/benchbst's in-process
+// runs, built from the same internal/workload generators.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:7700 [-conns 4] [-pipeline 16] [-duration 5s]
+//	        [-keys 1048576] [-prefill -1] [-insert 25 -delete 25 -scan 10 -scanwidth 100]
+//	        [-zipf 1.2] [-seed 42] [-stats] [-hist]
+//
+// Each connection keeps up to -pipeline requests in flight; -conns × a
+// full pipeline is the offered concurrency. -prefill inserts that many
+// distinct keys before measuring (-1 = half the key range). With -stats
+// the server's own metrics document (per-op service-time percentiles)
+// is fetched and printed after the run, for comparison with the
+// client-observed latencies. Exits non-zero if the run completes zero
+// operations — the CI smoke job relies on this.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/loadgen"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7700", "bstserver address")
+		conns    = flag.Int("conns", 4, "client connections")
+		pipeline = flag.Int("pipeline", 16, "max in-flight requests per connection")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window")
+		keys     = flag.Int64("keys", 1<<20, "keys drawn from [0, keys)")
+		prefill  = flag.Int("prefill", -1, "distinct keys inserted before measuring; -1 = keys/2")
+		seed     = flag.Uint64("seed", 42, "base PRNG seed")
+		stats    = flag.Bool("stats", false, "fetch and print the server's metrics document after the run")
+		hist     = flag.Bool("hist", false, "print client-side latency distributions")
+	)
+	mixFlags := harness.RegisterMixFlags(flag.CommandLine)
+	zipf := harness.RegisterZipfFlag(flag.CommandLine)
+	flag.Parse()
+
+	mix, err := mixFlags.Mix()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	if *zipf != 0 && *zipf <= 1 {
+		fmt.Fprintf(os.Stderr, "loadgen: -zipf must be > 1 (got %g); 0 disables skew\n", *zipf)
+		os.Exit(2)
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:     *addr,
+		Conns:    *conns,
+		Pipeline: *pipeline,
+		Duration: *duration,
+		KeyRange: *keys,
+		Prefill:  *prefill,
+		Mix:      mix,
+		ZipfSkew: *zipf,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	if *hist {
+		fmt.Print("point-op latency:\n", res.PointLat.Bars(40))
+		if res.ScanLat.Count() > 0 {
+			fmt.Print("scan latency:\n", res.ScanLat.Bars(40))
+		}
+	}
+	if *stats {
+		c, err := wire.Dial(*addr)
+		if err == nil {
+			if blob, err := c.Stats(); err == nil {
+				fmt.Printf("server stats: %s\n", blob)
+			}
+			c.Close()
+		}
+	}
+	if res.TotalOps() == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: completed zero operations")
+		os.Exit(1)
+	}
+}

@@ -9,8 +9,14 @@
 //
 // Usage:
 //
-//	stress [-impl pnbbst|sharded] [-shards 8] [-relaxed] [-duration 30s] [-threads N] [-keys 4096]
+//	stress [-impl pnbbst|sharded[<N>]] [-shards 8] [-relaxed] [-duration 30s] [-threads N] [-keys 4096]
 //	       [-seed 1] [-compact] [-rebalance] [-zipf 1.2] [-mem 1s]
+//
+// The -impl/-shards/-relaxed/-rebalance/-zipf cluster is the shared
+// harness.TargetFlags wiring (same spellings and validation as
+// cmd/benchbst and cmd/bstserver); stress additionally restricts -impl
+// to the PNB-BST family, since the baselines lack the scan/snapshot
+// surfaces the checkers drive.
 //
 // With -compact a pruner goroutine runs Compact concurrently with the
 // chaos, exercising the version-reclamation path under full adversarial
@@ -39,39 +45,29 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		impl      = flag.String("impl", "pnbbst", "implementation under stress: pnbbst or sharded")
-		shards    = flag.Int("shards", 8, "shard count (with -impl sharded)")
-		relaxed   = flag.Bool("relaxed", false, "per-shard phase clocks: relaxed cross-shard scans (with -impl sharded)")
-		duration  = flag.Duration("duration", 30*time.Second, "total stress time")
-		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "updater goroutines")
-		keys      = flag.Int64("keys", 4096, "key-space size")
-		seed      = flag.Uint64("seed", 1, "PRNG seed (each failing round reprints its derived seed for replay)")
-		compact   = flag.Bool("compact", false, "run a concurrent version pruner (Compact) during every round")
-		rebalance = flag.Bool("rebalance", false, "run a concurrent shard rebalancer: online splits/merges (with -impl sharded)")
-		zipf      = flag.Float64("zipf", 0, "clustered zipfian updater keys with this skew, e.g. 1.2; 0 = uniform (spatial skew makes -rebalance actually migrate)")
-		memEvery  = flag.Duration("mem", time.Second, "memory report interval during rounds (0 disables)")
+		duration = flag.Duration("duration", 30*time.Second, "total stress time")
+		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "updater goroutines")
+		keys     = flag.Int64("keys", 4096, "key-space size")
+		seed     = flag.Uint64("seed", 1, "PRNG seed (each failing round reprints its derived seed for replay)")
+		compact  = flag.Bool("compact", false, "run a concurrent version pruner (Compact) during every round")
+		memEvery = flag.Duration("mem", time.Second, "memory report interval during rounds (0 disables)")
 	)
+	target := harness.RegisterTargetFlags(flag.CommandLine, "pnbbst", true)
 	flag.Parse()
 
-	if *relaxed && *impl != "sharded" {
-		fmt.Fprintln(os.Stderr, "stress: -relaxed only applies to -impl sharded")
+	name, err := target.Resolve(*keys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
 		os.Exit(2)
 	}
-	if *rebalance && *impl != "sharded" {
-		fmt.Fprintln(os.Stderr, "stress: -rebalance only applies to -impl sharded")
-		os.Exit(2)
-	}
-	if *rebalance && *relaxed {
-		fmt.Fprintln(os.Stderr, "stress: -rebalance needs the shared clock; drop -relaxed")
-		os.Exit(2)
-	}
-	if _, _, _, err := makeTarget(*impl, *shards, *relaxed, *keys); err != nil {
+	if _, _, _, err := makeTarget(name, *keys); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -80,11 +76,11 @@ func main() {
 	if *compact {
 		extra += " + 1 pruner"
 	}
-	if *rebalance {
+	if _, auto := harness.ParseShardedAutoTarget(name); auto {
 		extra += " + 1 rebalancer"
 	}
 	fmt.Printf("stress: %s, %v, %d updaters + 2 scanners + 1 snapshotter%s, %d keys, seed %d\n",
-		describe(*impl, *shards, *relaxed), *duration, *threads, extra, *keys, *seed)
+		name, *duration, *threads, extra, *keys, *seed)
 
 	deadline := time.Now().Add(*duration)
 	rounds := 0
@@ -96,7 +92,7 @@ func main() {
 		}
 		roundSeed := *seed + uint64(rounds)
 		fmt.Printf("round %d: seed=%d (replay: -seed %d)\n", rounds, roundSeed, roundSeed)
-		if err := round(*impl, *shards, *relaxed, roundDur, *threads, *keys, roundSeed, *compact, *rebalance, *zipf, *memEvery); err != nil {
+		if err := round(name, roundDur, *threads, *keys, roundSeed, *compact, target.Zipf(), *memEvery); err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL (round %d, seed %d): %v\n", rounds, roundSeed, err)
 			os.Exit(1)
 		}
@@ -124,17 +120,6 @@ func heapObjects() uint64 {
 	return ms.HeapObjects
 }
 
-func describe(impl string, shards int, relaxed bool) string {
-	if impl == "sharded" {
-		mode := "shared clock"
-		if relaxed {
-			mode = "relaxed"
-		}
-		return fmt.Sprintf("sharded (%d shards, %s)", shards, mode)
-	}
-	return impl
-}
-
 // set is the surface the stress rounds drive; both *core.Tree and
 // *shard.Set satisfy it.
 type set interface {
@@ -156,28 +141,29 @@ type snapView interface {
 	Release()
 }
 
-// makeTarget builds the implementation under test plus a snapshot
-// factory (the two Snapshot methods return distinct types, so the common
-// shape is adapted through a closure) and, for sharded targets, the
-// shard.Set itself (so the rebalancer can drive migrations).
-func makeTarget(impl string, shards int, relaxed bool, keyRange int64) (set, func() snapView, *shard.Set, error) {
-	switch impl {
-	case "pnbbst":
+// makeTarget builds the implementation under stress from its canonical
+// harness target name (TargetFlags.Resolve output), plus a snapshot
+// factory (the two Snapshot methods return distinct types, so the
+// common shape is adapted through a closure) and, for sharded targets,
+// the shard.Set itself (so the round can drive the rebalancer of an
+// -auto target and stop it before the quiescent checks). Only the
+// PNB-BST family is stressable: the checkers need linearizable scans
+// and snapshots.
+func makeTarget(name string, keyRange int64) (set, func() snapView, *shard.Set, error) {
+	if name == harness.TargetPNBBST {
 		t := core.New()
 		return t, func() snapView { return t.Snapshot() }, nil, nil
-	case "sharded":
-		if shards < 1 || int64(shards) > keyRange {
-			return nil, nil, nil, fmt.Errorf("stress: -shards %d outside [1, %d] (-keys bounds the shard count)", shards, keyRange)
-		}
-		var opts []shard.Option
-		if relaxed {
-			opts = append(opts, shard.WithRelaxedScans())
-		}
-		s := shard.NewRange(0, keyRange-1, shards, opts...)
-		return s, func() snapView { return s.Snapshot() }, s, nil
-	default:
-		return nil, nil, nil, fmt.Errorf("stress: unknown -impl %q (have pnbbst, sharded)", impl)
 	}
+	n, ok := harness.ParseAnySharded(name)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("stress: -impl %q unsupported (have pnbbst and the sharded family; the baselines lack checkable scans)", name)
+	}
+	var opts []shard.Option
+	if _, relaxed := harness.ParseShardedRelaxedTarget(name); relaxed {
+		opts = append(opts, shard.WithRelaxedScans())
+	}
+	s := shard.NewRange(0, keyRange-1, n, opts...)
+	return s, func() snapView { return s.Snapshot() }, s, nil
 }
 
 // guard re-prints the round's seed when the calling goroutine panics, so
@@ -190,12 +176,13 @@ func guard(seed uint64) {
 }
 
 // round runs one bounded burst of chaos and then verifies quiescent state.
-func round(impl string, shards int, relaxed bool, d time.Duration, threads int, keyRange int64, seed uint64, compact, rebalance bool, zipf float64, memEvery time.Duration) error {
+func round(name string, d time.Duration, threads int, keyRange int64, seed uint64, compact bool, zipf float64, memEvery time.Duration) error {
 	defer guard(seed)
-	tr, snapshot, shardSet, err := makeTarget(impl, shards, relaxed, keyRange)
+	tr, snapshot, shardSet, err := makeTarget(name, keyRange)
 	if err != nil {
 		return err
 	}
+	_, rebalance := harness.ParseShardedAutoTarget(name)
 	balance := make([]atomic.Int64, keyRange)
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -344,8 +331,8 @@ func round(impl string, shards int, relaxed bool, d time.Duration, threads int, 
 	if compact {
 		cs := tr.Compact()
 		vg := tr.VersionGraphSize()
-		perShard := 1 // sentinel overhead is per tree; -shards is unused for pnbbst
-		if impl == "sharded" {
+		perShard := 1 // sentinel overhead is per tree
+		if shardSet != nil {
 			perShard = shardSet.Shards() // the rebalancer may have changed the count
 		}
 		limit := 4*tr.Len() + 128*perShard + 128

@@ -1,0 +1,299 @@
+// Package loadgen is the closed-loop load generator of the serving
+// layer: N client connections, each keeping up to D requests in flight
+// (pipeline depth), drawing operations and keys from the same
+// internal/workload generators the in-process harness uses — so a wire
+// benchmark (experiment E15, cmd/loadgen) is directly comparable to its
+// in-process counterpart (E1..E14).
+//
+// Closed loop means every connection waits for replies before issuing
+// more once its pipeline is full: offered load adapts to server
+// capacity, and per-request latency (send → matching reply, queueing
+// included) is well-defined. Reported percentiles come from
+// internal/stats.Histogram, like the harness's.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Config describes one load-generation run.
+type Config struct {
+	Addr     string        // server address, "host:port"
+	Conns    int           // client connections (each its own goroutine); >= 1
+	Pipeline int           // max requests in flight per connection; >= 1
+	Duration time.Duration // measurement window
+	KeyRange int64         // keys drawn from [0, KeyRange)
+	Prefill  int           // distinct keys inserted before measuring; -1 = KeyRange/2
+	Mix      workload.Mix  // operation percentages + scan width
+	ZipfSkew float64       // >1 enables clustered zipfian keys; 0 = uniform
+	Seed     uint64        // base PRNG seed (connection c uses a derived stream)
+}
+
+// Result aggregates one run.
+type Result struct {
+	Config
+	Elapsed    time.Duration
+	Ops        [4]uint64 // completed, indexed by workload.OpKind
+	ScanKeys   uint64    // keys delivered by scans
+	Errors     uint64    // TagErr replies (not transport failures)
+	Throughput float64   // completed ops/sec
+	PointLat   *stats.Histogram
+	ScanLat    *stats.Histogram
+}
+
+// TotalOps returns the number of completed operations.
+func (r *Result) TotalOps() uint64 {
+	return r.Ops[0] + r.Ops[1] + r.Ops[2] + r.Ops[3]
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	s := fmt.Sprintf("loadgen %s conns=%d pipe=%d keys=%d mix=i%d/d%d/s%d/f%d: %d ops in %v (%.0f ops/s), point p50=%v p90=%v p99=%v",
+		r.Addr, r.Conns, r.Pipeline, r.KeyRange,
+		r.Mix.InsertPct, r.Mix.DeletePct, r.Mix.ScanPct, r.Mix.FindPct(),
+		r.TotalOps(), r.Elapsed.Round(time.Millisecond), r.Throughput,
+		time.Duration(r.PointLat.Percentile(50)),
+		time.Duration(r.PointLat.Percentile(90)),
+		time.Duration(r.PointLat.Percentile(99)))
+	if r.Ops[workload.OpScan] > 0 {
+		s += fmt.Sprintf(", scan p50=%v p99=%v",
+			time.Duration(r.ScanLat.Percentile(50)),
+			time.Duration(r.ScanLat.Percentile(99)))
+	}
+	if r.Errors > 0 {
+		s += fmt.Sprintf(", %d server errors", r.Errors)
+	}
+	return s
+}
+
+// pending is one in-flight request awaiting its reply.
+type pending struct {
+	kind workload.OpKind
+	t0   time.Time
+}
+
+// Run connects, prefills, drives the configured workload for
+// cfg.Duration, and reports. It returns an error only for setup or
+// transport failures; server-side TagErr replies are counted in the
+// result instead.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 1
+	}
+	if cfg.KeyRange <= 0 {
+		cfg.KeyRange = 1 << 10
+	}
+	cfg.Mix.Validate()
+	if err := prefill(cfg); err != nil {
+		return nil, err
+	}
+
+	outs := make([]connOut, cfg.Conns)
+	var stop atomic.Bool
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Conns; i++ {
+		c, err := wire.Dial(cfg.Addr)
+		if err != nil {
+			stop.Store(true)
+			close(start)
+			wg.Wait()
+			return nil, fmt.Errorf("loadgen: conn %d: %w", i, err)
+		}
+		wg.Add(1)
+		go func(i int, c *wire.Client) {
+			defer wg.Done()
+			defer c.Close()
+			out := &outs[i]
+			out.pointLat = stats.NewHistogram()
+			out.scanLat = stats.NewHistogram()
+			<-start
+			out.err = driveConn(cfg, i, c, &stop, out)
+		}(i, c)
+	}
+
+	t0 := time.Now()
+	close(start)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := &Result{
+		Config:   cfg,
+		Elapsed:  elapsed,
+		PointLat: stats.NewHistogram(),
+		ScanLat:  stats.NewHistogram(),
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, fmt.Errorf("loadgen: conn %d: %w", i, outs[i].err)
+		}
+		for k := 0; k < 4; k++ {
+			res.Ops[k] += outs[i].ops[k]
+		}
+		res.ScanKeys += outs[i].scanKeys
+		res.Errors += outs[i].errors
+		res.PointLat.Merge(outs[i].pointLat)
+		res.ScanLat.Merge(outs[i].scanLat)
+	}
+	res.Throughput = float64(res.TotalOps()) / elapsed.Seconds()
+	return res, nil
+}
+
+// connOut is one connection's accumulator, merged into the Result after
+// the run.
+type connOut struct {
+	ops      [4]uint64
+	scanKeys uint64
+	errors   uint64
+	pointLat *stats.Histogram
+	scanLat  *stats.Histogram
+	err      error
+}
+
+// driveConn runs one connection's closed loop: top up the pipeline,
+// then retire the oldest reply; repeat until stopped and drained.
+func driveConn(cfg Config, id int, c *wire.Client, stop *atomic.Bool, out *connOut) error {
+	rng := workload.NewRNG(cfg.Seed*1_000_003 + uint64(id))
+	var gen workload.KeyGen = workload.Uniform{Lo: 0, Hi: cfg.KeyRange}
+	if cfg.ZipfSkew > 1 {
+		gen = workload.NewZipfClustered(0, cfg.KeyRange, cfg.ZipfSkew)
+	}
+	lo, hi := gen.Range()
+
+	queue := make([]pending, 0, cfg.Pipeline)
+	for {
+		// Fill the pipeline (unless stopping, then just drain).
+		for len(queue) < cfg.Pipeline && !stop.Load() {
+			kind := cfg.Mix.Draw(rng)
+			var req wire.Request
+			switch kind {
+			case workload.OpInsert:
+				req = wire.Request{Op: wire.OpInsert, A: gen.Key(rng)}
+			case workload.OpDelete:
+				req = wire.Request{Op: wire.OpDelete, A: gen.Key(rng)}
+			case workload.OpFind:
+				req = wire.Request{Op: wire.OpContains, A: gen.Key(rng)}
+			case workload.OpScan:
+				a := lo + rng.Intn(hi-lo)
+				b := a + cfg.Mix.ScanWidth - 1
+				if b >= hi {
+					b = hi - 1
+				}
+				req = wire.Request{Op: wire.OpScan, A: a, B: b}
+			}
+			if err := c.Send(req); err != nil {
+				return err
+			}
+			queue = append(queue, pending{kind: kind, t0: time.Now()})
+		}
+		if len(queue) == 0 {
+			if stop.Load() {
+				return nil
+			}
+			continue
+		}
+		// Retire the oldest in-flight request (replies are in order).
+		p := queue[0]
+		queue = queue[1:]
+		if p.kind == workload.OpScan {
+			n, isErr, err := recvScan(c)
+			if err != nil {
+				return err
+			}
+			if isErr {
+				out.errors++
+			} else {
+				out.scanKeys += uint64(n)
+			}
+			out.scanLat.Record(time.Since(p.t0).Nanoseconds())
+		} else {
+			resp, err := c.Recv()
+			if err != nil {
+				return err
+			}
+			if resp.Tag == wire.TagErr {
+				out.errors++
+			}
+			out.pointLat.Record(time.Since(p.t0).Nanoseconds())
+		}
+		out.ops[p.kind]++
+	}
+}
+
+// recvScan consumes one streaming SCAN reply (Batch* then Done, or a
+// single Err) and returns the delivered key count.
+func recvScan(c *wire.Client) (keys int, isErr bool, err error) {
+	for {
+		resp, err := c.Recv()
+		if err != nil {
+			return 0, false, err
+		}
+		switch resp.Tag {
+		case wire.TagBatch:
+			keys += len(resp.Keys)
+		case wire.TagDone:
+			return keys, false, nil
+		case wire.TagErr:
+			return 0, true, nil
+		default:
+			return 0, false, fmt.Errorf("scan reply tagged %d", resp.Tag)
+		}
+	}
+}
+
+// prefill inserts `Prefill` distinct keys (default: half the key range)
+// through one pipelined connection, mirroring the in-process harness's
+// prefill so wire and in-process runs start from the same set size.
+func prefill(cfg Config) error {
+	target := cfg.Prefill
+	if target < 0 {
+		target = int(cfg.KeyRange / 2)
+	}
+	if target > int(cfg.KeyRange) {
+		target = int(cfg.KeyRange)
+	}
+	if target == 0 {
+		return nil
+	}
+	c, err := wire.Dial(cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("loadgen: prefill: %w", err)
+	}
+	defer c.Close()
+	rng := workload.NewRNG(cfg.Seed ^ 0xDEADBEEF)
+	inserted := 0
+	const batch = 256
+	for inserted < target {
+		n := batch
+		if rem := target - inserted; rem < n {
+			n = rem // issue at most the missing count per wave
+		}
+		for i := 0; i < n; i++ {
+			if err := c.Send(wire.Request{Op: wire.OpInsert, A: rng.Intn(cfg.KeyRange)}); err != nil {
+				return fmt.Errorf("loadgen: prefill: %w", err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			resp, err := c.Recv()
+			if err != nil {
+				return fmt.Errorf("loadgen: prefill: %w", err)
+			}
+			if resp.Tag == wire.TagBool && resp.Bool {
+				inserted++
+			}
+		}
+	}
+	return nil
+}

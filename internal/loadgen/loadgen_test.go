@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/bst"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// startServer runs a serving instance over a fresh sharded map on a
+// loopback port.
+func startServer(t *testing.T, keys int64) (*server.Server, *bst.ShardedMap) {
+	t.Helper()
+	m := bst.NewShardedRange(0, keys-1, 4)
+	s, err := server.Start(server.Config{Addr: "127.0.0.1:0", Store: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	})
+	return s, m
+}
+
+// TestRunClosedLoop drives a short mixed run and checks the accounting:
+// ops completed on every connection, latencies recorded for every
+// completed op, scans delivered keys, no server errors.
+func TestRunClosedLoop(t *testing.T) {
+	const keys = 1 << 12
+	srv, _ := startServer(t, keys)
+	res, err := Run(Config{
+		Addr:     srv.Addr().String(),
+		Conns:    3,
+		Pipeline: 8,
+		Duration: 150 * time.Millisecond,
+		KeyRange: keys,
+		Prefill:  -1,
+		Mix:      workload.Mix{InsertPct: 25, DeletePct: 25, ScanPct: 10, ScanWidth: 100},
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps() == 0 {
+		t.Fatal("closed loop completed zero ops")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d server errors", res.Errors)
+	}
+	if res.Ops[workload.OpScan] == 0 || res.ScanKeys == 0 {
+		t.Fatalf("scans=%d scanKeys=%d: the mix's scans never ran", res.Ops[workload.OpScan], res.ScanKeys)
+	}
+	points := res.Ops[workload.OpInsert] + res.Ops[workload.OpDelete] + res.Ops[workload.OpFind]
+	if res.PointLat.Count() != points {
+		t.Fatalf("point latencies %d != point ops %d", res.PointLat.Count(), points)
+	}
+	if res.ScanLat.Count() != res.Ops[workload.OpScan] {
+		t.Fatalf("scan latencies %d != scans %d", res.ScanLat.Count(), res.Ops[workload.OpScan])
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %f", res.Throughput)
+	}
+}
+
+// TestPrefill: the run's prefill leaves exactly the requested number of
+// distinct keys in the store before measurement.
+func TestPrefill(t *testing.T) {
+	const keys = 1 << 10
+	srv, m := startServer(t, keys)
+	_, err := Run(Config{
+		Addr:     srv.Addr().String(),
+		Conns:    1,
+		Pipeline: 4,
+		Duration: 10 * time.Millisecond,
+		KeyRange: keys,
+		Prefill:  300,
+		Mix:      workload.Mix{}, // find-only: measurement leaves the set unchanged
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Len(); got != 300 {
+		t.Fatalf("store holds %d keys after prefill 300 + find-only load", got)
+	}
+}
+
+// TestRunDialFailure: an unreachable server fails fast with an error,
+// not a hang.
+func TestRunDialFailure(t *testing.T) {
+	_, err := Run(Config{
+		Addr:     "127.0.0.1:1", // nothing listens here
+		Conns:    2,
+		Pipeline: 4,
+		Duration: 10 * time.Millisecond,
+		KeyRange: 100,
+		Prefill:  0,
+	})
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+}

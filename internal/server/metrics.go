@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Metrics is the server's observable state: an expvar-style JSON
+// document served by the HTTP /metrics endpoint and the in-band STATS
+// opcode. Per-op latencies are service times (request decoded → reply
+// fully buffered/streamed), summarized from internal/stats.Histogram
+// snapshots. For SCAN that window covers the whole reply stream, socket
+// backpressure included — a slow client inflates the server-side SCAN
+// percentiles (by design: the cut stays open exactly that long, see the
+// package comment); compare point-op rows, not SCAN rows, against
+// client-observed latency.
+type Metrics struct {
+	UptimeSec   float64                  `json:"uptime_sec"`
+	ConnsActive int                      `json:"conns_active"`
+	ConnsTotal  uint64                   `json:"conns_total"`
+	OpsTotal    uint64                   `json:"ops_total"`
+	Draining    bool                     `json:"draining"`
+	Ops         map[string]stats.Summary `json:"ops"`
+}
+
+// Metrics snapshots the server's counters and per-op latency summaries:
+// the folded histograms of closed connections merged with every live
+// connection's so-far data.
+func (s *Server) Metrics() Metrics {
+	agg := newConnMetrics()
+	s.mu.Lock()
+	active := len(s.conns)
+	total := s.connsTotal
+	agg.merge(s.done)
+	for c := range s.conns {
+		agg.merge(c.metrics)
+	}
+	s.mu.Unlock()
+
+	m := Metrics{
+		UptimeSec:   time.Since(s.start).Seconds(),
+		ConnsActive: active,
+		ConnsTotal:  total,
+		OpsTotal:    agg.ops,
+		Draining:    s.draining.Load(),
+		Ops:         make(map[string]stats.Summary, wire.OpLimit-1),
+	}
+	for _, op := range wire.Ops() {
+		if h := agg.lats[op]; h != nil && h.Count() > 0 {
+			m.Ops[op.String()] = h.Snapshot()
+		}
+	}
+	return m
+}
+
+// MetricsJSON renders Metrics as JSON (the STATS reply payload).
+func (s *Server) MetricsJSON() []byte {
+	b, err := json.Marshal(s.Metrics())
+	if err != nil { // unreachable: Metrics is a plain value type
+		return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	return b
+}
+
+// startMetrics binds the HTTP metrics listener and serves /metrics and
+// /healthz on a background goroutine until Shutdown closes the listener.
+func (s *Server) startMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: metrics listen %s: %w", addr, err)
+	}
+	s.mln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(s.MetricsJSON()) //nolint:errcheck
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok") //nolint:errcheck
+	})
+	srv := &http.Server{Handler: mux}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		srv.Serve(ln) //nolint:errcheck // returns when Shutdown closes ln
+	}()
+	return nil
+}

@@ -147,6 +147,36 @@ func (h *Histogram) Reset() {
 	*h = Histogram{min: math.MaxInt64}
 }
 
+// Summary is a frozen numeric summary of a Histogram — the JSON shape
+// the serving layer's metrics endpoint exports per operation. Times are
+// nanoseconds, like the samples.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_ns"`
+	Min   int64   `json:"min_ns"`
+	Max   int64   `json:"max_ns"`
+	P50   int64   `json:"p50_ns"`
+	P90   int64   `json:"p90_ns"`
+	P99   int64   `json:"p99_ns"`
+}
+
+// Snapshot summarizes the histogram's current contents. An empty
+// histogram snapshots to the zero Summary.
+func (h *Histogram) Snapshot() Summary {
+	if h.total == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: h.total,
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+	}
+}
+
 // Summary renders count/mean/p50/p99/max with duration formatting.
 func (h *Histogram) Summary() string {
 	if h.total == 0 {

@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"encoding/json"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -123,6 +125,78 @@ func TestQuickPercentileMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	if got := NewHistogram().Snapshot(); got != (Summary{}) {
+		t.Fatalf("empty Snapshot = %+v", got)
+	}
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("Snapshot = %+v", s)
+	}
+	// The snapshot must agree with the live queries it freezes.
+	if s.Mean != h.Mean() || s.P50 != h.Percentile(50) || s.P90 != h.Percentile(90) || s.P99 != h.Percentile(99) {
+		t.Fatalf("Snapshot %+v disagrees with live queries", s)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max || s.Min > s.P50 {
+		t.Fatalf("Snapshot percentiles not monotone: %+v", s)
+	}
+	// Recording after Snapshot must not change the frozen copy.
+	before := s
+	h.Record(1 << 40)
+	if s != before {
+		t.Fatal("Snapshot aliases live state")
+	}
+	if h.Snapshot().Max != 1<<40 {
+		t.Fatal("fresh Snapshot missed new sample")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100)
+	h.Record(200)
+	b, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"count":2`, `"min_ns":100`, `"max_ns":200`, `"p50_ns"`, `"p90_ns"`, `"p99_ns"`, `"mean_ns"`} {
+		if !strings.Contains(string(b), field) {
+			t.Fatalf("JSON %s missing %s", b, field)
+		}
+	}
+	var back Summary
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h.Snapshot() {
+		t.Fatalf("JSON round trip: %+v != %+v", back, h.Snapshot())
+	}
+}
+
+// TestSnapshotMergeConsistency: merging then snapshotting equals
+// snapshotting the concatenated stream (same buckets either way).
+func TestSnapshotMergeConsistency(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.ExpFloat64() * 50000)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(b)
+	if a.Snapshot() != all.Snapshot() {
+		t.Fatalf("merged snapshot %+v != combined snapshot %+v", a.Snapshot(), all.Snapshot())
 	}
 }
 

@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+)
+
+// TestRequestRoundTrip encodes every opcode at its arity and decodes it
+// back unchanged, including extreme key values.
+func TestRequestRoundTrip(t *testing.T) {
+	keys := []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 42}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	var want []Request
+	for _, op := range Ops() {
+		for _, a := range keys {
+			r := Request{Op: op}
+			switch op.arity() {
+			case 1:
+				r.A = a
+			case 2:
+				r.A, r.B = a, a+100
+			}
+			if err := enc.Request(r); err != nil {
+				t.Fatalf("encode %v: %v", r, err)
+			}
+			want = append(want, r)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	for i, w := range want {
+		got, err := dec.Request()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got != w {
+			t.Fatalf("round trip %d: got %+v, want %+v", i, got, w)
+		}
+	}
+	if _, err := dec.Request(); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+// TestResponseRoundTrip covers every reply tag.
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	keys := []int64{math.MinInt64, -7, 0, 9, math.MaxInt64}
+	if err := enc.Bool(true); err != nil {
+		t.Fatal(err)
+	}
+	enc.Bool(false)
+	enc.Int(-123456789)
+	enc.Key(77, true)
+	enc.Key(0, false)
+	enc.Batch(keys)
+	enc.Batch(nil) // skipped, not a frame
+	enc.Done(int64(len(keys)))
+	enc.Stats([]byte(`{"ok":true}`))
+	enc.Error("boom")
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := NewDecoder(&buf)
+	expect := func(tag uint8) Response {
+		t.Helper()
+		r, err := dec.Response()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if r.Tag != tag {
+			t.Fatalf("tag = %d, want %d", r.Tag, tag)
+		}
+		return r
+	}
+	if r := expect(TagBool); !r.Bool {
+		t.Fatal("Bool(true) decoded false")
+	}
+	if r := expect(TagBool); r.Bool {
+		t.Fatal("Bool(false) decoded true")
+	}
+	if r := expect(TagInt); r.Int != -123456789 {
+		t.Fatalf("Int = %d", r.Int)
+	}
+	if r := expect(TagKey); !r.OK || r.Int != 77 {
+		t.Fatalf("Key = %+v", r)
+	}
+	if r := expect(TagKey); r.OK {
+		t.Fatalf("Key(none) = %+v", r)
+	}
+	r := expect(TagBatch)
+	if len(r.Keys) != len(keys) {
+		t.Fatalf("batch len = %d", len(r.Keys))
+	}
+	for i := range keys {
+		if r.Keys[i] != keys[i] {
+			t.Fatalf("batch[%d] = %d, want %d", i, r.Keys[i], keys[i])
+		}
+	}
+	if r := expect(TagDone); r.Int != int64(len(keys)) {
+		t.Fatalf("Done = %d", r.Int)
+	}
+	if r := expect(TagStats); string(r.Blob) != `{"ok":true}` {
+		t.Fatalf("Stats = %q", r.Blob)
+	}
+	if r := expect(TagErr); r.Msg != "boom" {
+		t.Fatalf("Err = %q", r.Msg)
+	}
+	if _, err := dec.Response(); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+// TestDecodeRejectsMalformed feeds structurally invalid frames and
+// expects ErrMalformed (not a panic, not a huge allocation).
+func TestDecodeRejectsMalformed(t *testing.T) {
+	frame := func(payload ...byte) []byte {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		return append(hdr[:], payload...)
+	}
+	cases := map[string][]byte{
+		"zero length":        {0, 0, 0, 0},
+		"oversized length":   {0xFF, 0xFF, 0xFF, 0xFF},
+		"unknown opcode":     frame(0),
+		"unknown opcode 2":   frame(0x7F, 1, 2, 3),
+		"short INSERT":       frame(byte(OpInsert), 1, 2, 3),
+		"long MIN":           frame(byte(OpMin), 9),
+		"SCAN missing bound": frame(byte(OpScan), 0, 0, 0, 0, 0, 0, 0, 1),
+	}
+	for name, in := range cases {
+		if _, err := NewDecoder(bytes.NewReader(in)).Request(); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+	respCases := map[string][]byte{
+		"unknown tag":    frame(0xFF),
+		"bad bool value": frame(TagBool, 2),
+		"short int":      frame(TagInt, 1, 2),
+		"empty batch":    frame(TagBatch),
+		"ragged batch":   frame(TagBatch, 1, 2, 3),
+		"short key":      frame(TagKey, 1),
+		"bad key flag":   frame(TagKey, 2, 0, 0, 0, 0, 0, 0, 0, 0),
+	}
+	for name, in := range respCases {
+		if _, err := NewDecoder(bytes.NewReader(in)).Response(); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+// TestDecodeTruncation: a frame cut anywhere mid-payload is an
+// ErrUnexpectedEOF-wrapped error, and a cut header is io.EOF territory,
+// never a hang or panic.
+func TestDecodeTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	enc.Request(Request{Op: OpScan, A: 1, B: 2})
+	enc.Flush()
+	whole := buf.Bytes()
+	for cut := 0; cut < len(whole); cut++ {
+		dec := NewDecoder(bytes.NewReader(whole[:cut]))
+		_, err := dec.Request()
+		if err == nil {
+			t.Fatalf("cut at %d decoded successfully", cut)
+		}
+	}
+}
+
+// TestBatchCap: the encoder refuses over-cap batches; cap-sized ones fit
+// under MaxFrame.
+func TestBatchCap(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	big := make([]int64, ScanBatchCap+1)
+	if err := enc.Batch(big); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("over-cap batch: %v", err)
+	}
+	if err := enc.Batch(big[:ScanBatchCap]); err != nil {
+		t.Fatalf("cap batch: %v", err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewDecoder(&buf).Response()
+	if err != nil || len(r.Keys) != ScanBatchCap {
+		t.Fatalf("cap batch round trip: %d keys, %v", len(r.Keys), err)
+	}
+}
+
+// TestClientPipelining drives a Client against a minimal in-process
+// echo-style server over a real socket: N sends first, N receives after,
+// replies in order.
+func TestClientPipelining(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec, enc := NewDecoder(conn), NewEncoder(conn)
+		for {
+			if dec.Buffered() == 0 {
+				if enc.Flush() != nil {
+					return
+				}
+			}
+			req, err := dec.Request()
+			if err != nil {
+				return
+			}
+			// Reply Int(A) so the client can check ordering.
+			if enc.Int(req.A) != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const depth = 100
+	for i := 0; i < depth; i++ {
+		if err := c.Send(Request{Op: OpContains, A: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		resp, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Tag != TagInt || resp.Int != int64(i) {
+			t.Fatalf("reply %d = %+v out of order", i, resp)
+		}
+	}
+}
