@@ -1,4 +1,4 @@
-// Benchmarks: one Benchmark family per evaluation experiment (E1..E15 in
+// Benchmarks: one Benchmark family per evaluation experiment (E1..E16 in
 // DESIGN.md §4 / EXPERIMENTS.md). Each family measures a representative
 // point of its experiment with testing.B semantics; the full sweeps —
 // thread counts, key ranges, widths — are produced by cmd/benchbst.
@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/loadgen"
 	"repro/internal/server"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -636,6 +637,56 @@ func BenchmarkE15WireOps(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+}
+
+// BenchmarkE16OpenLoop — experiment E16 (single point): an open-loop
+// Poisson run against the serving layer at a fixed offered rate, with
+// latency measured from the intended send time (coordinated omission
+// accounted for). Each iteration is one ~250ms run; p99 of the
+// intended-start latency is reported as a metric alongside ns/op.
+// cmd/benchbst -experiment E16 runs the full offered-load sweep.
+func BenchmarkE16OpenLoop(b *testing.B) {
+	const keys = 1 << 14
+	m := bst.NewShardedRange(0, keys-1, 8)
+	srv, err := server.Start(server.Config{Addr: "127.0.0.1:0", Store: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+
+	var ops uint64
+	var lastP99 int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := loadgen.Run(loadgen.Config{
+			Addr:     srv.Addr().String(),
+			Conns:    2,
+			Duration: 250 * time.Millisecond,
+			KeyRange: keys,
+			Prefill:  keys / 4,
+			Mix:      workload.Mix{InsertPct: 25, DeletePct: 25},
+			Seed:     uint64(11 + i),
+			Rate:     20000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TransportErrs > 0 {
+			b.Fatalf("transport failures: %v", res.TransportErr)
+		}
+		if res.TotalOps() == 0 {
+			b.Fatal("open-loop run completed zero ops")
+		}
+		ops += res.TotalOps()
+		lastP99 = res.PointLat.Percentile(99)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ops)/float64(b.N), "ops/run")
+	b.ReportMetric(float64(lastP99), "p99-intended-ns")
 }
 
 func itoa(v int64) string {

@@ -187,6 +187,12 @@ func (m *ShardedMap) StartAutoCompact(interval time.Duration) (stop func()) {
 	return autoCompact(interval, func() { m.Compact() })
 }
 
+// VersionGraphSize walks every shard's version lists and returns the
+// total reachable version-record count — the memory Compact exists to
+// bound. Diagnostic; O(total versions) and quiescent-use only, like
+// CheckInvariants.
+func (m *ShardedMap) VersionGraphSize() int { return m.s.VersionGraphSize() }
+
 // Stats returns the element-wise sum of per-shard instrumentation
 // counters, except Scans, which counts logical phase-opening reads on
 // the map (a scan covering P shards counts once, not P times).

@@ -44,6 +44,7 @@ func main() {
 		keys     = flag.Int64("keys", 1<<20, "key interval [0, keys) that shard boundaries split (sharded impls)")
 		compact  = flag.Duration("compact", 0, "periodic version-memory pruning interval; 0 disables")
 		drainFor = flag.Duration("drain", 10*time.Second, "graceful-drain budget on shutdown")
+		sockBuf  = flag.Int("sockbuf", 0, "per-connection socket send/receive buffer in bytes; 0 = OS default")
 	)
 	target := harness.RegisterTargetFlags(flag.CommandLine, harness.TargetSharded, false)
 	flag.Parse()
@@ -58,6 +59,7 @@ func main() {
 		Addr:        *addr,
 		MetricsAddr: *metrics,
 		Store:       store,
+		SockBuf:     *sockBuf,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

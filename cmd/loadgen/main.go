@@ -1,21 +1,37 @@
-// Command loadgen drives a bstserver with a closed-loop, pipelined,
-// multi-connection workload and reports throughput and latency
-// percentiles — the wire-level counterpart of cmd/benchbst's in-process
-// runs, built from the same internal/workload generators.
+// Command loadgen drives a bstserver with a pipelined, multi-connection
+// workload and reports throughput and latency percentiles — the
+// wire-level counterpart of cmd/benchbst's in-process runs, built from
+// the same internal/workload generators.
 //
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:7700 [-conns 4] [-pipeline 16] [-duration 5s]
-//	        [-keys 1048576] [-prefill -1] [-insert 25 -delete 25 -scan 10 -scanwidth 100]
+//	        [-keys 1048576] [-prefill -1] [-insert 25 -delete 25 -scan 10 -rmw 0 -scanwidth 100]
 //	        [-zipf 1.2] [-seed 42] [-stats] [-hist]
+//	loadgen -scenario ycsb-a ...        # named YCSB-style mix (internal/scenario)
+//	loadgen -scenario list              # print the scenario table and exit
+//	loadgen -rate 50000 [-arrival poisson|fixed] [-backlog 16384] ...
 //
-// Each connection keeps up to -pipeline requests in flight; -conns × a
-// full pipeline is the offered concurrency. -prefill inserts that many
-// distinct keys before measuring (-1 = half the key range). With -stats
+// By default the run is a closed loop: each connection keeps up to
+// -pipeline requests in flight, and latency is service time as a closed
+// client observes it. With -rate the run is an open loop: arrivals come
+// from a fixed-rate process (Poisson by default) split across the
+// connections, latency is measured from each operation's *intended*
+// send time (so server stalls surface as tail latency instead of being
+// coordinated-omitted), and arrivals beyond -backlog queued per
+// connection are counted as dropped.
+//
+// -scenario replaces the mix/zipf flags with a named workload; the
+// drift/TTL scenarios (ycsb-d) generate operations no flat mix can.
+// -prefill inserts that many distinct keys before measuring (-1 = the
+// scenario's prefill, or half the key range without one). With -stats
 // the server's own metrics document (per-op service-time percentiles)
 // is fetched and printed after the run, for comparison with the
-// client-observed latencies. Exits non-zero if the run completes zero
-// operations — the CI smoke job relies on this.
+// client-observed latencies.
+//
+// Exits non-zero if the run completes zero operations or if any
+// connection suffers a transport failure (reset, short read) — the CI
+// smoke job relies on this.
 package main
 
 import (
@@ -26,6 +42,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/loadgen"
+	"repro/internal/scenario"
 	"repro/internal/wire"
 )
 
@@ -33,11 +50,15 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7700", "bstserver address")
 		conns    = flag.Int("conns", 4, "client connections")
-		pipeline = flag.Int("pipeline", 16, "max in-flight requests per connection")
+		pipeline = flag.Int("pipeline", 16, "closed loop: max in-flight requests per connection")
 		duration = flag.Duration("duration", 5*time.Second, "measurement window")
 		keys     = flag.Int64("keys", 1<<20, "keys drawn from [0, keys)")
-		prefill  = flag.Int("prefill", -1, "distinct keys inserted before measuring; -1 = keys/2")
+		prefill  = flag.Int("prefill", -1, "distinct keys inserted before measuring; -1 = scenario prefill or keys/2")
 		seed     = flag.Uint64("seed", 42, "base PRNG seed")
+		scen     = flag.String("scenario", "", "named workload (internal/scenario); \"list\" prints the table")
+		rate     = flag.Float64("rate", 0, "open loop: total offered ops/s across connections; 0 = closed loop")
+		arrival  = flag.String("arrival", "poisson", "open-loop arrival process: poisson or fixed")
+		backlog  = flag.Int("backlog", 0, "open loop: per-connection scheduled-op backlog before drops; 0 = 16384")
 		stats    = flag.Bool("stats", false, "fetch and print the server's metrics document after the run")
 		hist     = flag.Bool("hist", false, "print client-side latency distributions")
 	)
@@ -45,27 +66,68 @@ func main() {
 	zipf := harness.RegisterZipfFlag(flag.CommandLine)
 	flag.Parse()
 
-	mix, err := mixFlags.Mix()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "loadgen:", err)
-		os.Exit(2)
+	if *scen == "list" {
+		for _, s := range scenario.All() {
+			fmt.Println(s)
+		}
+		return
 	}
-	if *zipf != 0 && *zipf <= 1 {
-		fmt.Fprintf(os.Stderr, "loadgen: -zipf must be > 1 (got %g); 0 disables skew\n", *zipf)
+
+	var arr loadgen.Arrival
+	switch *arrival {
+	case "poisson":
+		arr = loadgen.ArrivalPoisson
+	case "fixed":
+		arr = loadgen.ArrivalFixed
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: -arrival must be poisson or fixed (got %q)\n", *arrival)
 		os.Exit(2)
 	}
 
-	res, err := loadgen.Run(loadgen.Config{
-		Addr:     *addr,
-		Conns:    *conns,
-		Pipeline: *pipeline,
-		Duration: *duration,
-		KeyRange: *keys,
-		Prefill:  *prefill,
-		Mix:      mix,
-		ZipfSkew: *zipf,
-		Seed:     *seed,
-	})
+	var cfg loadgen.Config
+	if *scen != "" {
+		s, ok := scenario.ByName(*scen)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "loadgen: unknown scenario %q (have: %v)\n", *scen, scenario.Names())
+			os.Exit(2)
+		}
+		for _, f := range []string{"insert", "delete", "scan", "rmw", "scanwidth", "zipf"} {
+			if harness.FlagWasSet(flag.CommandLine, f) {
+				fmt.Fprintf(os.Stderr, "loadgen: -%s conflicts with -scenario (the scenario fixes the mix)\n", f)
+				os.Exit(2)
+			}
+		}
+		cfg = s.LoadgenConfig(*addr, *keys, *seed)
+		if *prefill >= 0 {
+			cfg.Prefill = *prefill
+		}
+	} else {
+		mix, err := mixFlags.Mix()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(2)
+		}
+		if *zipf != 0 && *zipf <= 1 {
+			fmt.Fprintf(os.Stderr, "loadgen: -zipf must be > 1 (got %g); 0 disables skew\n", *zipf)
+			os.Exit(2)
+		}
+		cfg = loadgen.Config{
+			Addr:     *addr,
+			KeyRange: *keys,
+			Prefill:  *prefill,
+			Mix:      mix,
+			ZipfSkew: *zipf,
+			Seed:     *seed,
+		}
+	}
+	cfg.Conns = *conns
+	cfg.Pipeline = *pipeline
+	cfg.Duration = *duration
+	cfg.Rate = *rate
+	cfg.Arrival = arr
+	cfg.MaxBacklog = *backlog
+
+	res, err := loadgen.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -85,6 +147,10 @@ func main() {
 			}
 			c.Close()
 		}
+	}
+	if res.TransportErrs > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d transport failures (first: %v)\n", res.TransportErrs, res.TransportErr)
+		os.Exit(1)
 	}
 	if res.TotalOps() == 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: completed zero operations")

@@ -11,6 +11,16 @@
 //
 //	stress [-impl pnbbst|sharded[<N>]] [-shards 8] [-relaxed] [-duration 30s] [-threads N] [-keys 4096]
 //	       [-seed 1] [-compact] [-rebalance] [-zipf 1.2] [-mem 1s]
+//	stress -soak [-duration 30s] [-conns 4] [-keys 16384] [-shards 8] [-rate 50000] [-zipf 1.2] [-seed 1]
+//
+// With -soak the rounds machinery is replaced by the all-features-on
+// soak (internal/scenario): a real TCP server over the sharded map with
+// auto-rebalance and auto-compact live, driven by zipf-skewed update
+// load plus a drifting TTL working set (open loop with -rate), while
+// mover/tear-scanner, oracle, stats-monotonicity and heap checkers audit
+// continuously. SIGINT/SIGTERM ends the soak early but gracefully — the
+// workload drains, the audits complete, and the exit status still
+// reflects them. Exit 0 iff every invariant held (SoakReport.Ok).
 //
 // The -impl/-shards/-relaxed/-rebalance/-zipf cluster is the shared
 // harness.TargetFlags wiring (same spellings and validation as
@@ -39,13 +49,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/scenario"
 	"repro/internal/shard"
 	"repro/internal/workload"
 )
@@ -58,9 +71,19 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "PRNG seed (each failing round reprints its derived seed for replay)")
 		compact  = flag.Bool("compact", false, "run a concurrent version pruner (Compact) during every round")
 		memEvery = flag.Duration("mem", time.Second, "memory report interval during rounds (0 disables)")
+		soak     = flag.Bool("soak", false, "run the all-features-on soak (TCP serving + rebalance + compact + drift/TTL + continuous audits) instead of rounds")
+		conns    = flag.Int("conns", 4, "soak: workload connections")
+		rate     = flag.Float64("rate", 0, "soak: open-loop total offered ops/s; 0 = closed loop")
 	)
 	target := harness.RegisterTargetFlags(flag.CommandLine, "pnbbst", true)
 	flag.Parse()
+
+	if *soak {
+		os.Exit(runSoak(soakArgs{
+			duration: *duration, conns: *conns, keys: *keys,
+			shards: target.Shards, rate: *rate, zipf: target.Zipf(), seed: *seed,
+		}))
+	}
 
 	name, err := target.Resolve(*keys)
 	if err != nil {
@@ -110,6 +133,61 @@ func main() {
 		}
 	}
 	fmt.Printf("PASS: %d rounds\n", rounds)
+}
+
+// soakArgs carries the flag subset the soak mode consumes.
+type soakArgs struct {
+	duration time.Duration
+	conns    int
+	keys     int64
+	shards   int
+	rate     float64
+	zipf     float64
+	seed     uint64
+}
+
+// runSoak runs the all-features-on soak with graceful signal handling
+// and returns the process exit code: 0 iff every audited invariant held.
+func runSoak(a soakArgs) int {
+	if a.zipf != 0 && a.zipf <= 1 {
+		fmt.Fprintf(os.Stderr, "stress: -zipf must be > 1 (got %g); 0 uses the soak default\n", a.zipf)
+		return 2
+	}
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		got := <-sig
+		fmt.Printf("stress: %v: stopping soak early (audits still run)\n", got)
+		close(stop)
+	}()
+
+	fmt.Printf("stress: soak %v, %d conns, %d keys, %d shards, rate=%g, seed %d\n",
+		a.duration, a.conns, a.keys, a.shards, a.rate, a.seed)
+	rep, err := scenario.Soak(scenario.SoakConfig{
+		Duration: a.duration,
+		Conns:    a.conns,
+		KeyRange: a.keys,
+		Shards:   a.shards,
+		Rate:     a.rate,
+		ZipfSkew: a.zipf,
+		Seed:     a.seed,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+		Stop: stop,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress: soak:", err)
+		return 1
+	}
+	fmt.Println(rep)
+	if !rep.Ok() {
+		fmt.Fprintln(os.Stderr, "FAIL: soak invariants violated")
+		return 1
+	}
+	fmt.Println("PASS: soak")
+	return 0
 }
 
 // heapObjects returns the post-GC live heap object count.

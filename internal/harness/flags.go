@@ -139,33 +139,35 @@ func ParseAnySharded(name string) (int, bool) {
 	return ParseShardedAutoTarget(name)
 }
 
-// MixFlags is the shared -insert/-delete/-scan/-scanwidth operation-mix
-// cluster (cmd/benchbst one-off runs, cmd/loadgen).
+// MixFlags is the shared -insert/-delete/-scan/-rmw/-scanwidth
+// operation-mix cluster (cmd/benchbst one-off runs, cmd/loadgen).
 type MixFlags struct {
-	Insert, Delete, Scan int
-	ScanWidth            int64
+	Insert, Delete, Scan, RMW int
+	ScanWidth                 int64
 }
 
 // RegisterMixFlags declares the mix cluster on fs with the repo's
-// standard defaults (25/25/10, width 100; the remainder to 100 is
+// standard defaults (25/25/10/0, width 100; the remainder to 100 is
 // Contains).
 func RegisterMixFlags(fs *flag.FlagSet) *MixFlags {
 	m := &MixFlags{}
 	fs.IntVar(&m.Insert, "insert", 25, "insert percentage")
 	fs.IntVar(&m.Delete, "delete", 25, "delete percentage")
-	fs.IntVar(&m.Scan, "scan", 10, "range-scan percentage (rest is find)")
+	fs.IntVar(&m.Scan, "scan", 10, "range-scan percentage")
+	fs.IntVar(&m.RMW, "rmw", 0, "read-modify-write percentage (rest is find)")
 	fs.Int64Var(&m.ScanWidth, "scanwidth", 100, "range-scan width in keys")
 	return m
 }
 
 // Mix converts the flags to a workload.Mix, validating the percentages.
 func (m *MixFlags) Mix() (workload.Mix, error) {
-	if m.Insert < 0 || m.Delete < 0 || m.Scan < 0 || m.Insert+m.Delete+m.Scan > 100 {
-		return workload.Mix{}, fmt.Errorf("operation mix %d/%d/%d invalid: percentages must be non-negative and sum to at most 100",
-			m.Insert, m.Delete, m.Scan)
+	if m.Insert < 0 || m.Delete < 0 || m.Scan < 0 || m.RMW < 0 ||
+		m.Insert+m.Delete+m.Scan+m.RMW > 100 {
+		return workload.Mix{}, fmt.Errorf("operation mix %d/%d/%d/%d invalid: percentages must be non-negative and sum to at most 100",
+			m.Insert, m.Delete, m.Scan, m.RMW)
 	}
 	return workload.Mix{
 		InsertPct: m.Insert, DeletePct: m.Delete,
-		ScanPct: m.Scan, ScanWidth: m.ScanWidth,
+		ScanPct: m.Scan, RMWPct: m.RMW, ScanWidth: m.ScanWidth,
 	}, nil
 }

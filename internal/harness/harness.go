@@ -47,15 +47,21 @@ type Config struct {
 	// op); 0 disables latency measurement. Scans are always timed when
 	// sampling is enabled.
 	SampleEvery int
+
+	// StreamFor overrides operation generation: worker w draws its ops
+	// from StreamFor(w) instead of the flat Mix/ZipfSkew/Disjoint
+	// fields. The scenario suite uses this to run the same deterministic
+	// streams in-process that cmd/loadgen runs over the wire.
+	StreamFor func(worker int) *workload.Stream
 }
 
 // Result aggregates one run.
 type Result struct {
 	Config
 	Elapsed    time.Duration
-	Ops        [4]uint64 // indexed by workload.OpKind
-	ScanKeys   uint64    // total keys observed by scans
-	Throughput float64   // total ops/sec
+	Ops        [workload.NumOps]uint64 // indexed by workload.OpKind
+	ScanKeys   uint64                  // total keys observed by scans
+	Throughput float64                 // total ops/sec
 	UpdateLat  *stats.Histogram
 	ScanLat    *stats.Histogram
 	Inst       Instance // the instance that was driven (for post-run inspection)
@@ -63,7 +69,11 @@ type Result struct {
 
 // TotalOps returns the number of completed operations.
 func (r *Result) TotalOps() uint64 {
-	return r.Ops[0] + r.Ops[1] + r.Ops[2] + r.Ops[3]
+	var t uint64
+	for _, n := range r.Ops {
+		t += n
+	}
+	return t
 }
 
 // MOpsPerSec returns throughput in millions of operations per second.
@@ -89,7 +99,7 @@ func Run(cfg Config) *Result {
 	prefillInstance(inst, cfg.KeyRange, prefill, cfg.Seed)
 
 	type workerOut struct {
-		ops       [4]uint64
+		ops       [workload.NumOps]uint64
 		scanKeys  uint64
 		updateLat *stats.Histogram
 		scanLat   *stats.Histogram
@@ -105,17 +115,15 @@ func Run(cfg Config) *Result {
 			out := &outs[w]
 			out.updateLat = stats.NewHistogram()
 			out.scanLat = stats.NewHistogram()
-			rng := workload.NewRNG(cfg.Seed*1_000_003 + uint64(w))
-			gen := keyGen(cfg, w)
-			lo, hi := gen.Range()
+			nextOp := workerOps(cfg, w)
 			sampleCountdown := cfg.SampleEvery
 			<-start
 			for !stop.Load() {
-				kind := cfg.Mix.Draw(rng)
+				op := nextOp()
 				timed := false
 				var t0 time.Time
 				if cfg.SampleEvery > 0 {
-					if kind == workload.OpScan {
+					if op.Kind == workload.OpScan {
 						timed = true
 					} else if sampleCountdown--; sampleCountdown <= 0 {
 						sampleCountdown = cfg.SampleEvery
@@ -125,30 +133,28 @@ func Run(cfg Config) *Result {
 						t0 = time.Now()
 					}
 				}
-				switch kind {
+				switch op.Kind {
 				case workload.OpInsert:
-					inst.Insert(gen.Key(rng))
+					inst.Insert(op.A)
 				case workload.OpDelete:
-					inst.Delete(gen.Key(rng))
+					inst.Delete(op.A)
 				case workload.OpFind:
-					inst.Contains(gen.Key(rng))
+					inst.Contains(op.A)
+				case workload.OpRMW:
+					inst.Contains(op.A)
+					inst.Insert(op.A)
 				case workload.OpScan:
-					a := lo + rng.Intn(hi-lo)
-					b := a + cfg.Mix.ScanWidth - 1
-					if b >= hi {
-						b = hi - 1
-					}
-					out.scanKeys += uint64(inst.Scan(a, b))
+					out.scanKeys += uint64(inst.Scan(op.A, op.B))
 				}
 				if timed {
 					d := time.Since(t0).Nanoseconds()
-					if kind == workload.OpScan {
+					if op.Kind == workload.OpScan {
 						out.scanLat.Record(d)
 					} else {
 						out.updateLat.Record(d)
 					}
 				}
-				out.ops[kind]++
+				out.ops[op.Kind]++
 			}
 		}(w)
 	}
@@ -173,7 +179,7 @@ func Run(cfg Config) *Result {
 		Inst:      inst,
 	}
 	for w := range outs {
-		for k := 0; k < 4; k++ {
+		for k := 0; k < workload.NumOps; k++ {
 			res.Ops[k] += outs[w].ops[k]
 		}
 		res.ScanKeys += outs[w].scanKeys
@@ -182,6 +188,34 @@ func Run(cfg Config) *Result {
 	}
 	res.Throughput = float64(res.TotalOps()) / elapsed.Seconds()
 	return res
+}
+
+// workerOps builds worker w's operation source: the scenario stream
+// when configured, else the legacy draw (Mix then key from keyGen, in
+// exactly the historical order, so existing benchmarks keep their
+// deterministic sequences).
+func workerOps(cfg Config, w int) func() workload.Op {
+	if cfg.StreamFor != nil {
+		return cfg.StreamFor(w).Next
+	}
+	rng := workload.NewRNG(cfg.Seed*1_000_003 + uint64(w))
+	gen := keyGen(cfg, w)
+	lo, hi := gen.Range()
+	return func() workload.Op {
+		kind := cfg.Mix.Draw(rng)
+		if kind == workload.OpScan {
+			a := lo + rng.Intn(hi-lo)
+			b := a + cfg.Mix.ScanWidth - 1
+			if b >= hi {
+				b = hi - 1
+			}
+			if b < a {
+				b = a
+			}
+			return workload.Op{Kind: workload.OpScan, A: a, B: b}
+		}
+		return workload.Op{Kind: kind, A: gen.Key(rng)}
+	}
 }
 
 // keyGen builds the per-worker key generator for cfg.
@@ -214,9 +248,9 @@ func prefillInstance(inst Instance, keyRange int64, target int, seed uint64) {
 
 // String renders a one-line summary of the result.
 func (r *Result) String() string {
-	s := fmt.Sprintf("%-14s thr=%-3d keys=%-8d mix=i%d/d%d/s%d/f%d: %8.2f Mops/s",
+	s := fmt.Sprintf("%-14s thr=%-3d keys=%-8d mix=i%d/d%d/s%d/r%d/f%d: %8.2f Mops/s",
 		r.Target, r.Threads, r.KeyRange,
-		r.Mix.InsertPct, r.Mix.DeletePct, r.Mix.ScanPct, r.Mix.FindPct(),
+		r.Mix.InsertPct, r.Mix.DeletePct, r.Mix.ScanPct, r.Mix.RMWPct, r.Mix.FindPct(),
 		r.MOpsPerSec())
 	if r.Ops[workload.OpScan] > 0 {
 		s += fmt.Sprintf("  scans=%d (p99=%v max=%v)",

@@ -1,19 +1,35 @@
-// Package loadgen is the closed-loop load generator of the serving
-// layer: N client connections, each keeping up to D requests in flight
-// (pipeline depth), drawing operations and keys from the same
-// internal/workload generators the in-process harness uses — so a wire
-// benchmark (experiment E15, cmd/loadgen) is directly comparable to its
-// in-process counterpart (E1..E14).
+// Package loadgen is the wire-level load generator of the serving
+// layer: N client connections drawing operations from the same
+// deterministic internal/workload streams the in-process harness uses —
+// so a wire benchmark (experiments E15/E16, cmd/loadgen) is directly
+// comparable to its in-process counterpart (E1..E14).
 //
-// Closed loop means every connection waits for replies before issuing
-// more once its pipeline is full: offered load adapts to server
-// capacity, and per-request latency (send → matching reply, queueing
-// included) is well-defined. Reported percentiles come from
-// internal/stats.Histogram, like the harness's.
+// Two driving disciplines:
+//
+//   - Closed loop (Rate == 0): each connection keeps up to Pipeline
+//     requests in flight and waits for replies before issuing more.
+//     Offered load adapts to server capacity; latency is send → reply.
+//     Closed-loop percentiles are flattering under overload — a slow
+//     server slows the arrival of new requests, so queueing delay is
+//     silently excluded (coordinated omission).
+//
+//   - Open loop (Rate > 0): each connection schedules arrivals from an
+//     independent Poisson (or fixed-interval) process at Rate/Conns
+//     ops/s, regardless of how the server is doing, and measures each
+//     operation from its *intended* start time — the moment the
+//     arrival process scheduled it, not the moment the sender got
+//     around to writing it. Queueing anywhere (sender backlog, socket,
+//     server) lands in the reported latency, which is the honest
+//     number a real open-world client would see. Arrivals that cannot
+//     even be queued (backlog full) are counted as Dropped.
+//
+// Reported percentiles come from internal/stats.Histogram, like the
+// harness's.
 package loadgen
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,45 +39,116 @@ import (
 	"repro/internal/workload"
 )
 
+// Arrival selects the open-loop arrival process.
+type Arrival int
+
+// Arrival processes.
+const (
+	ArrivalPoisson Arrival = iota // exponential interarrivals (default)
+	ArrivalFixed                  // deterministic, evenly spaced
+)
+
+// String returns the process name.
+func (a Arrival) String() string {
+	if a == ArrivalFixed {
+		return "fixed"
+	}
+	return "poisson"
+}
+
 // Config describes one load-generation run.
 type Config struct {
 	Addr     string        // server address, "host:port"
 	Conns    int           // client connections (each its own goroutine); >= 1
-	Pipeline int           // max requests in flight per connection; >= 1
+	Pipeline int           // closed loop: max requests in flight per connection; >= 1
 	Duration time.Duration // measurement window
 	KeyRange int64         // keys drawn from [0, KeyRange)
 	Prefill  int           // distinct keys inserted before measuring; -1 = KeyRange/2
 	Mix      workload.Mix  // operation percentages + scan width
 	ZipfSkew float64       // >1 enables clustered zipfian keys; 0 = uniform
 	Seed     uint64        // base PRNG seed (connection c uses a derived stream)
+
+	// Rate > 0 switches to open-loop driving: total target ops/s
+	// across all connections (each runs an independent arrival process
+	// at Rate/Conns). Pipeline is ignored in open loop; the in-flight
+	// window is whatever the arrival process demands, bounded by
+	// MaxBacklog.
+	Rate    float64
+	Arrival Arrival // arrival process; Poisson unless set
+
+	// MaxBacklog bounds the open-loop per-connection queue of
+	// scheduled-but-unacknowledged operations; beyond it arrivals are
+	// Dropped (the client is saturated, not the measurement). 0 =
+	// 16384.
+	MaxBacklog int
+
+	// StreamFor overrides operation generation: connection c draws its
+	// ops from StreamFor(c). Nil = streams derived from Mix, KeyRange,
+	// ZipfSkew, and Seed. The scenario suite uses this to plug in
+	// read-latest / TTL streams.
+	StreamFor func(conn int) *workload.Stream
+
+	// Cancel, when non-nil, ends the run early when closed (before
+	// Duration elapses). The run still drains and reports normally.
+	Cancel <-chan struct{}
 }
 
 // Result aggregates one run.
 type Result struct {
 	Config
 	Elapsed    time.Duration
-	Ops        [4]uint64 // completed, indexed by workload.OpKind
-	ScanKeys   uint64    // keys delivered by scans
-	Errors     uint64    // TagErr replies (not transport failures)
-	Throughput float64   // completed ops/sec
+	Ops        [workload.NumOps]uint64 // completed, indexed by workload.OpKind
+	ScanKeys   uint64                  // keys delivered by scans
+	Errors     uint64                  // TagErr replies (not transport failures)
+	Throughput float64                 // completed ops/sec
 	PointLat   *stats.Histogram
 	ScanLat    *stats.Histogram
+
+	// Open-loop accounting. Offered counts every operation the arrival
+	// process scheduled; Dropped counts those the sender could not even
+	// queue (backlog full). Offered - Dropped - completed = in flight
+	// or lost to a dead connection at the end of the window.
+	Offered uint64
+	Dropped uint64
+
+	// Transport accounting. A connection that dies mid-run (reset,
+	// refused write, short read) no longer silently deflates Ops: the
+	// failure is counted here and the first error retained. Setup
+	// failures (dial, prefill) still fail Run itself.
+	TransportErrs uint64
+	TransportErr  error
 }
 
 // TotalOps returns the number of completed operations.
 func (r *Result) TotalOps() uint64 {
-	return r.Ops[0] + r.Ops[1] + r.Ops[2] + r.Ops[3]
+	var t uint64
+	for _, n := range r.Ops {
+		t += n
+	}
+	return t
 }
 
 // String renders a one-line summary.
 func (r *Result) String() string {
-	s := fmt.Sprintf("loadgen %s conns=%d pipe=%d keys=%d mix=i%d/d%d/s%d/f%d: %d ops in %v (%.0f ops/s), point p50=%v p90=%v p99=%v",
-		r.Addr, r.Conns, r.Pipeline, r.KeyRange,
-		r.Mix.InsertPct, r.Mix.DeletePct, r.Mix.ScanPct, r.Mix.FindPct(),
-		r.TotalOps(), r.Elapsed.Round(time.Millisecond), r.Throughput,
-		time.Duration(r.PointLat.Percentile(50)),
-		time.Duration(r.PointLat.Percentile(90)),
-		time.Duration(r.PointLat.Percentile(99)))
+	var s string
+	if r.Rate > 0 {
+		s = fmt.Sprintf("loadgen %s open-loop rate=%.0f/s (%s) conns=%d keys=%d mix=i%d/d%d/s%d/r%d/f%d: offered=%d dropped=%d, %d ops in %v (%.0f ops/s), point p50=%v p99=%v p99.9=%v [latency from intended start]",
+			r.Addr, r.Rate, r.Arrival, r.Conns, r.KeyRange,
+			r.Mix.InsertPct, r.Mix.DeletePct, r.Mix.ScanPct, r.Mix.RMWPct, r.Mix.FindPct(),
+			r.Offered, r.Dropped,
+			r.TotalOps(), r.Elapsed.Round(time.Millisecond), r.Throughput,
+			time.Duration(r.PointLat.Percentile(50)),
+			time.Duration(r.PointLat.Percentile(99)),
+			time.Duration(r.PointLat.Percentile(99.9)))
+	} else {
+		s = fmt.Sprintf("loadgen %s conns=%d pipe=%d keys=%d mix=i%d/d%d/s%d/r%d/f%d: %d ops in %v (%.0f ops/s), point p50=%v p90=%v p99=%v",
+			r.Addr, r.Conns, r.Pipeline, r.KeyRange,
+			r.Mix.InsertPct, r.Mix.DeletePct, r.Mix.ScanPct, r.Mix.RMWPct, r.Mix.FindPct(),
+			r.TotalOps(), r.Elapsed.Round(time.Millisecond), r.Throughput,
+			time.Duration(r.PointLat.Percentile(50)),
+			time.Duration(r.PointLat.Percentile(90)),
+			time.Duration(r.PointLat.Percentile(99)))
+	}
 	if r.Ops[workload.OpScan] > 0 {
 		s += fmt.Sprintf(", scan p50=%v p99=%v",
 			time.Duration(r.ScanLat.Percentile(50)),
@@ -70,19 +157,26 @@ func (r *Result) String() string {
 	if r.Errors > 0 {
 		s += fmt.Sprintf(", %d server errors", r.Errors)
 	}
+	if r.TransportErrs > 0 {
+		s += fmt.Sprintf(", %d TRANSPORT FAILURES (first: %v)", r.TransportErrs, r.TransportErr)
+	}
 	return s
 }
 
-// pending is one in-flight request awaiting its reply.
+// pending is one in-flight logical operation awaiting its replies.
+// frames is the number of reply frames it consumes: 1 for most ops, 2
+// for RMW (Contains + Insert); a scan's variable-length Batch*+Done run
+// still counts as one logical reply.
 type pending struct {
-	kind workload.OpKind
-	t0   time.Time
+	kind   workload.OpKind
+	t0     time.Time
+	frames int
 }
 
 // Run connects, prefills, drives the configured workload for
-// cfg.Duration, and reports. It returns an error only for setup or
-// transport failures; server-side TagErr replies are counted in the
-// result instead.
+// cfg.Duration (or until cfg.Cancel closes), and reports. It returns an
+// error only for setup failures (dial, prefill, bad config); TagErr
+// replies and mid-run transport failures are counted in the Result.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Conns <= 0 {
 		cfg.Conns = 1
@@ -92,6 +186,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.KeyRange <= 0 {
 		cfg.KeyRange = 1 << 10
+	}
+	if cfg.MaxBacklog <= 0 {
+		cfg.MaxBacklog = 1 << 14
 	}
 	cfg.Mix.Validate()
 	if err := prefill(cfg); err != nil {
@@ -103,7 +200,7 @@ func Run(cfg Config) (*Result, error) {
 	start := make(chan struct{})
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Conns; i++ {
-		c, err := wire.Dial(cfg.Addr)
+		nc, err := net.Dial("tcp", cfg.Addr)
 		if err != nil {
 			stop.Store(true)
 			close(start)
@@ -111,20 +208,31 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("loadgen: conn %d: %w", i, err)
 		}
 		wg.Add(1)
-		go func(i int, c *wire.Client) {
+		go func(i int, nc net.Conn) {
 			defer wg.Done()
-			defer c.Close()
+			defer nc.Close()
 			out := &outs[i]
 			out.pointLat = stats.NewHistogram()
 			out.scanLat = stats.NewHistogram()
 			<-start
-			out.err = driveConn(cfg, i, c, &stop, out)
-		}(i, c)
+			if cfg.Rate > 0 {
+				out.err = driveConnOpen(cfg, i, nc, &stop, out)
+			} else {
+				out.err = driveConn(cfg, i, nc, &stop, out)
+			}
+		}(i, nc)
 	}
 
 	t0 := time.Now()
 	close(start)
-	time.Sleep(cfg.Duration)
+	if cfg.Cancel != nil {
+		select {
+		case <-time.After(cfg.Duration):
+		case <-cfg.Cancel:
+		}
+	} else {
+		time.Sleep(cfg.Duration)
+	}
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(t0)
@@ -137,13 +245,18 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for i := range outs {
 		if outs[i].err != nil {
-			return nil, fmt.Errorf("loadgen: conn %d: %w", i, outs[i].err)
+			res.TransportErrs++
+			if res.TransportErr == nil {
+				res.TransportErr = fmt.Errorf("conn %d: %w", i, outs[i].err)
+			}
 		}
-		for k := 0; k < 4; k++ {
+		for k := 0; k < workload.NumOps; k++ {
 			res.Ops[k] += outs[i].ops[k]
 		}
 		res.ScanKeys += outs[i].scanKeys
 		res.Errors += outs[i].errors
+		res.Offered += outs[i].offered
+		res.Dropped += outs[i].dropped
 		res.PointLat.Merge(outs[i].pointLat)
 		res.ScanLat.Merge(outs[i].scanLat)
 	}
@@ -154,49 +267,103 @@ func Run(cfg Config) (*Result, error) {
 // connOut is one connection's accumulator, merged into the Result after
 // the run.
 type connOut struct {
-	ops      [4]uint64
+	ops      [workload.NumOps]uint64
 	scanKeys uint64
 	errors   uint64
+	offered  uint64
+	dropped  uint64
 	pointLat *stats.Histogram
 	scanLat  *stats.Histogram
 	err      error
 }
 
+// connStream returns connection id's operation stream — the scenario
+// override if configured, else a stream derived from the flat Config
+// fields with the same per-connection seed derivation the closed loop
+// has always used.
+func connStream(cfg Config, id int) *workload.Stream {
+	if cfg.StreamFor != nil {
+		return cfg.StreamFor(id)
+	}
+	return workload.NewStream(workload.StreamConfig{
+		Mix:      cfg.Mix,
+		KeyRange: cfg.KeyRange,
+		ZipfSkew: cfg.ZipfSkew,
+	}, cfg.Seed*1_000_003+uint64(id))
+}
+
+// sendOp encodes one logical operation and returns how many reply
+// frames it will consume. RMW is two pipelined requests — Contains then
+// Insert — measured as one operation.
+func sendOp(enc *wire.Encoder, op workload.Op) (frames int, err error) {
+	switch op.Kind {
+	case workload.OpInsert:
+		return 1, enc.Request(wire.Request{Op: wire.OpInsert, A: op.A})
+	case workload.OpDelete:
+		return 1, enc.Request(wire.Request{Op: wire.OpDelete, A: op.A})
+	case workload.OpFind:
+		return 1, enc.Request(wire.Request{Op: wire.OpContains, A: op.A})
+	case workload.OpScan:
+		return 1, enc.Request(wire.Request{Op: wire.OpScan, A: op.A, B: op.B})
+	case workload.OpRMW:
+		if err := enc.Request(wire.Request{Op: wire.OpContains, A: op.A}); err != nil {
+			return 0, err
+		}
+		return 2, enc.Request(wire.Request{Op: wire.OpInsert, A: op.A})
+	}
+	return 0, fmt.Errorf("loadgen: unknown op kind %v", op.Kind)
+}
+
+// retire consumes one pending operation's replies and records it.
+func retire(dec *wire.Decoder, p pending, out *connOut) error {
+	if p.kind == workload.OpScan {
+		n, isErr, err := recvScanFrames(dec)
+		if err != nil {
+			return err
+		}
+		if isErr {
+			out.errors++
+		} else {
+			out.scanKeys += uint64(n)
+		}
+		out.scanLat.Record(time.Since(p.t0).Nanoseconds())
+	} else {
+		sawErr := false
+		for f := 0; f < p.frames; f++ {
+			resp, err := dec.Response()
+			if err != nil {
+				return err
+			}
+			if resp.Tag == wire.TagErr {
+				sawErr = true
+			}
+		}
+		if sawErr {
+			out.errors++
+		}
+		out.pointLat.Record(time.Since(p.t0).Nanoseconds())
+	}
+	out.ops[p.kind]++
+	return nil
+}
+
 // driveConn runs one connection's closed loop: top up the pipeline,
 // then retire the oldest reply; repeat until stopped and drained.
-func driveConn(cfg Config, id int, c *wire.Client, stop *atomic.Bool, out *connOut) error {
-	rng := workload.NewRNG(cfg.Seed*1_000_003 + uint64(id))
-	var gen workload.KeyGen = workload.Uniform{Lo: 0, Hi: cfg.KeyRange}
-	if cfg.ZipfSkew > 1 {
-		gen = workload.NewZipfClustered(0, cfg.KeyRange, cfg.ZipfSkew)
-	}
-	lo, hi := gen.Range()
+func driveConn(cfg Config, id int, nc net.Conn, stop *atomic.Bool, out *connOut) error {
+	enc := wire.NewEncoder(nc)
+	dec := wire.NewDecoder(nc)
+	stream := connStream(cfg, id)
 
 	queue := make([]pending, 0, cfg.Pipeline)
 	for {
 		// Fill the pipeline (unless stopping, then just drain).
 		for len(queue) < cfg.Pipeline && !stop.Load() {
-			kind := cfg.Mix.Draw(rng)
-			var req wire.Request
-			switch kind {
-			case workload.OpInsert:
-				req = wire.Request{Op: wire.OpInsert, A: gen.Key(rng)}
-			case workload.OpDelete:
-				req = wire.Request{Op: wire.OpDelete, A: gen.Key(rng)}
-			case workload.OpFind:
-				req = wire.Request{Op: wire.OpContains, A: gen.Key(rng)}
-			case workload.OpScan:
-				a := lo + rng.Intn(hi-lo)
-				b := a + cfg.Mix.ScanWidth - 1
-				if b >= hi {
-					b = hi - 1
-				}
-				req = wire.Request{Op: wire.OpScan, A: a, B: b}
-			}
-			if err := c.Send(req); err != nil {
+			op := stream.Next()
+			frames, err := sendOp(enc, op)
+			if err != nil {
 				return err
 			}
-			queue = append(queue, pending{kind: kind, t0: time.Now()})
+			queue = append(queue, pending{kind: op.Kind, t0: time.Now(), frames: frames})
 		}
 		if len(queue) == 0 {
 			if stop.Load() {
@@ -204,39 +371,27 @@ func driveConn(cfg Config, id int, c *wire.Client, stop *atomic.Bool, out *connO
 			}
 			continue
 		}
+		// Flush before blocking on the reply (a pipelined reader
+		// deadlocks against its own unsent writes otherwise).
+		if enc.Buffered() > 0 {
+			if err := enc.Flush(); err != nil {
+				return err
+			}
+		}
 		// Retire the oldest in-flight request (replies are in order).
 		p := queue[0]
 		queue = queue[1:]
-		if p.kind == workload.OpScan {
-			n, isErr, err := recvScan(c)
-			if err != nil {
-				return err
-			}
-			if isErr {
-				out.errors++
-			} else {
-				out.scanKeys += uint64(n)
-			}
-			out.scanLat.Record(time.Since(p.t0).Nanoseconds())
-		} else {
-			resp, err := c.Recv()
-			if err != nil {
-				return err
-			}
-			if resp.Tag == wire.TagErr {
-				out.errors++
-			}
-			out.pointLat.Record(time.Since(p.t0).Nanoseconds())
+		if err := retire(dec, p, out); err != nil {
+			return err
 		}
-		out.ops[p.kind]++
 	}
 }
 
-// recvScan consumes one streaming SCAN reply (Batch* then Done, or a
-// single Err) and returns the delivered key count.
-func recvScan(c *wire.Client) (keys int, isErr bool, err error) {
+// recvScanFrames consumes one streaming SCAN reply (Batch* then Done,
+// or a single Err) and returns the delivered key count.
+func recvScanFrames(dec *wire.Decoder) (keys int, isErr bool, err error) {
 	for {
-		resp, err := c.Recv()
+		resp, err := dec.Response()
 		if err != nil {
 			return 0, false, err
 		}

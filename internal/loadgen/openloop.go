@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// driveConnOpen runs one connection's open loop. A sender goroutine
+// owns the encoder, the operation stream, and an *independent* arrival
+// RNG (so the op stream stays byte-identical to the closed loop's);
+// it schedules arrivals at Rate/Conns ops/s and stamps each pending
+// operation with its intended start time. The calling goroutine owns
+// the decoder and retires replies, recording latency from that intended
+// time — so time an operation spends queued behind a slow server is
+// measured, not silently omitted.
+//
+// When the sender falls behind schedule it does not re-anchor the
+// clock: it bursts through the backlog of due arrivals (catch-up), and
+// if even the bookkeeping queue is full the arrival is counted as
+// Dropped. Either way the schedule keeps its cadence.
+func driveConnOpen(cfg Config, id int, nc net.Conn, stop *atomic.Bool, out *connOut) error {
+	enc := wire.NewEncoder(nc)
+	dec := wire.NewDecoder(nc)
+	stream := connStream(cfg, id)
+	// Arrival randomness comes from its own RNG stream: op content must
+	// not depend on the driving discipline.
+	arr := workload.NewRNG(cfg.Seed*2_000_003 + uint64(id))
+	mean := float64(cfg.Conns) / cfg.Rate // seconds between arrivals on this conn
+
+	pend := make(chan pending, cfg.MaxBacklog)
+	var dead atomic.Bool // receiver hit a transport error; stop writing
+	var sendErr error
+	var senderWG sync.WaitGroup
+	senderWG.Add(1)
+	go func() {
+		defer senderWG.Done()
+		defer close(pend)
+		next := time.Now()
+	sending:
+		for !stop.Load() && !dead.Load() {
+			dt := mean
+			if cfg.Arrival == ArrivalPoisson {
+				dt = -mean * math.Log1p(-arr.Float64()) // exponential interarrival
+			}
+			next = next.Add(time.Duration(dt * float64(time.Second)))
+			// Wait out the gap to the scheduled arrival; flush while
+			// idle so in-flight requests reach the server. When behind
+			// schedule this loop exits immediately — a catch-up burst.
+			for {
+				now := time.Now()
+				if !next.After(now) {
+					break
+				}
+				if enc.Buffered() > 0 {
+					if err := enc.Flush(); err != nil {
+						sendErr = err
+						return
+					}
+				}
+				d := next.Sub(now)
+				if d > 50*time.Millisecond {
+					d = 50 * time.Millisecond
+				}
+				time.Sleep(d)
+				if stop.Load() || dead.Load() {
+					break sending
+				}
+			}
+			op := stream.Next()
+			out.offered++
+			if len(pend) == cap(pend) {
+				out.dropped++ // client saturated; schedule keeps its cadence
+				// Push what's buffered so the backlog can drain: a
+				// saturated sender must not starve its own receiver.
+				if enc.Buffered() > 0 {
+					if err := enc.Flush(); err != nil {
+						sendErr = err
+						return
+					}
+				}
+				continue
+			}
+			frames, err := sendOp(enc, op)
+			if err != nil {
+				sendErr = err
+				return
+			}
+			pend <- pending{kind: op.Kind, t0: next, frames: frames}
+			// During a burst, flush on buffer growth rather than every
+			// op: unflushed requests sit invisible to the server.
+			if enc.Buffered() > 32<<10 {
+				if err := enc.Flush(); err != nil {
+					sendErr = err
+					return
+				}
+			}
+		}
+		if !dead.Load() && enc.Buffered() > 0 {
+			if err := enc.Flush(); err != nil && sendErr == nil {
+				sendErr = err
+			}
+		}
+	}()
+
+	var recvErr error
+	for p := range pend {
+		if recvErr != nil {
+			continue // transport dead: drain bookkeeping, no socket reads
+		}
+		if err := retire(dec, p, out); err != nil {
+			recvErr = err
+			dead.Store(true)
+		}
+	}
+	senderWG.Wait()
+	if sendErr != nil {
+		return sendErr
+	}
+	return recvErr
+}

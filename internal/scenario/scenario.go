@@ -1,0 +1,168 @@
+// Package scenario names the repo's standard workloads: YCSB-style
+// mixes declared as data, runnable in-process through internal/harness
+// and over the wire through internal/loadgen (cmd/loadgen -scenario),
+// plus the all-features-on soak runner (soak.go, cmd/stress -soak).
+//
+// The six scenarios are analogues of the YCSB core workloads A–F
+// adapted to an ordered set of int64 keys (no values, no fields):
+//
+//	ycsb-a  update heavy      50% updates (25 insert / 25 delete), 50% read
+//	ycsb-b  read mostly       5% updates, 95% read
+//	ycsb-c  insert mostly     90% insert over a thin prefill — our one
+//	                          deliberate departure: YCSB C is 100% read,
+//	                          which exercises nothing this structure
+//	                          doesn't already prove in B; growth from a
+//	                          near-empty tree is the uncovered axis
+//	ycsb-d  read latest       5% insert at an advancing head, reads
+//	                          zipf-biased into the recent window, keys
+//	                          expire TTL ops after insertion — the
+//	                          working set drifts through the key space
+//	ycsb-e  scan heavy        95% range scans (width 100), 5% insert
+//	ycsb-f  read-modify-write 50% RMW (Contains + Insert), 50% read
+//
+// Scenarios are deterministic: a (scenario, key range, seed, conn)
+// tuple fully determines the operation stream, whatever transport or
+// driving discipline consumes it (workload.Stream holds the contract).
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/harness"
+	"repro/internal/loadgen"
+	"repro/internal/workload"
+)
+
+// Scenario is one named workload, declared as data.
+type Scenario struct {
+	Name  string // CLI name, e.g. "ycsb-a"
+	Title string // one-line description
+
+	Mix        workload.Mix
+	ZipfSkew   float64 // >1: clustered zipfian keys (ignored under ReadLatest)
+	ReadLatest bool    // advancing insert head + recency-biased reads
+	TTL        bool    // inserted keys expire KeyRange ops later
+	PrefillPct int     // percent of the key range inserted before measuring
+}
+
+// All returns the scenario table in name order.
+func All() []Scenario {
+	return []Scenario{
+		{
+			Name: "ycsb-a", Title: "update heavy: 25% insert, 25% delete, 50% read, zipf 1.2",
+			Mix:      workload.Mix{InsertPct: 25, DeletePct: 25},
+			ZipfSkew: 1.2, PrefillPct: 50,
+		},
+		{
+			Name: "ycsb-b", Title: "read mostly: 3% insert, 2% delete, 95% read, zipf 1.2",
+			Mix:      workload.Mix{InsertPct: 3, DeletePct: 2},
+			ZipfSkew: 1.2, PrefillPct: 50,
+		},
+		{
+			Name: "ycsb-c", Title: "insert mostly: 90% insert, 10% read, thin prefill (departs from YCSB's read-only C)",
+			Mix:        workload.Mix{InsertPct: 90},
+			PrefillPct: 10,
+		},
+		{
+			Name: "ycsb-d", Title: "read latest: 5% insert at an advancing head, recency-biased reads, TTL expiry",
+			Mix:        workload.Mix{InsertPct: 5},
+			ReadLatest: true, TTL: true, PrefillPct: 0,
+		},
+		{
+			Name: "ycsb-e", Title: "scan heavy: 95% range scans (width 100), 5% insert",
+			Mix:        workload.Mix{InsertPct: 5, ScanPct: 95, ScanWidth: 100},
+			PrefillPct: 50,
+		},
+		{
+			Name: "ycsb-f", Title: "read-modify-write: 50% RMW (contains+insert), 50% read, zipf 1.2",
+			Mix:      workload.Mix{RMWPct: 50},
+			ZipfSkew: 1.2, PrefillPct: 50,
+		},
+	}
+}
+
+// Names returns every scenario name, sorted.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName finds a scenario by its CLI name.
+func ByName(name string) (Scenario, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// StreamConfig translates the scenario to a stream configuration over
+// [0, keyRange). TTL scenarios expire keys keyRange operations after
+// insertion: at ycsb-d's 5% insert rate that keeps the live set well
+// under the key range while giving every key a healthy lifetime.
+func (s Scenario) StreamConfig(keyRange int64) workload.StreamConfig {
+	cfg := workload.StreamConfig{
+		Mix:        s.Mix,
+		KeyRange:   keyRange,
+		ZipfSkew:   s.ZipfSkew,
+		ReadLatest: s.ReadLatest,
+	}
+	if s.TTL {
+		cfg.TTLOps = uint64(keyRange)
+	}
+	return cfg
+}
+
+// StreamFor returns the per-connection stream factory for this
+// scenario, with the same seed derivation internal/loadgen uses for its
+// flat configs — connection c of a run seeded S draws from stream
+// S*1_000_003 + c.
+func (s Scenario) StreamFor(keyRange int64, seed uint64) func(conn int) *workload.Stream {
+	cfg := s.StreamConfig(keyRange)
+	return func(conn int) *workload.Stream {
+		return workload.NewStream(cfg, seed*1_000_003+uint64(conn))
+	}
+}
+
+// Prefill returns the number of keys to insert before measuring.
+func (s Scenario) Prefill(keyRange int64) int {
+	return int(keyRange) * s.PrefillPct / 100
+}
+
+// LoadgenConfig builds a wire-run configuration for the scenario.
+// The caller still sets Conns, Pipeline/Rate, and Duration.
+func (s Scenario) LoadgenConfig(addr string, keyRange int64, seed uint64) loadgen.Config {
+	return loadgen.Config{
+		Addr:      addr,
+		KeyRange:  keyRange,
+		Prefill:   s.Prefill(keyRange),
+		Mix:       s.Mix, // informational (reporting); ops come from StreamFor
+		ZipfSkew:  s.ZipfSkew,
+		Seed:      seed,
+		StreamFor: s.StreamFor(keyRange, seed),
+	}
+}
+
+// HarnessConfig builds an in-process run configuration for the
+// scenario. The caller still sets Threads and Duration.
+func (s Scenario) HarnessConfig(target string, keyRange int64, seed uint64) harness.Config {
+	return harness.Config{
+		Target:    target,
+		KeyRange:  keyRange,
+		Prefill:   s.Prefill(keyRange),
+		Mix:       s.Mix, // informational; ops come from StreamFor
+		ZipfSkew:  s.ZipfSkew,
+		Seed:      seed,
+		StreamFor: s.StreamFor(keyRange, seed),
+	}
+}
+
+// String renders "name: title".
+func (s Scenario) String() string { return fmt.Sprintf("%s: %s", s.Name, s.Title) }

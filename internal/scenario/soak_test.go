@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSoakSmoke runs the all-features-on soak briefly: TCP serving,
+// auto-rebalance, auto-compact, zipf skew, drift+TTL, with the mover/
+// tear-scanner, oracle, stats-monotonicity, and heap checkers live.
+// CI runs the longer variant via cmd/stress -soak; this locks the
+// machinery into `go test` (and the -race wall).
+func TestSoakSmoke(t *testing.T) {
+	rep, err := Soak(SoakConfig{
+		Duration:       1500 * time.Millisecond,
+		Conns:          3,
+		KeyRange:       4096,
+		Shards:         4,
+		Seed:           1,
+		CompactEvery:   50 * time.Millisecond,
+		RebalanceEvery: 20 * time.Millisecond,
+		CheckEvery:     100 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("soak failed:\n%s", rep)
+	}
+	if rep.TornScans != 0 {
+		t.Fatalf("%d torn scans", rep.TornScans)
+	}
+	if rep.Ops == 0 || rep.MoverCycles == 0 || rep.OracleOps == 0 ||
+		rep.TearChecks == 0 || rep.StatsSamples == 0 || rep.HeapSamples == 0 {
+		t.Fatalf("a checker never ran:\n%s", rep)
+	}
+	if !rep.Drained {
+		t.Fatal("server did not drain cleanly")
+	}
+}
+
+// TestSoakOpenLoopAndEarlyStop: the open-loop soak honors an external
+// stop signal (the cmd/stress SIGTERM path) and still audits cleanly.
+func TestSoakOpenLoopAndEarlyStop(t *testing.T) {
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(700 * time.Millisecond)
+		close(stop)
+	}()
+	t0 := time.Now()
+	rep, err := Soak(SoakConfig{
+		Duration:       time.Hour, // must be cut short by Stop
+		Conns:          2,
+		KeyRange:       4096,
+		Shards:         4,
+		Rate:           3000,
+		Seed:           2,
+		CompactEvery:   50 * time.Millisecond,
+		RebalanceEvery: 20 * time.Millisecond,
+		CheckEvery:     100 * time.Millisecond,
+		Stop:           stop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if since := time.Since(t0); since > 30*time.Second {
+		t.Fatalf("Stop ignored: soak ran %v", since)
+	}
+	if !rep.Ok() {
+		t.Fatalf("soak failed:\n%s", rep)
+	}
+	if rep.Offered == 0 {
+		t.Fatal("open-loop run offered nothing")
+	}
+	if !rep.Drained {
+		t.Fatal("server did not drain cleanly")
+	}
+}

@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/bst"
+	"repro/internal/workload"
+)
+
+// TestTTLExpiryAtomicMidScan: while a ycsb-d-style writer inserts and
+// TTL-expires keys, concurrent atomic scans must always observe a clean
+// cut — keys strictly ascending with no duplicates (a torn cut over a
+// key mid-expiry would surface as a duplicate or an out-of-order key),
+// and every observed key inside the scanned window.
+func TestTTLExpiryAtomicMidScan(t *testing.T) {
+	const keyRange = 4096
+	m := bst.NewShardedRange(0, keyRange-1, 4)
+
+	// DeletePct 0: every delete the stream emits is a TTL expiry.
+	stream := workload.NewStream(workload.StreamConfig{
+		Mix:        workload.Mix{InsertPct: 30},
+		KeyRange:   keyRange,
+		ReadLatest: true,
+		TTLOps:     512,
+	}, 9)
+
+	var stop atomic.Bool
+	var expiries atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			op := stream.Next()
+			switch op.Kind {
+			case workload.OpInsert:
+				m.Insert(op.A)
+			case workload.OpDelete:
+				m.Delete(op.A)
+				expiries.Add(1)
+			case workload.OpFind:
+				m.Contains(op.A)
+			}
+		}
+	}()
+
+	const scanners = 3
+	var scans atomic.Uint64
+	for s := 0; s < scanners; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(100 + s))
+			for !stop.Load() {
+				a := rng.Intn(keyRange)
+				b := a + 256
+				if b >= keyRange {
+					b = keyRange - 1
+				}
+				prev := int64(-1)
+				torn := false
+				m.RangeScanFunc(a, b, func(k int64) bool {
+					if k <= prev || k < a || k > b {
+						torn = true
+						return false
+					}
+					prev = k
+					return true
+				})
+				if torn {
+					t.Errorf("scanner %d: torn/duplicated cut in [%d,%d]", s, a, b)
+					stop.Store(true)
+					return
+				}
+				scans.Add(1)
+			}
+		}(s)
+	}
+
+	// Run until expiries have demonstrably raced scans.
+	for expiries.Load() < 5000 && !stop.Load() {
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+	if expiries.Load() == 0 {
+		t.Fatal("no TTL expiries happened")
+	}
+	if scans.Load() == 0 {
+		t.Fatal("no scans completed")
+	}
+}
+
+// TestTTLExpiredReclaimedByCompact: keys that expire must not pin
+// version memory — across many insert→expire→Compact rounds the version
+// graph stays O(live set + shards) and post-GC heap objects plateau.
+func TestTTLExpiredReclaimedByCompact(t *testing.T) {
+	const keyRange = 1 << 14
+	m := bst.NewShardedRange(0, keyRange-1, 4)
+	stream := workload.NewStream(workload.StreamConfig{
+		Mix:        workload.Mix{InsertPct: 50},
+		KeyRange:   keyRange,
+		ReadLatest: true,
+		TTLOps:     1024,
+	}, 17)
+
+	apply := func(op workload.Op) {
+		switch op.Kind {
+		case workload.OpInsert:
+			m.Insert(op.A)
+		case workload.OpDelete:
+			m.Delete(op.A)
+		case workload.OpFind:
+			m.Contains(op.A)
+		}
+	}
+
+	var ms runtime.MemStats
+	var baselineObjs uint64
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < 30000; i++ {
+			apply(stream.Next())
+		}
+		m.Compact()
+		live := m.Len()
+		vg := m.VersionGraphSize()
+		if limit := 4*live + 128*m.Shards() + 256; vg > limit {
+			t.Fatalf("round %d: version graph %d exceeds %d (live=%d): expired keys not reclaimed",
+				round, vg, limit, live)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		if round == 0 {
+			baselineObjs = ms.HeapObjects
+			continue
+		}
+		if limit := 3*baselineObjs + 1<<20; ms.HeapObjects > limit {
+			t.Fatalf("round %d: heap objects %d exceed limit %d (baseline %d): leak across expiry rounds",
+				round, ms.HeapObjects, limit, baselineObjs)
+		}
+	}
+
+	// Drain every still-pending TTL key; the tree must survive a full
+	// expiry of the drifted working set and still validate.
+	stream.ExpireAll(func(k int64) { m.Delete(k) })
+	m.Compact()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("after full expiry: %v", err)
+	}
+	if vg, live := m.VersionGraphSize(), m.Len(); vg > 4*live+128*m.Shards()+256 {
+		t.Fatalf("after full expiry: version graph %d for %d live keys", vg, live)
+	}
+}

@@ -158,6 +158,7 @@ type Summary struct {
 	P50   int64   `json:"p50_ns"`
 	P90   int64   `json:"p90_ns"`
 	P99   int64   `json:"p99_ns"`
+	P999  int64   `json:"p999_ns"`
 }
 
 // Snapshot summarizes the histogram's current contents. An empty
@@ -174,6 +175,7 @@ func (h *Histogram) Snapshot() Summary {
 		P50:   h.Percentile(50),
 		P90:   h.Percentile(90),
 		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
 	}
 }
 

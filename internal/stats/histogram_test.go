@@ -141,10 +141,11 @@ func TestSnapshot(t *testing.T) {
 		t.Fatalf("Snapshot = %+v", s)
 	}
 	// The snapshot must agree with the live queries it freezes.
-	if s.Mean != h.Mean() || s.P50 != h.Percentile(50) || s.P90 != h.Percentile(90) || s.P99 != h.Percentile(99) {
+	if s.Mean != h.Mean() || s.P50 != h.Percentile(50) || s.P90 != h.Percentile(90) ||
+		s.P99 != h.Percentile(99) || s.P999 != h.Percentile(99.9) {
 		t.Fatalf("Snapshot %+v disagrees with live queries", s)
 	}
-	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max || s.Min > s.P50 {
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max || s.Min > s.P50 {
 		t.Fatalf("Snapshot percentiles not monotone: %+v", s)
 	}
 	// Recording after Snapshot must not change the frozen copy.
@@ -166,7 +167,7 @@ func TestSnapshotJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{`"count":2`, `"min_ns":100`, `"max_ns":200`, `"p50_ns"`, `"p90_ns"`, `"p99_ns"`, `"mean_ns"`} {
+	for _, field := range []string{`"count":2`, `"min_ns":100`, `"max_ns":200`, `"p50_ns"`, `"p90_ns"`, `"p99_ns"`, `"p999_ns"`, `"mean_ns"`} {
 		if !strings.Contains(string(b), field) {
 			t.Fatalf("JSON %s missing %s", b, field)
 		}

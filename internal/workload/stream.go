@@ -1,0 +1,175 @@
+package workload
+
+// Op is one generated operation. A is the key (or scan start); B is the
+// scan end for OpScan and unused otherwise.
+type Op struct {
+	Kind OpKind
+	A, B int64
+}
+
+// StreamConfig describes a deterministic operation stream. The zero
+// value plus a positive KeyRange is a valid uniform find-only stream.
+type StreamConfig struct {
+	Mix      Mix
+	KeyRange int64   // keys drawn from [0, KeyRange)
+	ZipfSkew float64 // >1 enables clustered zipfian keys; 0 = uniform
+
+	// ReadLatest switches inserts to an advancing head (key = head %
+	// KeyRange, head monotonically increasing) and biases point reads,
+	// deletes, and RMWs toward recently inserted keys with a clustered
+	// zipfian over the last Window inserts — the YCSB-D "read latest"
+	// access pattern, where the working set drifts through the key
+	// space over time.
+	ReadLatest bool
+	Window     int64 // recency window for ReadLatest; 0 = KeyRange/4
+
+	// TTLOps > 0 gives every inserted key a deadline TTLOps operations
+	// in the future (logical ticks, not wall time, so streams stay
+	// deterministic). When a key's deadline passes, the stream emits
+	// an OpDelete for it *instead of* the next drawn operation — lazy
+	// expiry by the workload layer; the freed versions are reclaimed
+	// by the store's next Compact horizon pass.
+	TTLOps uint64
+}
+
+// ttlEntry is one pending expiry. Deadlines are assigned in seq order,
+// so the queue is naturally sorted — a FIFO ring, not a heap.
+type ttlEntry struct {
+	key      int64
+	deadline uint64
+}
+
+// Stream is a deterministic operation stream: same (config, seed) ⇒
+// byte-identical sequence of Ops, independent of timing, transport, or
+// consumer. The load generator, the in-process harness, and the
+// scenario suite all consume Streams, so a wire run and an in-process
+// run of the same scenario execute the same operations.
+//
+// Not safe for concurrent use; consumers keep one Stream per worker.
+type Stream struct {
+	cfg  StreamConfig
+	rng  *RNG
+	gen  KeyGen // nil in ReadLatest mode
+	seq  uint64 // logical clock: operations emitted so far
+	head int64  // next insert position in ReadLatest mode
+
+	recent *Zipf // recency-offset distribution for ReadLatest
+
+	ttl     []ttlEntry
+	ttlHead int // index of the oldest live entry in ttl
+}
+
+// NewStream returns a stream for cfg with the given seed. cfg.Mix is
+// validated; KeyRange must be positive.
+func NewStream(cfg StreamConfig, seed uint64) *Stream {
+	if cfg.KeyRange <= 0 {
+		panic("workload: StreamConfig.KeyRange must be positive")
+	}
+	cfg.Mix.Validate()
+	s := &Stream{cfg: cfg, rng: NewRNG(seed)}
+	if cfg.ReadLatest {
+		w := cfg.Window
+		if w <= 0 {
+			w = cfg.KeyRange / 4
+		}
+		if w < 1 {
+			w = 1
+		}
+		s.cfg.Window = w
+		// Clustered: offset 0 (the newest key) is the hottest.
+		s.recent = NewZipfClustered(0, w, 1.2)
+	} else if cfg.ZipfSkew > 1 {
+		s.gen = NewZipfClustered(0, cfg.KeyRange, cfg.ZipfSkew)
+	} else {
+		s.gen = Uniform{Lo: 0, Hi: cfg.KeyRange}
+	}
+	return s
+}
+
+// Seq returns the number of operations emitted so far.
+func (s *Stream) Seq() uint64 { return s.seq }
+
+// PendingTTL returns the number of keys currently awaiting expiry.
+func (s *Stream) PendingTTL() int { return len(s.ttl) - s.ttlHead }
+
+// Next returns the next operation. Expired TTL keys preempt the mix:
+// their deletes are emitted first, one per call, until the expiry queue
+// has drained past the current logical time.
+func (s *Stream) Next() Op {
+	s.seq++
+	if s.ttlHead < len(s.ttl) && s.ttl[s.ttlHead].deadline <= s.seq {
+		e := s.ttl[s.ttlHead]
+		s.ttlHead++
+		s.compactTTL()
+		return Op{Kind: OpDelete, A: e.key}
+	}
+	kind := s.cfg.Mix.Draw(s.rng)
+	switch kind {
+	case OpScan:
+		a := s.rng.Intn(s.cfg.KeyRange)
+		b := a + s.cfg.Mix.ScanWidth - 1
+		if b >= s.cfg.KeyRange {
+			b = s.cfg.KeyRange - 1
+		}
+		if b < a {
+			b = a
+		}
+		return Op{Kind: OpScan, A: a, B: b}
+	case OpInsert:
+		return Op{Kind: OpInsert, A: s.insertKey()}
+	default: // OpDelete, OpFind, OpRMW: point ops on an existing-ish key
+		return Op{Kind: kind, A: s.pointKey()}
+	}
+}
+
+// insertKey picks the key for an insert and registers its TTL deadline.
+func (s *Stream) insertKey() int64 {
+	var k int64
+	if s.cfg.ReadLatest {
+		k = s.head % s.cfg.KeyRange
+		s.head++
+	} else {
+		k = s.gen.Key(s.rng)
+	}
+	if s.cfg.TTLOps > 0 {
+		s.ttl = append(s.ttl, ttlEntry{key: k, deadline: s.seq + s.cfg.TTLOps})
+	}
+	return k
+}
+
+// pointKey picks the key for a find/delete/rmw.
+func (s *Stream) pointKey() int64 {
+	if !s.cfg.ReadLatest {
+		return s.gen.Key(s.rng)
+	}
+	if s.head == 0 {
+		return 0 // nothing inserted yet; probe the origin
+	}
+	off := s.recent.Key(s.rng) // zipfian offset back from the head
+	if off >= s.head {
+		off %= s.head // early in the run the window exceeds history
+	}
+	k := (s.head - 1 - off) % s.cfg.KeyRange
+	return k
+}
+
+// compactTTL reclaims the consumed prefix of the expiry queue once it
+// dominates the slice, keeping memory proportional to pending entries.
+func (s *Stream) compactTTL() {
+	if s.ttlHead >= 1024 && s.ttlHead*2 >= len(s.ttl) {
+		n := copy(s.ttl, s.ttl[s.ttlHead:])
+		s.ttl = s.ttl[:n]
+		s.ttlHead = 0
+	}
+}
+
+// ExpireAll drains the whole expiry queue regardless of deadlines,
+// calling visit for each pending key in insertion order. Used at
+// teardown to delete every TTL key still live.
+func (s *Stream) ExpireAll(visit func(key int64)) {
+	for ; s.ttlHead < len(s.ttl); s.ttlHead++ {
+		visit(s.ttl[s.ttlHead].key)
+	}
+	s.ttl = s.ttl[:0]
+	s.ttlHead = 0
+}

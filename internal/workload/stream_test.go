@@ -1,0 +1,289 @@
+package workload
+
+import "testing"
+
+func TestStreamDeterminism(t *testing.T) {
+	cfg := StreamConfig{
+		Mix:      Mix{InsertPct: 25, DeletePct: 20, ScanPct: 5, RMWPct: 10, ScanWidth: 64},
+		KeyRange: 1 << 12,
+		ZipfSkew: 1.2,
+	}
+	a, b := NewStream(cfg, 99), NewStream(cfg, 99)
+	for i := 0; i < 50000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	// A different seed must diverge quickly.
+	a, c := NewStream(cfg, 99), NewStream(cfg, 100)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 200 {
+		t.Fatalf("different seeds nearly identical: %d/1000 ops equal", same)
+	}
+}
+
+func TestStreamReadLatestDeterminism(t *testing.T) {
+	cfg := StreamConfig{
+		Mix:        Mix{InsertPct: 10, RMWPct: 5},
+		KeyRange:   1 << 10,
+		ReadLatest: true,
+		TTLOps:     2048,
+	}
+	a, b := NewStream(cfg, 7), NewStream(cfg, 7)
+	for i := 0; i < 50000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("read-latest streams diverged at op %d", i)
+		}
+	}
+}
+
+func TestStreamOpsInRange(t *testing.T) {
+	for _, cfg := range []StreamConfig{
+		{Mix: Mix{InsertPct: 30, DeletePct: 20, ScanPct: 10, RMWPct: 10, ScanWidth: 100}, KeyRange: 500},
+		{Mix: Mix{InsertPct: 30, ScanPct: 10, ScanWidth: 1000}, KeyRange: 500, ZipfSkew: 1.3},
+		{Mix: Mix{InsertPct: 20, DeletePct: 5, ScanPct: 5, ScanWidth: 10}, KeyRange: 500, ReadLatest: true, TTLOps: 100},
+	} {
+		s := NewStream(cfg, 11)
+		for i := 0; i < 20000; i++ {
+			op := s.Next()
+			if op.A < 0 || op.A >= cfg.KeyRange {
+				t.Fatalf("op %v key out of [0,%d)", op, cfg.KeyRange)
+			}
+			if op.Kind == OpScan && (op.B < op.A || op.B >= cfg.KeyRange) {
+				t.Fatalf("scan [%d,%d] invalid for range %d", op.A, op.B, cfg.KeyRange)
+			}
+		}
+	}
+}
+
+// TestMixDrawChiSquare runs a chi-square goodness-of-fit test of
+// Mix.Draw against its declared percentages. With 4 degrees of freedom
+// the 99.9th percentile of the chi-square distribution is ~18.47; a
+// correct sampler fails this about once per thousand seeds, and we use
+// a fixed seed, so a failure means the sampler is biased.
+func TestMixDrawChiSquare(t *testing.T) {
+	m := Mix{InsertPct: 25, DeletePct: 15, ScanPct: 10, RMWPct: 20}
+	m.Validate()
+	want := map[OpKind]float64{
+		OpInsert: 25, OpDelete: 15, OpScan: 10, OpRMW: 20, OpFind: 30,
+	}
+	r := NewRNG(12345)
+	const draws = 200000
+	counts := map[OpKind]int{}
+	for i := 0; i < draws; i++ {
+		counts[m.Draw(r)]++
+	}
+	var chi2 float64
+	for k, pct := range want {
+		expected := draws * pct / 100
+		d := float64(counts[k]) - expected
+		chi2 += d * d / expected
+	}
+	// 4 degrees of freedom (5 categories - 1), alpha = 0.001.
+	if chi2 > 18.47 {
+		t.Fatalf("chi-square = %.2f > 18.47; Draw biased: %v", chi2, counts)
+	}
+	for k := range want {
+		if counts[k] == 0 {
+			t.Fatalf("kind %v never drawn", k)
+		}
+	}
+}
+
+// TestStreamReadLatestDrift checks the YCSB-D property: reads
+// concentrate on recently inserted keys, and the hot set moves as the
+// insert head advances. We run two windows of the stream and verify
+// (a) in each window the hottest read key is near the current head, and
+// (b) the two windows' hottest keys differ — the working set drifted.
+func TestStreamReadLatestDrift(t *testing.T) {
+	cfg := StreamConfig{
+		Mix:        Mix{InsertPct: 50}, // rest are finds
+		KeyRange:   1 << 20,            // large so the head never wraps in-test
+		ReadLatest: true,
+		Window:     256,
+	}
+	s := NewStream(cfg, 3)
+
+	// The head advances with every insert, so no absolute key stays hot
+	// for long; heat lives in head-relative coordinates. Record each
+	// read's offset behind the head of the moment, plus the raw keys per
+	// window to show the working set itself moves.
+	window := func(n int) (offsets map[int64]int, total int, maxKey, head int64) {
+		offsets = map[int64]int{}
+		for i := 0; i < n; i++ {
+			head := s.head
+			op := s.Next()
+			if op.Kind != OpFind {
+				continue
+			}
+			if head > 0 {
+				off := head - 1 - op.A
+				if off < 0 || off >= cfg.Window {
+					t.Fatalf("read key %d outside recency window of head %d", op.A, head)
+				}
+				offsets[off]++
+				total++
+			}
+			if op.A > maxKey {
+				maxKey = op.A
+			}
+		}
+		return offsets, total, maxKey, s.head
+	}
+
+	off1, total1, maxKey1, head1 := window(100000)
+	off2, total2, maxKey2, head2 := window(100000)
+
+	// Hottest offset must take a disproportionate share: uniform over
+	// the 256-wide recency window would give ~0.4% per offset; zipf 1.2
+	// puts ~15-20% on the newest rank.
+	hotShare := func(offsets map[int64]int, total int) float64 {
+		best := 0
+		for _, c := range offsets {
+			if c > best {
+				best = c
+			}
+		}
+		return float64(best) / float64(total)
+	}
+	if s1, s2 := hotShare(off1, total1), hotShare(off2, total2); s1 < 0.05 || s2 < 0.05 {
+		t.Fatalf("hottest-offset share too small (%.4f, %.4f); reads not recency-biased", s1, s2)
+	}
+	// The working set must drift: window 2's reads live beyond window
+	// 1's entire key range (heads only move forward).
+	if head2 <= head1 {
+		t.Fatalf("insert head did not advance: %d -> %d", head1, head2)
+	}
+	if maxKey2 <= maxKey1 {
+		t.Fatalf("read working set did not drift: max key %d then %d", maxKey1, maxKey2)
+	}
+	if total1 == 0 || total2 == 0 {
+		t.Fatal("no reads sampled")
+	}
+}
+
+func TestStreamTTLExpiry(t *testing.T) {
+	const ttl = 500
+	cfg := StreamConfig{
+		Mix:      Mix{InsertPct: 40}, // no organic deletes: every delete is an expiry
+		KeyRange: 1 << 16,
+		TTLOps:   ttl,
+	}
+	s := NewStream(cfg, 8)
+	live := map[int64]int{} // key -> pending insert count
+	deletes := 0
+	for i := 0; i < 100000; i++ {
+		op := s.Next()
+		switch op.Kind {
+		case OpInsert:
+			live[op.A]++
+		case OpDelete:
+			deletes++
+			if live[op.A] == 0 {
+				t.Fatalf("expiry for key %d that was never inserted", op.A)
+			}
+			live[op.A]--
+			if live[op.A] == 0 {
+				delete(live, op.A)
+			}
+		}
+		if p := s.PendingTTL(); p > ttl {
+			t.Fatalf("pending TTL queue %d exceeds TTLOps %d", p, ttl)
+		}
+	}
+	if deletes == 0 {
+		t.Fatal("no expiries emitted in 100k ops with TTLOps=500")
+	}
+	// Everything still pending must drain through ExpireAll.
+	drained := 0
+	s.ExpireAll(func(k int64) {
+		if live[k] == 0 {
+			t.Fatalf("ExpireAll emitted key %d with no pending insert", k)
+		}
+		live[k]--
+		if live[k] == 0 {
+			delete(live, k)
+		}
+		drained++
+	})
+	if len(live) != 0 {
+		t.Fatalf("%d inserted keys never expired", len(live))
+	}
+	if s.PendingTTL() != 0 {
+		t.Fatal("ExpireAll left pending entries")
+	}
+	if drained == 0 {
+		t.Fatal("ExpireAll drained nothing; expected a live tail")
+	}
+}
+
+// TestStreamTTLDeadlineOrder verifies expiries arrive in insertion
+// order and no later than ~TTLOps after their insert (the next Next()
+// call past the deadline).
+func TestStreamTTLDeadlineOrder(t *testing.T) {
+	const ttl = 200
+	cfg := StreamConfig{
+		Mix:      Mix{InsertPct: 30},
+		KeyRange: 1 << 30, // huge range: key collisions effectively impossible
+		TTLOps:   ttl,
+	}
+	s := NewStream(cfg, 21)
+	insertedAt := map[int64][]uint64{} // per-key FIFO, robust to key collisions
+	var lastExpirySeq uint64
+	for i := 0; i < 50000; i++ {
+		seq := s.Seq() + 1 // seq after this Next
+		op := s.Next()
+		switch op.Kind {
+		case OpInsert:
+			insertedAt[op.A] = append(insertedAt[op.A], seq)
+		case OpDelete:
+			q := insertedAt[op.A]
+			if len(q) == 0 {
+				t.Fatalf("expiry of unknown key %d", op.A)
+			}
+			at := q[0]
+			insertedAt[op.A] = q[1:]
+			if seq < at+ttl {
+				t.Fatalf("key %d expired at seq %d, before deadline %d", op.A, seq, at+ttl)
+			}
+			if at < lastExpirySeq {
+				t.Fatal("expiries out of insertion order")
+			}
+			lastExpirySeq = at
+		}
+	}
+}
+
+func TestStreamPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KeyRange 0 did not panic")
+		}
+	}()
+	NewStream(StreamConfig{}, 1)
+}
+
+func TestMixRMWDraw(t *testing.T) {
+	m := Mix{RMWPct: 100}
+	m.Validate()
+	if m.FindPct() != 0 {
+		t.Fatalf("FindPct = %d", m.FindPct())
+	}
+	r := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		if k := m.Draw(r); k != OpRMW {
+			t.Fatalf("drew %v from a 100%% RMW mix", k)
+		}
+	}
+	if OpRMW.String() != "rmw" {
+		t.Fatalf("OpRMW.String() = %q", OpRMW.String())
+	}
+	if NumOps != int(OpRMW)+1 {
+		t.Fatal("NumOps does not cover OpRMW")
+	}
+}

@@ -146,12 +146,19 @@ func (p Partition) slice() (int64, int64) {
 // OpKind enumerates the operation types in a mix.
 type OpKind uint8
 
-// Operation kinds.
+// Operation kinds. OpRMW is a read-modify-write: a Contains on the key
+// immediately followed by an Insert of the same key (the set analogue of
+// YCSB's read-modify-write — one logical operation, two store calls).
 const (
 	OpInsert OpKind = iota
 	OpDelete
 	OpFind
 	OpScan
+	OpRMW
+
+	// NumOps is the number of operation kinds; per-kind accumulator
+	// arrays ([NumOps]uint64) index by OpKind.
+	NumOps = 5
 )
 
 // String returns the operation name.
@@ -165,6 +172,8 @@ func (k OpKind) String() string {
 		return "find"
 	case OpScan:
 		return "scan"
+	case OpRMW:
+		return "rmw"
 	}
 	return "unknown"
 }
@@ -172,19 +181,19 @@ func (k OpKind) String() string {
 // Mix is an operation mix in percent; the remainder to 100 is Find.
 // ScanWidth is the key-space width of each range scan.
 type Mix struct {
-	InsertPct, DeletePct, ScanPct int
-	ScanWidth                     int64
+	InsertPct, DeletePct, ScanPct, RMWPct int
+	ScanWidth                             int64
 }
 
 // Validate panics if the percentages exceed 100.
 func (m Mix) Validate() {
-	if m.InsertPct+m.DeletePct+m.ScanPct > 100 {
+	if m.InsertPct+m.DeletePct+m.ScanPct+m.RMWPct > 100 {
 		panic("workload: operation mix exceeds 100%")
 	}
 }
 
 // FindPct returns the find percentage (remainder to 100).
-func (m Mix) FindPct() int { return 100 - m.InsertPct - m.DeletePct - m.ScanPct }
+func (m Mix) FindPct() int { return 100 - m.InsertPct - m.DeletePct - m.ScanPct - m.RMWPct }
 
 // Draw samples the next operation kind.
 func (m Mix) Draw(r *RNG) OpKind {
@@ -196,6 +205,8 @@ func (m Mix) Draw(r *RNG) OpKind {
 		return OpDelete
 	case x < m.InsertPct+m.DeletePct+m.ScanPct:
 		return OpScan
+	case x < m.InsertPct+m.DeletePct+m.ScanPct+m.RMWPct:
+		return OpRMW
 	default:
 		return OpFind
 	}
