@@ -28,6 +28,7 @@ func BenchmarkAblationReplaceVsDeleteInsert(b *testing.B) {
 		for i := int64(0); i < keys; i++ {
 			m.Put(i, 0)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			m.Put(rng.Intn(keys), int64(i))
@@ -39,6 +40,7 @@ func BenchmarkAblationReplaceVsDeleteInsert(b *testing.B) {
 		for i := int64(0); i < keys; i++ {
 			t.Insert(i)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			k := rng.Intn(keys)
@@ -83,6 +85,7 @@ func BenchmarkAblationSnapshotVsScan(b *testing.B) {
 	})
 	b.Run("reuse-snapshot", func(b *testing.B) {
 		snap := t.Snapshot()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			n := 0
@@ -111,6 +114,7 @@ func BenchmarkAblationPrevChainDepth(b *testing.B) {
 				}
 				t.RangeCount(0, 0) // advance the phase
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				n := 0

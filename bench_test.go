@@ -54,6 +54,7 @@ func prefilled(tb testing.TB, target string, n int64) harness.Instance {
 func runMix(b *testing.B, target string, keys int64, mix workload.Mix) {
 	inst := prefilled(b, target, keys)
 	var seed atomic.Uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		rng := workload.NewRNG(seed.Add(1))
@@ -116,6 +117,7 @@ func BenchmarkE4ScanWidth(b *testing.B) {
 			inst := prefilled(b, harness.TargetPNBBST, keys)
 			rng := workload.NewRNG(3)
 			var got int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				a := rng.Intn(keys - width)
@@ -134,6 +136,7 @@ func BenchmarkE5Overhead(b *testing.B) {
 			const keys = 1 << 16
 			inst := prefilled(b, tgt, keys)
 			rng := workload.NewRNG(9)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				k := rng.Intn(keys)
@@ -170,6 +173,7 @@ func BenchmarkE6ScanLatency(b *testing.B) {
 					}
 				}
 			}()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				inst.Scan(0, keys-1)
@@ -233,6 +237,7 @@ func BenchmarkE8Disjoint(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			inst := prefilled(b, harness.TargetPNBBST, keys)
 			var worker atomic.Uint64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				w := worker.Add(1)
@@ -285,6 +290,7 @@ func BenchmarkE9Handshake(b *testing.B) {
 				close(done)
 			}
 			tr.ResetStats()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				k := rng.Intn(keys)
@@ -332,6 +338,7 @@ func BenchmarkE10Snapshot(b *testing.B) {
 				}
 			}()
 			var total int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				snap := tr.Snapshot()
@@ -377,6 +384,7 @@ func BenchmarkShardedInsert(b *testing.B) {
 		b.Run(tgt, func(b *testing.B) {
 			inst := prefilledRange(b, tgt, keys)
 			var seed atomic.Uint64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				rng := workload.NewRNG(seed.Add(1))
@@ -405,6 +413,7 @@ func BenchmarkShardedScan(b *testing.B) {
 				inst := prefilledRange(b, tgt, keys)
 				rng := workload.NewRNG(3)
 				var got int64
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					a := int64(0)
@@ -443,6 +452,7 @@ func BenchmarkE12ChurnMemory(b *testing.B) {
 			// churn so a long -benchtime cannot grow the heap unboundedly
 			// (256 batches ≈ 1M updates demonstrate the monotone growth).
 			const pruneOffBatchCap = 256
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if prune || i < pruneOffBatchCap {
@@ -503,6 +513,7 @@ func BenchmarkE13AtomicVsRelaxedScan(b *testing.B) {
 				}(w)
 			}
 			var got int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				got += int64(inst.Scan(0, keys-1))
@@ -529,6 +540,7 @@ func BenchmarkE12CompactPass(b *testing.B) {
 					inserted++
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -547,6 +559,58 @@ func BenchmarkE12CompactPass(b *testing.B) {
 	}
 }
 
+// BenchmarkE12Allocs — experiment E12 (allocation axis): allocator
+// traffic of the update path at steady state, post-horizon recycling on
+// vs off (DESIGN.md §10). One op is a full insert+delete pair on a fresh
+// key with a Compact pass amortized over every batch, so pool supply
+// tracks demand like a long-running churn. The allocs/op column is the
+// result: the flat node layout costs 6 heap allocations per pair
+// (insert: 3 nodes + 1 info; delete: 1 node + 1 info) and node recycling
+// returns 4 of them, a ≥50% reduction that the pool-hit metric makes
+// attributable. Run with -benchmem.
+func BenchmarkE12Allocs(b *testing.B) {
+	const keys = 1 << 12
+	const batch = 512 // updates per Compact pass
+	for _, pooling := range []bool{true, false} {
+		name := "pool-off"
+		if pooling {
+			name = "pool-on"
+		}
+		b.Run("churn-pair/"+name, func(b *testing.B) {
+			tr := core.New()
+			tr.SetPooling(pooling)
+			rng := workload.NewRNG(37)
+			for i := 0; i < keys/2; i++ {
+				tr.Insert(rng.Intn(keys))
+			}
+			// Warm the pools to steady state before measuring.
+			for i := int64(0); i < 2*batch; i++ {
+				k := keys + i%keys
+				tr.Insert(k)
+				tr.Delete(k)
+				if i%batch == batch-1 {
+					tr.Compact()
+				}
+			}
+			tr.ResetStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := keys + int64(i)%keys // fresh key: both halves succeed
+				tr.Insert(k)
+				tr.Delete(k)
+				if i%batch == batch-1 {
+					tr.Compact()
+				}
+			}
+			b.StopTimer()
+			st := tr.Stats()
+			b.ReportMetric(float64(st.PoolNodeHits)/float64(b.N), "node-hits/op")
+			b.ReportMetric(float64(st.PoolInfoHits)/float64(b.N), "info-hits/op")
+		})
+	}
+}
+
 // BenchmarkE14RebalanceZipf — experiment E14 (single point): clustered
 // zipfian point ops (skew 1.2, hot keys contiguous at the bottom of the
 // key space) on the static 8-shard set vs the same set with the online
@@ -559,6 +623,7 @@ func BenchmarkE14RebalanceZipf(b *testing.B) {
 		b.Run(tgt, func(b *testing.B) {
 			inst := prefilledRange(b, tgt, keys)
 			var seed atomic.Uint64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				rng := workload.NewRNG(seed.Add(1))
@@ -612,6 +677,7 @@ func BenchmarkE15WireOps(b *testing.B) {
 	rng := workload.NewRNG(7)
 	const depth = 16
 	inflight := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		op := wire.OpInsert
@@ -660,6 +726,7 @@ func BenchmarkE16OpenLoop(b *testing.B) {
 
 	var ops uint64
 	var lastP99 int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := loadgen.Run(loadgen.Config{

@@ -102,10 +102,16 @@ func main() {
 			SampleEvery:   64,
 		})
 		fmt.Println(res)
+		fmt.Printf("mem: allocs/op=%.2f gc=%d gcPause=%v\n",
+			res.AllocsPerOp, res.NumGC, time.Duration(res.GCPauseNs))
 		if st, ok := harness.PNBStats(res.Inst); ok {
 			fmt.Printf("stats: helps=%d handshakeAborts=%d scans=%d retries=%d/%d/%d\n",
 				st.Helps, st.HandshakeAborts, st.Scans,
 				st.RetriesInsert, st.RetriesDelete, st.RetriesFind)
+			if st.PoolNodePuts+st.PoolNodeHits > 0 {
+				fmt.Printf("pool: nodeHits=%d nodePuts=%d infoHits=%d infoPuts=%d\n",
+					st.PoolNodeHits, st.PoolNodePuts, st.PoolInfoHits, st.PoolInfoPuts)
+			}
 		}
 		if splits, merges, ok := harness.Migrations(res.Inst); ok && (splits+merges > 0 || target.Rebalance) {
 			count, _ := harness.ShardCount(res.Inst)

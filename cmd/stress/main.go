@@ -115,6 +115,8 @@ func main() {
 		}
 		roundSeed := *seed + uint64(rounds)
 		fmt.Printf("round %d: seed=%d (replay: -seed %d)\n", rounds, roundSeed, roundSeed)
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		if err := round(name, roundDur, *threads, *keys, roundSeed, *compact, target.Zipf(), *memEvery); err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL (round %d, seed %d): %v\n", rounds, roundSeed, err)
 			os.Exit(1)
@@ -123,7 +125,12 @@ func main() {
 		// Cross-round leak check: each round's instance is garbage now, so
 		// the post-GC heap must return to (near) the first round's level.
 		objects := heapObjects()
-		fmt.Printf("round %d ok (post-GC heap objects: %d)\n", rounds, objects)
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		fmt.Printf("round %d ok (post-GC heap objects: %d, round GC: %d cycles, %v pause, %d mallocs)\n",
+			rounds, objects, msAfter.NumGC-msBefore.NumGC,
+			time.Duration(msAfter.PauseTotalNs-msBefore.PauseTotalNs),
+			msAfter.Mallocs-msBefore.Mallocs)
 		if rounds == 1 {
 			baselineObjects = objects
 		} else if objects > 3*baselineObjects+1<<20 {
@@ -373,8 +380,9 @@ func round(name string, d time.Duration, threads int, keyRange int64, seed uint6
 				next = time.Now().Add(memEvery)
 				var ms runtime.MemStats
 				runtime.ReadMemStats(&ms)
-				fmt.Printf("  [mem] heapAlloc=%.1fMB heapObjects=%d\n",
-					float64(ms.HeapAlloc)/(1<<20), ms.HeapObjects)
+				fmt.Printf("  [mem] heapAlloc=%.1fMB heapObjects=%d numGC=%d gcPause=%v\n",
+					float64(ms.HeapAlloc)/(1<<20), ms.HeapObjects,
+					ms.NumGC, time.Duration(ms.PauseTotalNs))
 			}
 		}()
 	}

@@ -59,9 +59,9 @@ func BuildFromSorted(c *Clock, n int, next func() (int64, bool)) (*Tree, error) 
 	// left subtree, under an ∞1-keyed internal node whose right child is
 	// the ∞1 sentinel leaf. Every user leaf therefore has depth >= 2 — the
 	// invariant Delete relies on to always find a grandparent.
-	wrap := newNode(inf1, 0, nil, false, t.dummy)
+	wrap := t.newNode(inf1, 0, nil, false)
 	wrap.left.Store(sub)
-	wrap.right.Store(newLeaf(inf1, 0, t.dummy))
+	wrap.right.Store(t.newLeaf(inf1, 0))
 	t.root.left.Store(wrap)
 	return t, nil
 }
@@ -89,7 +89,7 @@ func (t *Tree) buildBalanced(count int, pull func() (int64, error)) (*node, int6
 		if err != nil {
 			return nil, 0, err
 		}
-		return newLeaf(k, 0, t.dummy), k, nil
+		return t.newLeaf(k, 0), k, nil
 	}
 	half := count / 2
 	left, lmin, err := t.buildBalanced(half, pull)
@@ -100,7 +100,7 @@ func (t *Tree) buildBalanced(count int, pull func() (int64, error)) (*node, int6
 	if err != nil {
 		return nil, 0, err
 	}
-	n := newNode(rmin, 0, nil, false, t.dummy)
+	n := t.newNode(rmin, 0, nil, false)
 	n.left.Store(left)
 	n.right.Store(right)
 	return n, lmin, nil

@@ -29,14 +29,14 @@ func (t *Tree) CheckInvariants() error {
 			errs = append(errs, errors.New("depth exceeds 2^22: probable cycle"))
 			return
 		}
-		if n.seq > ctr {
-			errs = append(errs, fmt.Errorf("node key=%d seq=%d exceeds counter %d", n.key, n.seq, ctr))
+		if n.seqNum() > ctr {
+			errs = append(errs, fmt.Errorf("node key=%d seq=%d exceeds counter %d", n.key, n.seqNum(), ctr))
 		}
 		// prev chain must be finite and phase-nonincreasing.
 		steps := 0
 		for q := n.prev.Load(); q != nil; q = q.prev.Load() {
-			if q.seq > n.seq {
-				errs = append(errs, fmt.Errorf("prev chain of key=%d ascends in phase (%d -> %d)", n.key, n.seq, q.seq))
+			if q.seqNum() > n.seqNum() {
+				errs = append(errs, fmt.Errorf("prev chain of key=%d ascends in phase (%d -> %d)", n.key, n.seqNum(), q.seqNum()))
 				break
 			}
 			if steps++; steps > 1<<22 {
@@ -47,7 +47,7 @@ func (t *Tree) CheckInvariants() error {
 		if n.key < lo || n.key > hi {
 			errs = append(errs, fmt.Errorf("BST violation: key %d outside (%d, %d]", n.key, lo, hi))
 		}
-		if n.leaf {
+		if n.isLeaf() {
 			if n.left.Load() != nil || n.right.Load() != nil {
 				errs = append(errs, fmt.Errorf("leaf key=%d has children", n.key))
 			}
@@ -95,13 +95,13 @@ func (t *Tree) CheckVersionInvariants(seq uint64) error {
 			errs = append(errs, errors.New("depth exceeds 2^22: probable cycle in version tree"))
 			return
 		}
-		if n.seq > seq {
-			errs = append(errs, fmt.Errorf("T_%d contains node key=%d from phase %d", seq, n.key, n.seq))
+		if n.seqNum() > seq {
+			errs = append(errs, fmt.Errorf("T_%d contains node key=%d from phase %d", seq, n.key, n.seqNum()))
 		}
 		if n.key < lo || n.key > hi {
 			errs = append(errs, fmt.Errorf("T_%d BST violation: key %d outside (%d, %d]", seq, n.key, lo, hi))
 		}
-		if n.leaf {
+		if n.isLeaf() {
 			return
 		}
 		walk(readChild(n, true, seq), lo, n.key-1, depth+1)
@@ -120,7 +120,7 @@ func (t *Tree) VersionKeys(seq uint64) []int64 {
 	var out []int64
 	var walk func(n *node)
 	walk = func(n *node) {
-		if n.leaf {
+		if n.isLeaf() {
 			if n.key <= MaxKey {
 				out = append(out, n.key)
 			}
@@ -139,7 +139,7 @@ func (t *Tree) VersionKeys(seq uint64) []int64 {
 func (t *Tree) Height() int {
 	var h func(n *node) int
 	h = func(n *node) int {
-		if n == nil || n.leaf {
+		if n == nil || n.isLeaf() {
 			return 1
 		}
 		lh, rh := h(n.left.Load()), h(n.right.Load())
@@ -156,7 +156,7 @@ func (t *Tree) Height() int {
 func (t *Tree) NodeCount() int {
 	var c func(n *node) int
 	c = func(n *node) int {
-		if n.leaf {
+		if n.isLeaf() {
 			return 1
 		}
 		return 1 + c(n.left.Load()) + c(n.right.Load())

@@ -40,7 +40,7 @@ func (s *Snapshot) Iter(a, b int64) *Iterator {
 // [lo, hi], helping in-progress updates exactly as ScanHelper does.
 func (it *Iterator) descend(n *node) {
 	for {
-		if n.leaf {
+		if n.isLeaf() {
 			it.stack = append(it.stack, n)
 			return
 		}
@@ -69,7 +69,7 @@ func (it *Iterator) Next() bool {
 	for len(it.stack) > 0 {
 		n := it.stack[len(it.stack)-1]
 		it.stack = it.stack[:len(it.stack)-1]
-		if n.leaf {
+		if n.isLeaf() {
 			if n.key >= it.lo && n.key <= it.hi {
 				it.cur = n.key
 				it.valid = true

@@ -70,7 +70,7 @@ func (t *Tree) PredAt(k int64, phase uint64) (int64, bool) {
 	seq := phase
 	var pivot *node // last internal node where the walk went right
 	n := t.root
-	for !n.leaf {
+	for !n.isLeaf() {
 		t.helpIfPending(n)
 		if k < n.key {
 			n = mustReadChild(n, true, seq)
@@ -92,7 +92,7 @@ func (t *Tree) PredAt(k int64, phase uint64) (int64, bool) {
 // rightmostLeaf descends right children of T_seq to the subtree's
 // largest leaf, helping pending updates on the way.
 func (t *Tree) rightmostLeaf(n *node, seq uint64) *node {
-	for !n.leaf {
+	for !n.isLeaf() {
 		t.helpIfPending(n)
 		n = mustReadChild(n, false, seq)
 	}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements post-horizon memory recycling for nodes and infos.
+//
+// Reclamation happens in three stages, all driven by Compact (prune.go):
+//
+//  1. Cut: the pruner disconnects version chains whose tails have fallen
+//     below the reclamation horizon H (no registered reader's phase is
+//     below H, so no registered reader can need them).
+//  2. Limbo: the nodes made unreachable by the cuts — plus the retired
+//     replacement infos attached to them — are collected into a
+//     limboBatch. They cannot be reused yet: an UNREGISTERED traversal
+//     (Find/Insert/Delete, or a helper inside one) may still hold
+//     pointers into the batch, read before the cut, and may still issue
+//     freeze CASes whose expected values are descriptors in the batch.
+//  3. Drain + recycle: every traversal passes through a striped pin
+//     counter for its full duration. The batch records which stripes
+//     were non-zero after the cuts; a later Compact clears a stripe's
+//     bit once it observes that stripe at zero. When all bits clear,
+//     every traversal that could have seen the batch's memory has
+//     finished (sync/atomic's seq-cst total order makes the
+//     cut-store → zero-load → pin-add → traversal-load chain airtight),
+//     so the objects are poisoned and pushed to the per-tree pools.
+//
+// Why this preserves the paper's no-ABA argument (Lemma 7): a freeze CAS
+// succeeds spuriously only if its expected *descriptor is re-installed at
+// the same address. A descriptor address enters the pool only after (a)
+// the horizon passed every registered reader and (b) the pin drain proved
+// no unregistered traversal from before the cut is still running. Any CAS
+// issued after that is by a traversal that pinned after the drain, whose
+// expected values were therefore read after the recycled object left the
+// tree — it can only expect the object's NEW incarnation. DESIGN.md §10
+// has the full argument, including the suspended-helper case.
+
+// poisonSeq is stored in the seq bits of a recycled node's seqLeaf while
+// it sits in the pool: larger than any real phase, so a stale readChild
+// chase treats the node as too-new and falls through to its (nil'd) prev,
+// and a registered reader that somehow reaches one fails loudly
+// (mustReadChild). Reuse overwrites it.
+const poisonSeq = leafBit - 1
+
+// pinStripes is the number of pin counters; must stay 64 so a limbo
+// batch's waiting set fits one word.
+const pinStripes = 64
+
+// pinStripe is one padded counter (own cache line to stop false sharing
+// between stripes — same layout trick as internal/epoch's slots).
+type pinStripe struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// pinTable is a striped count of in-flight UNREGISTERED traversals:
+// Find, TryInsert and TryDelete (and the helping they do) hold a pin for
+// their full duration. Registered readers (scans, snapshots, ordered
+// queries, iterators) do NOT pin — the horizon already protects them:
+// every chain's first phase-<=H node is in the pruner's visited set, a
+// registered reader at phase s >= H stops there or earlier, and the
+// attempts it can help are in-progress ones whose nodes cannot be
+// garbage (a frozen node blocks its own replacement; see DESIGN.md §10).
+// Stripes exist only to spread contention; correctness needs only that
+// each unregistered traversal holds SOME stripe.
+type pinTable struct {
+	stripes [pinStripes]pinStripe
+}
+
+// enter pins a traversal keyed by k and returns the stripe to exit with.
+func (p *pinTable) enter(k int64) int {
+	i := int((uint64(k) * 0x9e3779b97f4a7c15) >> 58)
+	p.stripes[i].n.Add(1)
+	return i
+}
+
+func (p *pinTable) exit(i int) {
+	p.stripes[i].n.Add(-1)
+}
+
+// idle reports whether no traversal currently holds any pin.
+func (p *pinTable) idle() bool {
+	for i := range p.stripes {
+		if p.stripes[i].n.Load() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// limboBatch holds one Compact pass's garbage until the pin drain proves
+// it unreachable from any in-flight traversal.
+type limboBatch struct {
+	nodes   []*node
+	infos   []*info
+	waiting uint64 // bit i set ⇒ stripe i not yet observed idle since the batch's cuts
+}
+
+// poolState is the recycling machinery embedded in Tree.
+type poolState struct {
+	pins    pinTable
+	pooling atomic.Bool // recycling enabled (default on; SetPooling)
+
+	// compactMu serializes Compact passes: limbo needs a single writer,
+	// and cut-head collection relies on one pruner at a time.
+	compactMu sync.Mutex
+
+	// pass numbers the Compact passes (guarded by compactMu, starting at
+	// 1): each pass stamps the nodes it reaches with its number, which is
+	// the pruner's visited set (node.visit in types.go).
+	pass uint64
+
+	// limbo is guarded by compactMu: only Compact appends and reaps.
+	limbo []*limboBatch
+
+	nodes sync.Pool // of *node, poisoned
+	infos sync.Pool // of *info, cleared
+}
+
+// SetPooling enables or disables node/info recycling. It defaults to on;
+// the off position exists for the E12 ablation and for allocation-budget
+// tests that need deterministic allocation counts. Turning pooling off
+// stops both reuse and limbo collection (garbage reverts to the GC);
+// objects already in the pools are simply never handed out again.
+func (t *Tree) SetPooling(on bool) { t.pool.pooling.Store(on) }
+
+// PoolingEnabled reports whether node/info recycling is on.
+func (t *Tree) PoolingEnabled() bool { return t.pool.pooling.Load() }
+
+// getNode returns a pooled node if recycling is on and one is available,
+// else a fresh allocation. Pooled nodes come back poisoned (all pointers
+// nil); the caller overwrites every field.
+func (t *Tree) getNode() *node {
+	if t.pool.pooling.Load() {
+		if v := t.pool.nodes.Get(); v != nil {
+			t.stats.poolNodeHits.Add(1)
+			return v.(*node)
+		}
+	}
+	return &node{}
+}
+
+// newLeaf hands out a leaf initialized as the paper's Insert does
+// (lines 161-162): fresh leaves have prev = ⊥.
+func (t *Tree) newLeaf(key int64, seq uint64) *node {
+	n := t.getNode()
+	n.key = key
+	n.seqLeaf = packSeqLeaf(seq, true)
+	n.prev.Store(nil)
+	n.update.Store(t.dummy)
+	return n
+}
+
+// newNode hands out a node whose prev pointer is initialized to the
+// replaced node (the paper writes prev at creation; it is never changed
+// afterwards except for the pruner's cut to nil). Internal callers set
+// left/right before publishing.
+func (t *Tree) newNode(key int64, seq uint64, prev *node, leaf bool) *node {
+	n := t.getNode()
+	n.key = key
+	n.seqLeaf = packSeqLeaf(seq, leaf)
+	n.prev.Store(prev)
+	n.update.Store(t.dummy)
+	return n
+}
+
+// newInfo hands out an info in state ⊥ with its embedded flag/mark
+// descriptors wired to itself. Pooled infos come back fully cleared.
+func (t *Tree) newInfo() *info {
+	if t.pool.pooling.Load() {
+		if v := t.pool.infos.Get(); v != nil {
+			t.stats.poolInfoHits.Add(1)
+			return v.(*info)
+		}
+	}
+	in := new(info)
+	in.flagD = descriptor{typ: flag, info: in}
+	in.markD = descriptor{typ: mark, info: in}
+	return in
+}
+
+// recycleUnpublished returns an info whose first freeze CAS failed: it
+// was never installed anywhere, so no other goroutine can hold a
+// reference and it is immediately reusable.
+func (t *Tree) recycleUnpublished(in *info) {
+	if t.pool.pooling.Load() {
+		t.putInfo(in)
+	}
+}
+
+// putInfo clears an info's references and state and pushes it to the
+// pool. Callers must guarantee no in-flight traversal can reach in.
+func (t *Tree) putInfo(in *info) {
+	in.state.Store(stateUndecided)
+	in.nn, in.markMask = 0, 0
+	in.ins, in.retired = false, false
+	in.nodes = [maxFreeze]*node{}
+	in.oldUpdate = [maxFreeze]*descriptor{}
+	in.par, in.oldChild, in.newChild = nil, nil, nil
+	in.seq = 0
+	t.pool.infos.Put(in)
+	t.stats.poolInfoPuts.Add(1)
+}
+
+// poisonAndPutNode severs a drained node's references, stamps the poison
+// sentinel and pushes it to the pool.
+func (t *Tree) poisonAndPutNode(n *node) {
+	n.key = 0
+	n.seqLeaf = poisonSeq
+	n.prev.Store(nil)
+	n.left.Store(nil)
+	n.right.Store(nil)
+	n.update.Store(nil)
+	t.pool.nodes.Put(n)
+	t.stats.poolNodePuts.Add(1)
+}
+
+// enqueueLimbo records one Compact pass's garbage with a snapshot of the
+// currently-busy pin stripes. MUST run after the pass's cuts: a stripe
+// observed zero here can only belong to traversals that pinned after the
+// cuts and therefore cannot reach the batch.
+func (t *Tree) enqueueLimbo(nodes []*node, infos []*info) {
+	if len(nodes) == 0 && len(infos) == 0 {
+		return
+	}
+	b := &limboBatch{nodes: nodes, infos: infos}
+	for i := range t.pool.pins.stripes {
+		if t.pool.pins.stripes[i].n.Load() != 0 {
+			b.waiting |= 1 << uint(i)
+		}
+	}
+	t.pool.limbo = append(t.pool.limbo, b)
+}
+
+// reap re-examines limbo batches, clearing waiting bits for stripes now
+// observed idle, and recycles every fully-drained batch. Called by
+// Compact under compactMu. Returns how many nodes and infos were pooled.
+func (t *Tree) reap() (nodes, infos int) {
+	if len(t.pool.limbo) == 0 {
+		return 0, 0
+	}
+	kept := t.pool.limbo[:0]
+	for _, b := range t.pool.limbo {
+		w := b.waiting
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			if t.pool.pins.stripes[i].n.Load() == 0 {
+				b.waiting &^= 1 << uint(i)
+			}
+			w &= w - 1
+		}
+		if b.waiting == 0 {
+			for _, n := range b.nodes {
+				t.poisonAndPutNode(n)
+			}
+			for _, in := range b.infos {
+				t.putInfo(in)
+			}
+			nodes += len(b.nodes)
+			infos += len(b.infos)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	// Drop the tail so recycled batches don't stay reachable.
+	for i := len(kept); i < len(t.pool.limbo); i++ {
+		t.pool.limbo[i] = nil
+	}
+	t.pool.limbo = kept
+	return nodes, infos
+}
+
+// limboSize reports how many batches are awaiting their pin drain
+// (whitebox tests).
+func (t *Tree) limboSize() int { return len(t.pool.limbo) }

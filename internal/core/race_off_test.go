@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget tests skip under -race because the detector's
+// shadow-memory bookkeeping perturbs testing.AllocsPerRun.
+const raceEnabled = false

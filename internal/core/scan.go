@@ -99,7 +99,7 @@ func (t *Tree) RangeCount(a, b int64) int {
 // false when the visitor asked to stop. The visitor pointer avoids
 // re-boxing the closure on each recursive call.
 func (t *Tree) scanInto(n *node, seq uint64, a, b int64, visit *func(int64) bool) bool {
-	if n.leaf {
+	if n.isLeaf() {
 		if n.key >= a && n.key <= b {
 			return (*visit)(n.key)
 		}

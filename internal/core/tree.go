@@ -37,6 +37,11 @@ type Tree struct {
 	// no update can ever commit here at a phase above the cut (seal.go).
 	sealed atomic.Bool
 
+	// pool holds the recycling machinery: the striped pin table that every
+	// traversal passes through, the limbo queue Compact feeds, and the
+	// node/info free pools it drains into (pool.go).
+	pool poolState
+
 	stats Stats
 }
 
@@ -61,13 +66,16 @@ func NewWithClock(c *Clock) *Tree {
 	}
 	t := &Tree{clock: c}
 	dummyInfo := &info{retired: true} // reference-free; the pruner must never re-sweep it
+	dummyInfo.flagD = descriptor{typ: flag, info: dummyInfo}
+	dummyInfo.markD = descriptor{typ: mark, info: dummyInfo}
 	dummyInfo.state.Store(stateAbort)
-	t.dummy = &descriptor{typ: flag, info: dummyInfo}
+	t.dummy = &dummyInfo.flagD
+	t.pool.pooling.Store(true)
 
-	root := &node{key: inf2, seq: 0}
+	root := &node{key: inf2}
 	root.update.Store(t.dummy)
-	root.left.Store(newLeaf(inf1, 0, t.dummy))
-	root.right.Store(newLeaf(inf2, 0, t.dummy))
+	root.left.Store(t.newLeaf(inf1, 0))
+	root.right.Store(t.newLeaf(inf2, 0))
 	t.root = root
 	return t
 }
@@ -97,7 +105,10 @@ func checkKey(k int64) {
 // horizon never passes their phase, and for unregistered traversals
 // (Find, Insert, Delete) seq was read from the counter, so a cut chain
 // means the counter has moved on and the operation retries with a fresh
-// phase (see prune.go for the horizon argument).
+// phase (see prune.go for the horizon argument). A poisoned (recycled)
+// node deflects stale traversals the same way: its sequence number is the
+// poison sentinel, larger than every real phase, so the chase treats it
+// as too-new and falls through to its prev, which poisoning set to nil.
 func readChild(p *node, left bool, seq uint64) *node {
 	var l *node
 	if left {
@@ -105,7 +116,7 @@ func readChild(p *node, left bool, seq uint64) *node {
 	} else {
 		l = p.right.Load()
 	}
-	for l != nil && l.seq > seq {
+	for l != nil && l.seqNum() > seq {
 		l = l.prev.Load()
 	}
 	return l
@@ -113,11 +124,15 @@ func readChild(p *node, left bool, seq uint64) *node {
 
 // mustReadChild is readChild for registered readers, whose phase the
 // pruner can never overtake; a cut chain here means the registration was
-// released while the traversal was still running.
+// released while the traversal was still running, and a poisoned node
+// means the recycler violated the horizon — both fail loudly.
 func mustReadChild(p *node, left bool, seq uint64) *node {
 	l := readChild(p, left, seq)
 	if l == nil {
 		panic("core: version chain pruned below an active traversal's phase (Snapshot used after Release?)")
+	}
+	if l.seqLeaf&^leafBit == poisonSeq {
+		panic("core: registered reader reached a recycled node (pool horizon violation)")
 	}
 	return l
 }
@@ -129,7 +144,7 @@ func mustReadChild(p *node, left bool, seq uint64) *node {
 // with a fresh phase.
 func (t *Tree) search(k int64, seq uint64) (gp, p, l *node) {
 	l = t.root
-	for l != nil && !l.leaf {
+	for l != nil && !l.isLeaf() {
 		gp = p
 		p = l
 		l = readChild(p, k < p.key, seq)
@@ -180,6 +195,8 @@ func (t *Tree) validateLeaf(gp, p, l *node, k int64) (bool, *descriptor, *descri
 // has frozen the parent or grandparent of the leaf it arrives at.
 func (t *Tree) Find(k int64) bool {
 	checkKey(k)
+	s := t.pool.pins.enter(k)
+	defer t.pool.pins.exit(s)
 	for {
 		seq := t.clock.Now()
 		gp, p, l := t.search(k, seq)
@@ -229,6 +246,8 @@ func (t *Tree) Insert(k int64) bool {
 // and TryInsert reports ok=true for it.
 func (t *Tree) TryInsert(k int64) (res, ok bool) {
 	checkKey(k)
+	s := t.pool.pins.enter(k)
+	defer t.pool.pins.exit(s)
 	for {
 		seq := t.clock.Now()
 		if t.sealed.Load() {
@@ -250,9 +269,9 @@ func (t *Tree) TryInsert(k int64) (res, ok bool) {
 		// Build the replacement subtree: an internal node whose two
 		// children are a fresh leaf for k and a fresh copy of l
 		// (lines 161-163). The internal node's prev points at l.
-		nl := newLeaf(k, seq, t.dummy)
-		sib := newLeaf(l.key, seq, t.dummy)
-		ni := newNode(maxKey(k, l.key), seq, l, false, t.dummy)
+		nl := t.newLeaf(k, seq)
+		sib := t.newLeaf(l.key, seq)
+		ni := t.newNode(maxKey(k, l.key), seq, l, false)
 		if k < l.key {
 			ni.left.Store(nl)
 			ni.right.Store(sib)
@@ -261,9 +280,9 @@ func (t *Tree) TryInsert(k int64) (res, ok bool) {
 			ni.right.Store(nl)
 		}
 		ok := t.execute(
-			[]*node{p, l},
-			[]*descriptor{pupdate, l.update.Load()},
-			1<<1, // mark = {l}
+			[maxFreeze]*node{p, l},
+			[maxFreeze]*descriptor{pupdate, l.update.Load()},
+			2, 1<<1, // mark = {l}
 			p, l, ni, seq, true)
 		if ok {
 			return true, true
@@ -290,6 +309,8 @@ func (t *Tree) Delete(k int64) bool {
 // effect; ok=true results are part of the migration snapshot.
 func (t *Tree) TryDelete(k int64) (res, ok bool) {
 	checkKey(k)
+	s := t.pool.pins.enter(k)
+	defer t.pool.pins.exit(s)
 	for {
 		seq := t.clock.Now()
 		if t.sealed.Load() {
@@ -323,9 +344,9 @@ func (t *Tree) TryDelete(k int64) (res, ok bool) {
 		}
 		// Copy the sibling with the current phase; prev points at p, the
 		// node the copy replaces under gp (line 185).
-		cp := newNode(sibling.key, seq, p, sibling.leaf, t.dummy)
+		cp := t.newNode(sibling.key, seq, p, sibling.isLeaf())
 		var supdate *descriptor
-		if !sibling.leaf {
+		if !sibling.isLeaf() {
 			cp.left.Store(sibling.left.Load())
 			cp.right.Store(sibling.right.Load())
 			// Re-validate that the copied children are still current and
@@ -339,9 +360,9 @@ func (t *Tree) TryDelete(k int64) (res, ok bool) {
 		}
 		if validated {
 			ok := t.execute(
-				[]*node{gp, p, l, sibling},
-				[]*descriptor{gpupdate, pupdate, l.update.Load(), supdate},
-				1<<1|1<<2|1<<3, // mark = {p, l, sibling}
+				[maxFreeze]*node{gp, p, l, sibling},
+				[maxFreeze]*descriptor{gpupdate, pupdate, l.update.Load(), supdate},
+				4, 1<<1|1<<2|1<<3, // mark = {p, l, sibling}
 				gp, p, cp, seq, false)
 			if ok {
 				return true, true
@@ -354,9 +375,9 @@ func (t *Tree) TryDelete(k int64) (res, ok bool) {
 // execute implements Execute (lines 92-106): bail out (helping in-progress
 // attempts) if any node to be frozen already is, otherwise publish a fresh
 // Info object by flagging nodes[0] and run help to completion.
-func (t *Tree) execute(nodes []*node, oldUpdate []*descriptor, markMask uint32,
-	par, oldChild, newChild *node, seq uint64, ins bool) bool {
-	for i := range oldUpdate {
+func (t *Tree) execute(nodes [maxFreeze]*node, oldUpdate [maxFreeze]*descriptor,
+	nn uint8, markMask uint8, par, oldChild, newChild *node, seq uint64, ins bool) bool {
+	for i := 0; i < int(nn); i++ {
 		if frozen(oldUpdate[i]) {
 			if inProgress(oldUpdate[i].info) {
 				t.stats.helps.Add(1)
@@ -365,19 +386,22 @@ func (t *Tree) execute(nodes []*node, oldUpdate []*descriptor, markMask uint32,
 			return false
 		}
 	}
-	in := &info{
-		nodes:     nodes,
-		oldUpdate: oldUpdate,
-		markMask:  markMask,
-		par:       par,
-		oldChild:  oldChild,
-		newChild:  newChild,
-		seq:       seq,
-		ins:       ins,
-	}
-	if nodes[0].update.CompareAndSwap(oldUpdate[0], &descriptor{typ: flag, info: in}) { // freeze (flag) CAS
+	in := t.newInfo()
+	in.nodes = nodes
+	in.oldUpdate = oldUpdate
+	in.nn = nn
+	in.markMask = markMask
+	in.par = par
+	in.oldChild = oldChild
+	in.newChild = newChild
+	in.seq = seq
+	in.ins = ins
+	if nodes[0].update.CompareAndSwap(oldUpdate[0], &in.flagD) { // freeze (flag) CAS
 		return t.help(in)
 	}
+	// The attempt was never published: no other goroutine can have seen
+	// in, so its memory can be reused immediately.
+	t.recycleUnpublished(in)
 	return false
 }
 
@@ -396,12 +420,12 @@ func (t *Tree) help(in *info) bool {
 		in.state.CompareAndSwap(stateUndecided, stateTry) // try CAS
 	}
 	cont := in.state.Load() == stateTry
-	for i := 1; cont && i < len(in.nodes); i++ {
-		typ := flag
+	for i := 1; cont && i < int(in.nn); i++ {
+		d := &in.flagD
 		if in.markMask&(1<<uint(i)) != 0 {
-			typ = mark
+			d = &in.markD
 		}
-		in.nodes[i].update.CompareAndSwap(in.oldUpdate[i], &descriptor{typ: typ, info: in}) // freeze CAS
+		in.nodes[i].update.CompareAndSwap(in.oldUpdate[i], d) // freeze CAS
 		cont = in.nodes[i].update.Load().info == in
 	}
 	if cont {

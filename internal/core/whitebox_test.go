@@ -39,17 +39,17 @@ func TestHandshakeAbortPath(t *testing.T) {
 	gp, p, l := tr.search(5, tr.phase())
 	_ = gp
 	pup := p.update.Load()
-	in := &info{
-		nodes:     []*node{p, l},
-		oldUpdate: []*descriptor{pup, l.update.Load()},
-		markMask:  1 << 1,
-		par:       p,
-		oldChild:  l,
-		newChild:  newLeaf(6, tr.phase(), tr.dummy),
-		seq:       tr.phase() + 99, // wrong phase: handshake must fail
-	}
+	in := tr.newInfo()
+	in.nodes = [maxFreeze]*node{p, l}
+	in.oldUpdate = [maxFreeze]*descriptor{pup, l.update.Load()}
+	in.nn = 2
+	in.markMask = 1 << 1
+	in.par = p
+	in.oldChild = l
+	in.newChild = tr.newLeaf(6, tr.phase())
+	in.seq = tr.phase() + 99 // wrong phase: handshake must fail
 	// Simulate the flag CAS of Execute.
-	if !p.update.CompareAndSwap(pup, &descriptor{typ: flag, info: in}) {
+	if !p.update.CompareAndSwap(pup, &in.flagD) {
 		t.Fatal("setup flag CAS failed")
 	}
 	if tr.help(in) {
@@ -83,9 +83,9 @@ func TestHelpIsIdempotent(t *testing.T) {
 	if !validated {
 		t.Fatal("validation failed on quiescent tree")
 	}
-	nl := newLeaf(20, tr.phase(), tr.dummy)
-	sib := newLeaf(l.key, tr.phase(), tr.dummy)
-	ni := newNode(maxKey(int64(20), l.key), tr.phase(), l, false, tr.dummy)
+	nl := tr.newLeaf(20, tr.phase())
+	sib := tr.newLeaf(l.key, tr.phase())
+	ni := tr.newNode(maxKey(int64(20), l.key), tr.phase(), l, false)
 	if 20 < l.key {
 		ni.left.Store(nl)
 		ni.right.Store(sib)
@@ -93,16 +93,16 @@ func TestHelpIsIdempotent(t *testing.T) {
 		ni.left.Store(sib)
 		ni.right.Store(nl)
 	}
-	in := &info{
-		nodes:     []*node{p, l},
-		oldUpdate: []*descriptor{pupdate, l.update.Load()},
-		markMask:  1 << 1,
-		par:       p,
-		oldChild:  l,
-		newChild:  ni,
-		seq:       tr.phase(),
-	}
-	if !p.update.CompareAndSwap(pupdate, &descriptor{typ: flag, info: in}) {
+	in := tr.newInfo()
+	in.nodes = [maxFreeze]*node{p, l}
+	in.oldUpdate = [maxFreeze]*descriptor{pupdate, l.update.Load()}
+	in.nn = 2
+	in.markMask = 1 << 1
+	in.par = p
+	in.oldChild = l
+	in.newChild = ni
+	in.seq = tr.phase()
+	if !p.update.CompareAndSwap(pupdate, &in.flagD) {
 		t.Fatal("flag CAS failed")
 	}
 	for i := 0; i < 5; i++ {
@@ -132,9 +132,9 @@ func TestExecuteRefusesFrozenOldUpdate(t *testing.T) {
 	// non-help branch.)
 	inProg.state.Store(stateCommit)
 	ok := tr.execute(
-		[]*node{tr.root},
-		[]*descriptor{frozenDesc},
-		0, tr.root, tr.root.left.Load(), newLeaf(2, 0, tr.dummy), tr.phase(), true)
+		[maxFreeze]*node{tr.root},
+		[maxFreeze]*descriptor{frozenDesc},
+		1, 0, tr.root, tr.root.left.Load(), tr.newLeaf(2, 0), tr.phase(), true)
 	if ok {
 		t.Fatal("execute succeeded with frozen oldUpdate")
 	}
@@ -155,14 +155,14 @@ func TestReadChildVersioning(t *testing.T) {
 	if cur == old {
 		t.Fatal("versioned read did not diverge after later-phase updates")
 	}
-	if !cur.leaf && cur.prev.Load() != old {
+	if !cur.isLeaf() && cur.prev.Load() != old {
 		t.Fatal("new child's prev does not point at the replaced node")
 	}
-	if !old.leaf || old.key != 50 {
-		t.Fatalf("version-%d child is %v(key=%d), want leaf 50", seq0, old.leaf, old.key)
+	if !old.isLeaf() || old.key != 50 {
+		t.Fatalf("version-%d child is %v(key=%d), want leaf 50", seq0, old.isLeaf(), old.key)
 	}
-	if old.seq > seq0 {
-		t.Fatalf("version-%d child has seq %d", seq0, old.seq)
+	if old.seqNum() > seq0 {
+		t.Fatalf("version-%d child has seq %d", seq0, old.seqNum())
 	}
 	// And the old version still contains exactly {50}.
 	if got := tr.VersionKeys(seq0); len(got) != 1 || got[0] != 50 {
@@ -174,25 +174,25 @@ func TestReadChildVersioning(t *testing.T) {
 // comparing the new child's key with the parent's.
 func TestCASChildDirection(t *testing.T) {
 	tr := New()
-	p := &node{key: 100, seq: 0}
+	p := &node{key: 100}
 	p.update.Store(tr.dummy)
-	oldL := newLeaf(50, 0, tr.dummy)
-	oldR := newLeaf(150, 0, tr.dummy)
+	oldL := tr.newLeaf(50, 0)
+	oldR := tr.newLeaf(150, 0)
 	p.left.Store(oldL)
 	p.right.Store(oldR)
 
-	newL := newNode(60, 1, oldL, true, tr.dummy)
+	newL := tr.newNode(60, 1, oldL, true)
 	casChild(p, oldL, newL)
 	if p.left.Load() != newL || p.right.Load() != oldR {
 		t.Fatal("left-side casChild went wrong")
 	}
-	newR := newNode(140, 1, oldR, true, tr.dummy)
+	newR := tr.newNode(140, 1, oldR, true)
 	casChild(p, oldR, newR)
 	if p.right.Load() != newR {
 		t.Fatal("right-side casChild went wrong")
 	}
 	// Failed CAS: old value no longer current.
-	stale := newNode(10, 2, oldL, true, tr.dummy)
+	stale := tr.newNode(10, 2, oldL, true)
 	casChild(p, oldL, stale)
 	if p.left.Load() != newL {
 		t.Fatal("stale casChild overwrote current child")
@@ -226,7 +226,7 @@ func TestSearchArrivesAtCorrectLeaf(t *testing.T) {
 	}
 	for _, k := range []int64{5, 10, 15, 20, 25, 40, 55, 70, 99} {
 		_, _, l := tr.search(k, tr.phase())
-		if !l.leaf {
+		if !l.isLeaf() {
 			t.Fatalf("search(%d) did not reach a leaf", k)
 		}
 		if (l.key == k) != tr.Find(k) {
@@ -264,15 +264,15 @@ func TestSequenceNumbersNeverExceedCounter(t *testing.T) {
 	var walk func(n *node)
 	var bad int
 	walk = func(n *node) {
-		if n.seq > ctr {
+		if n.seqNum() > ctr {
 			bad++
 		}
 		for q := n.prev.Load(); q != nil; q = q.prev.Load() {
-			if q.seq > ctr {
+			if q.seqNum() > ctr {
 				bad++
 			}
 		}
-		if !n.leaf {
+		if !n.isLeaf() {
 			walk(n.left.Load())
 			walk(n.right.Load())
 		}

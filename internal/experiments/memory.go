@@ -11,17 +11,21 @@ import (
 )
 
 // E12Memory — memory under churn (Table E12): does version persistence
-// cost bounded or unbounded memory? One long-lived instance per
-// configuration endures a sustained 50/50 insert/delete churn split into
-// measurement windows; after every window the heap is sampled post-GC
-// (harness.MeasureMem). The PNB-BST retains every superseded version
-// through prev chains, so with pruning off its heap objects grow
-// monotonically with the update count; with pruning on (Compact after
-// each window) they stay flat at O(live set), matching the versionless
-// nbbst/lockbst baselines up to a constant. A second table reports the
-// version-graph size for the PNB configurations — O(set size) pruned vs
-// Θ(total updates) unpruned — the direct measure of what Compact
-// reclaims.
+// cost bounded or unbounded memory, and what does reclamation cost in
+// allocator traffic? One long-lived instance per configuration endures a
+// sustained 50/50 insert/delete churn split into measurement windows;
+// after every window the heap is sampled post-GC (harness.MeasureMem).
+// The PNB-BST retains every superseded version through prev chains, so
+// with pruning off its heap objects grow monotonically with the update
+// count; with pruning on (Compact after each window) they stay flat at
+// O(live set), matching the versionless nbbst/lockbst baselines up to a
+// constant. A second table reports allocations per update and a third
+// the GC pause per window — the axis the post-horizon recycling pools
+// (DESIGN.md §10) target: pnbbst+compact (pooling on, the default)
+// versus the pnbbst-nopool ablation isolates what recycling saves. A
+// final table reports the version-graph size for the PNB configurations
+// — O(set size) pruned vs Θ(total updates) unpruned — the direct
+// measure of what Compact reclaims.
 func E12Memory(o Options) {
 	keys := o.scale(1 << 15)
 	windows := 6
@@ -39,6 +43,7 @@ func E12Memory(o Options) {
 		compact bool
 	}{
 		{"pnbbst+compact", harness.TargetPNBBST, true},
+		{"pnbbst+compact-nopool", harness.TargetPNBBSTNoPool, true},
 		{"pnbbst", harness.TargetPNBBST, false},
 		{harness.TargetNBBST, harness.TargetNBBST, false},
 		{harness.TargetLockBST, harness.TargetLockBST, false},
@@ -47,7 +52,10 @@ func E12Memory(o Options) {
 	type windowRow struct {
 		heapObjects uint64
 		liveNodes   int
-		updates     uint64
+		updates     uint64  // cumulative updates at the end of the window
+		allocsPerOp float64 // heap allocations per update, this window
+		gcPauseUs   uint64  // stop-the-world pause in the window, microseconds
+		numGC       uint32  // collections in the window (one is MeasureMem's own)
 	}
 	samples := make([][]windowRow, len(configs))
 
@@ -55,34 +63,77 @@ func E12Memory(o Options) {
 		inst := harness.NewInstanceRange(cfg.target, 0, keys-1)
 		prefill(inst, keys, o.Seed)
 		samples[ci] = make([]windowRow, windows)
+		base := harness.MeasureMem(inst) // allocation baseline after prefill
 		var updates uint64
 		for w := 0; w < windows; w++ {
-			updates += churn(inst, keys, threads, o.Duration, o.Seed+uint64(w)*997)
+			done := churn(inst, keys, threads, o.Duration, o.Seed+uint64(w)*997)
+			updates += done
 			if cfg.compact {
 				harness.Compact(inst)
 			}
 			m := harness.MeasureMem(inst)
-			samples[ci][w] = windowRow{heapObjects: m.HeapObjects, liveNodes: m.LiveVersionNodes, updates: updates}
+			row := windowRow{
+				heapObjects: m.HeapObjects,
+				liveNodes:   m.LiveVersionNodes,
+				updates:     updates,
+				gcPauseUs:   (m.GCPauseTotalNs - base.GCPauseTotalNs) / 1000,
+				numGC:       m.NumGC - base.NumGC,
+			}
+			if done > 0 {
+				row.allocsPerOp = float64(m.Mallocs-base.Mallocs) / float64(done)
+			}
+			samples[ci][w] = row
+			base = m
 		}
+	}
+
+	names := make([]string, len(configs))
+	for i, c := range configs {
+		names[i] = c.name
 	}
 
 	heap := harness.NewTable(
 		fmt.Sprintf("E12: heap objects after each churn window (post-GC), %d keys, %d threads, %v/window",
 			keys, threads, o.Duration),
-		"window", "updates(pnbbst+compact)",
-		configs[0].name, configs[1].name, configs[2].name, configs[3].name)
+		append([]string{"window", "updates(pnbbst+compact)"}, names...)...)
 	for w := 0; w < windows; w++ {
-		heap.AddRow(w+1, samples[0][w].updates,
-			samples[0][w].heapObjects, samples[1][w].heapObjects,
-			samples[2][w].heapObjects, samples[3][w].heapObjects)
+		row := []any{w + 1, samples[0][w].updates}
+		for ci := range configs {
+			row = append(row, samples[ci][w].heapObjects)
+		}
+		heap.AddRow(row...)
 	}
 	o.emit(heap)
 
+	allocs := harness.NewTable(
+		"E12: heap allocations per update by window — post-horizon recycling (pooling, on by default) vs the nopool ablation",
+		append([]string{"window"}, names...)...)
+	for w := 0; w < windows; w++ {
+		row := []any{w + 1}
+		for ci := range configs {
+			row = append(row, fmt.Sprintf("%.2f", samples[ci][w].allocsPerOp))
+		}
+		allocs.AddRow(row...)
+	}
+	o.emit(allocs)
+
+	pause := harness.NewTable(
+		"E12: GC stop-the-world pause per window (µs, with cycle count) — less allocator traffic means fewer, cheaper collections",
+		append([]string{"window"}, names...)...)
+	for w := 0; w < windows; w++ {
+		row := []any{w + 1}
+		for ci := range configs {
+			row = append(row, fmt.Sprintf("%d (%d gc)", samples[ci][w].gcPauseUs, samples[ci][w].numGC))
+		}
+		pause.AddRow(row...)
+	}
+	o.emit(pause)
+
 	versions := harness.NewTable(
 		"E12: PNB-BST version-graph size by window — pruned stays O(live set), unpruned grows with updates",
-		"window", configs[0].name, configs[1].name)
+		"window", configs[0].name, configs[1].name, configs[2].name)
 	for w := 0; w < windows; w++ {
-		versions.AddRow(w+1, samples[0][w].liveNodes, samples[1][w].liveNodes)
+		versions.AddRow(w+1, samples[0][w].liveNodes, samples[1][w].liveNodes, samples[2][w].liveNodes)
 	}
 	o.emit(versions)
 }

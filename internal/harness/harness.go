@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,14 @@ type Result struct {
 	UpdateLat  *stats.Histogram
 	ScanLat    *stats.Histogram
 	Inst       Instance // the instance that was driven (for post-run inspection)
+
+	// Allocation accounting over the measurement window (runtime.MemStats
+	// deltas across the whole process, so harness overhead — RNGs, latency
+	// samples — is included; comparisons between targets driven by the
+	// same harness remain apples-to-apples).
+	AllocsPerOp float64 // heap allocations per completed operation
+	NumGC       uint32  // GC cycles completed during the window
+	GCPauseNs   uint64  // total stop-the-world pause during the window
 }
 
 // TotalOps returns the number of completed operations.
@@ -159,12 +168,16 @@ func Run(cfg Config) *Result {
 		}(w)
 	}
 
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	t0 := time.Now()
 	close(start)
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	// Stop background machinery the instance runs (the sharded-auto
 	// rebalancer); the instance stays readable for post-run inspection.
 	if c, ok := inst.(io.Closer); ok {
@@ -187,6 +200,11 @@ func Run(cfg Config) *Result {
 		res.ScanLat.Merge(outs[w].scanLat)
 	}
 	res.Throughput = float64(res.TotalOps()) / elapsed.Seconds()
+	if ops := res.TotalOps(); ops > 0 {
+		res.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(ops)
+	}
+	res.NumGC = msAfter.NumGC - msBefore.NumGC
+	res.GCPauseNs = msAfter.PauseTotalNs - msBefore.PauseTotalNs
 	return res
 }
 

@@ -7,20 +7,41 @@ import "runtime"
 // for targets with version persistence — the size of the live version
 // graph. The E12 memory experiment records one sample per churn window;
 // cmd/stress reports samples alongside its op counters.
+//
+// Mallocs, NumGC and GCPauseTotalNs are cumulative process counters, not
+// point-in-time figures: subtract two samples to get the allocations,
+// collections and stop-the-world pause attributable to the interval
+// between them (E12 divides the Mallocs delta by the window's update
+// count to report allocs/op).
 type MemSample struct {
 	HeapAlloc        uint64 // bytes of allocated heap objects (post-GC)
 	HeapObjects      uint64 // number of allocated heap objects (post-GC)
+	Mallocs          uint64 // cumulative heap allocations since process start
+	NumGC            uint32 // cumulative completed GC cycles
+	GCPauseTotalNs   uint64 // cumulative stop-the-world pause, nanoseconds
 	LiveVersionNodes int    // version-graph size, or -1 for versionless targets
 }
 
 // MeasureMem forces a garbage collection (so retained versions, not
 // floating garbage, dominate the numbers) and samples the heap and the
 // instance's version graph. Call at quiescence for exact version counts.
+//
+// The forced collection inflates NumGC by one and adds its (tiny) pause
+// to GCPauseTotalNs; deltas between MeasureMem samples therefore carry a
+// constant +1 NumGC per window, which cancels out when comparing
+// configurations sampled the same way.
 func MeasureMem(i Instance) MemSample {
 	runtime.GC()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	s := MemSample{HeapAlloc: ms.HeapAlloc, HeapObjects: ms.HeapObjects, LiveVersionNodes: -1}
+	s := MemSample{
+		HeapAlloc:        ms.HeapAlloc,
+		HeapObjects:      ms.HeapObjects,
+		Mallocs:          ms.Mallocs,
+		NumGC:            ms.NumGC,
+		GCPauseTotalNs:   ms.PauseTotalNs,
+		LiveVersionNodes: -1,
+	}
 	if n, ok := VersionGraphSize(i); ok {
 		s.LiveVersionNodes = n
 	}

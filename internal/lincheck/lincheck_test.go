@@ -114,6 +114,79 @@ func TestBadTimestamps(t *testing.T) {
 // the PNB-BST and verifies it linearizable — an end-to-end check of both
 // the tree and the checker. Keys are drawn from a window that slides per
 // round so per-key histories stay under the checker's op limit.
+// TestRealHistoryPoolingUnderCompact is the recycling round of the
+// linearizability wall: pooling forced on and a compactor spinning so
+// that nodes and infos are cut, drained and reused underneath the
+// recorded operations. Any ABA admitted by a recycled descriptor or node
+// would surface as a non-linearizable history.
+func TestRealHistoryPoolingUnderCompact(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	for round := 0; round < 8; round++ {
+		tr := core.New()
+		tr.SetPooling(true)
+		stop := make(chan struct{})
+		var compWG sync.WaitGroup
+		compWG.Add(1)
+		go func() {
+			defer compWG.Done()
+			for { // always completes at least one pass, even on a short round
+				tr.Compact()
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+		base := int64(round * 1000)
+		var mu sync.Mutex
+		var history []Event
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*striding + w)))
+				local := make([]Event, 0, 64)
+				for i := 0; i < 7; i++ { // keep per-key histories small
+					k := base + int64(rng.Intn(4))
+					kind := OpKind(rng.Intn(3))
+					inv := time.Now().UnixNano()
+					var ret bool
+					switch kind {
+					case Insert:
+						ret = tr.Insert(k)
+					case Delete:
+						ret = tr.Delete(k)
+					case Find:
+						ret = tr.Find(k)
+					}
+					res := time.Now().UnixNano()
+					local = append(local, Event{Kind: kind, Key: k, Ret: ret, Inv: inv, Res: res})
+				}
+				mu.Lock()
+				history = append(history, local...)
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		close(stop)
+		compWG.Wait()
+		if err := Check(history); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if st := tr.Stats(); st.Compactions == 0 {
+			t.Fatalf("round %d: compactor never ran", round)
+		}
+	}
+}
+
+// striding decorrelates the pooling rounds' seeds from the plain rounds'.
+const striding = 7919
+
 func TestRealHistoryFromCoreTree(t *testing.T) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 8 {

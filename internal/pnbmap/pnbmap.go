@@ -25,6 +25,15 @@
 // The implementation is a faithful re-instantiation of internal/core with
 // a value payload and the extra operation, kept separate so the set
 // remains line-by-line comparable with the paper's pseudocode.
+//
+// Allocation scope: the map shares core's flat object layout (packed
+// seq/leaf word, embedded pre-typed freeze descriptors, inline freeze
+// arrays) but NOT its post-horizon node/info recycling. Pooling requires
+// pinning every traversal and poisoning recycled nodes; leaves here carry
+// a value payload of arbitrary type V, so a pooled leaf would also retain
+// (or must eagerly clear) user values, and the serving hot path this repo
+// optimizes for runs on the set (internal/shard → bst), not the map. The
+// map's cut versions therefore go to Go's GC, as before PR 7.
 package pnbmap
 
 import (
@@ -65,23 +74,42 @@ type descriptor[V any] struct {
 	info *info[V]
 }
 
+// maxFreeze bounds the nodes one attempt touches (Delete freezes four).
+const maxFreeze = 4
+
 type info[V any] struct {
 	state     atomic.Int32
-	nodes     []*node[V]
-	oldUpdate []*descriptor[V]
-	markMask  uint32
+	nn        uint8
+	markMask  uint8
+	retired   bool // reference-free replacement installed by the pruner
+	nodes     [maxFreeze]*node[V]
+	oldUpdate [maxFreeze]*descriptor[V]
 	par       *node[V]
 	oldChild  *node[V]
 	newChild  *node[V]
 	seq       uint64
-	retired   bool // reference-free replacement installed by the pruner
+
+	// Pre-typed freeze descriptors pointing back at this info, so a
+	// freeze CAS installs &in.flagD / &in.markD with no extra allocation
+	// (mirrors internal/core; see types.go there for the ABA note).
+	flagD, markD descriptor[V]
 }
 
+// newInfo allocates an info with its embedded descriptors wired up.
+func newInfo[V any]() *info[V] {
+	in := new(info[V])
+	in.flagD = descriptor[V]{typ: flag, info: in}
+	in.markD = descriptor[V]{typ: mark, info: in}
+	return in
+}
+
+// leafBit is packed into the top bit of node.seqLeaf, as in internal/core.
+const leafBit = uint64(1) << 63
+
 type node[V any] struct {
-	key  int64
-	val  V // meaningful for leaves only
-	seq  uint64
-	leaf bool
+	key     int64
+	val     V      // meaningful for leaves only
+	seqLeaf uint64 // bit 63 = leaf flag, low 63 bits = creation phase
 
 	// prev is written at creation and may later be cut to nil — once,
 	// monotonically — by the pruner (see internal/core/prune.go for the
@@ -89,6 +117,16 @@ type node[V any] struct {
 	prev        atomic.Pointer[node[V]]
 	update      atomic.Pointer[descriptor[V]]
 	left, right atomic.Pointer[node[V]]
+}
+
+func (n *node[V]) seqNum() uint64 { return n.seqLeaf &^ leafBit }
+func (n *node[V]) isLeaf() bool   { return n.seqLeaf&leafBit != 0 }
+
+func packSeqLeaf(seq uint64, leaf bool) uint64 {
+	if leaf {
+		return seq | leafBit
+	}
+	return seq
 }
 
 // Map is a persistent non-blocking BST map from int64 keys to values of
@@ -132,9 +170,10 @@ func NewWithClock[V any](c *core.Clock) *Map[V] {
 		c = core.NewClock()
 	}
 	m := &Map[V]{clock: c}
-	dummyInfo := &info[V]{retired: true}
+	dummyInfo := newInfo[V]()
+	dummyInfo.retired = true
 	dummyInfo.state.Store(stateAbort)
-	m.dummy = &descriptor[V]{typ: flag, info: dummyInfo}
+	m.dummy = &dummyInfo.flagD
 	root := &node[V]{key: inf2}
 	root.update.Store(m.dummy)
 	root.left.Store(m.newLeaf(inf1, *new(V), 0, nil))
@@ -146,7 +185,7 @@ func NewWithClock[V any](c *core.Clock) *Map[V] {
 // newNode allocates a node with prev and the dummy update initialized
 // (mirrors core's newNode; keep node initialization in one place).
 func (m *Map[V]) newNode(key int64, val V, seq uint64, prev *node[V], leaf bool) *node[V] {
-	n := &node[V]{key: key, val: val, seq: seq, leaf: leaf}
+	n := &node[V]{key: key, val: val, seqLeaf: packSeqLeaf(seq, leaf)}
 	n.prev.Store(prev)
 	n.update.Store(m.dummy)
 	return n
@@ -173,7 +212,7 @@ func readChild[V any](p *node[V], left bool, seq uint64) *node[V] {
 	} else {
 		l = p.right.Load()
 	}
-	for l != nil && l.seq > seq {
+	for l != nil && l.seqNum() > seq {
 		l = l.prev.Load()
 	}
 	return l
@@ -189,7 +228,7 @@ func mustReadChild[V any](p *node[V], left bool, seq uint64) *node[V] {
 
 func (m *Map[V]) search(k int64, seq uint64) (gp, p, l *node[V]) {
 	l = m.root
-	for l != nil && !l.leaf {
+	for l != nil && !l.isLeaf() {
 		gp = p
 		p = l
 		l = readChild(p, k < p.key, seq)
@@ -275,9 +314,9 @@ func casChild[V any](parent, old, new *node[V]) {
 	}
 }
 
-func (m *Map[V]) execute(nodes []*node[V], oldUpdate []*descriptor[V], markMask uint32,
-	par, oldChild, newChild *node[V], seq uint64) bool {
-	for i := range oldUpdate {
+func (m *Map[V]) execute(nodes [maxFreeze]*node[V], oldUpdate [maxFreeze]*descriptor[V],
+	nn uint8, markMask uint8, par, oldChild, newChild *node[V], seq uint64) bool {
+	for i := 0; i < int(nn); i++ {
 		if frozen(oldUpdate[i]) {
 			if inProgress(oldUpdate[i].info) {
 				m.help(oldUpdate[i].info)
@@ -285,16 +324,16 @@ func (m *Map[V]) execute(nodes []*node[V], oldUpdate []*descriptor[V], markMask 
 			return false
 		}
 	}
-	in := &info[V]{
-		nodes:     nodes,
-		oldUpdate: oldUpdate,
-		markMask:  markMask,
-		par:       par,
-		oldChild:  oldChild,
-		newChild:  newChild,
-		seq:       seq,
-	}
-	if nodes[0].update.CompareAndSwap(oldUpdate[0], &descriptor[V]{typ: flag, info: in}) {
+	in := newInfo[V]()
+	in.nodes = nodes
+	in.oldUpdate = oldUpdate
+	in.nn = nn
+	in.markMask = markMask
+	in.par = par
+	in.oldChild = oldChild
+	in.newChild = newChild
+	in.seq = seq
+	if nodes[0].update.CompareAndSwap(oldUpdate[0], &in.flagD) {
 		return m.help(in)
 	}
 	return false
@@ -307,12 +346,12 @@ func (m *Map[V]) help(in *info[V]) bool {
 		in.state.CompareAndSwap(stateUndecided, stateTry)
 	}
 	cont := in.state.Load() == stateTry
-	for i := 1; cont && i < len(in.nodes); i++ {
-		typ := flag
+	for i := 1; cont && i < int(in.nn); i++ {
+		d := &in.flagD
 		if in.markMask&(1<<uint(i)) != 0 {
-			typ = mark
+			d = &in.markD
 		}
-		in.nodes[i].update.CompareAndSwap(in.oldUpdate[i], &descriptor[V]{typ: typ, info: in})
+		in.nodes[i].update.CompareAndSwap(in.oldUpdate[i], d)
 		cont = in.nodes[i].update.Load().info == in
 	}
 	if cont {
@@ -345,9 +384,9 @@ func (m *Map[V]) Put(k int64, v V) (replaced bool) {
 			// Replace: swap the leaf for a new one with the same key.
 			nl := m.newLeaf(k, v, seq, l)
 			if m.execute(
-				[]*node[V]{p, l},
-				[]*descriptor[V]{pupdate, l.update.Load()},
-				1<<1, p, l, nl, seq) {
+				[maxFreeze]*node[V]{p, l},
+				[maxFreeze]*descriptor[V]{pupdate, l.update.Load()},
+				2, 1<<1, p, l, nl, seq) {
 				return true
 			}
 			continue
@@ -364,9 +403,9 @@ func (m *Map[V]) Put(k int64, v V) (replaced bool) {
 			ni.right.Store(nl)
 		}
 		if m.execute(
-			[]*node[V]{p, l},
-			[]*descriptor[V]{pupdate, l.update.Load()},
-			1<<1, p, l, ni, seq) {
+			[maxFreeze]*node[V]{p, l},
+			[maxFreeze]*descriptor[V]{pupdate, l.update.Load()},
+			2, 1<<1, p, l, ni, seq) {
 			return false
 		}
 	}
@@ -399,9 +438,9 @@ func (m *Map[V]) Delete(k int64) bool {
 		if !validated {
 			continue
 		}
-		cp := m.newNode(sibling.key, sibling.val, seq, p, sibling.leaf)
+		cp := m.newNode(sibling.key, sibling.val, seq, p, sibling.isLeaf())
 		var supdate *descriptor[V]
-		if !sibling.leaf {
+		if !sibling.isLeaf() {
 			cp.left.Store(sibling.left.Load())
 			cp.right.Store(sibling.right.Load())
 			validated, supdate = m.validateLink(sibling, cp.left.Load(), true)
@@ -412,9 +451,9 @@ func (m *Map[V]) Delete(k int64) bool {
 			supdate = sibling.update.Load()
 		}
 		if validated && m.execute(
-			[]*node[V]{gp, p, l, sibling},
-			[]*descriptor[V]{gpupdate, pupdate, l.update.Load(), supdate},
-			1<<1|1<<2|1<<3, gp, p, cp, seq) {
+			[maxFreeze]*node[V]{gp, p, l, sibling},
+			[maxFreeze]*descriptor[V]{gpupdate, pupdate, l.update.Load(), supdate},
+			4, 1<<1|1<<2|1<<3, gp, p, cp, seq) {
 			return true
 		}
 	}

@@ -14,6 +14,12 @@ type CompactStats struct {
 	LiveNodes    int    // nodes still reachable by some phase->=horizon reader
 	PrunedLinks  uint64 // version chains cut by this pass
 	RetiredInfos uint64 // decided descriptors swapped for reference-free ones
+
+	// The map does no node/info recycling (see the package comment on
+	// pooling scope), so these mirror core.CompactStats at zero.
+	GarbageNodes  int // always 0: cut versions go to the GC
+	RecycledNodes int // always 0
+	RecycledInfos int // always 0
 }
 
 // Horizon returns the minimum phase any active or future reader may
@@ -41,7 +47,7 @@ func (m *Map[V]) pruneWalk(n *node[V], h uint64, visited map[*node[V]]struct{}, 
 	}
 	visited[n] = struct{}{}
 	m.retireUpdate(n, cs)
-	if n.leaf {
+	if n.isLeaf() {
 		return
 	}
 	for _, left := range []bool{true, false} {
@@ -51,7 +57,7 @@ func (m *Map[V]) pruneWalk(n *node[V], h uint64, visited map[*node[V]]struct{}, 
 		} else {
 			c = n.right.Load()
 		}
-		for c != nil && c.seq > h {
+		for c != nil && c.seqNum() > h {
 			m.pruneWalk(c, h, visited, cs)
 			c = c.prev.Load()
 		}
@@ -75,11 +81,12 @@ func (m *Map[V]) retireUpdate(n *node[V], cs *CompactStats) {
 	if d.info.retired || inProgress(d.info) {
 		return
 	}
-	ri := &info[V]{retired: true}
-	nd := &descriptor[V]{typ: flag, info: ri}
+	ri := newInfo[V]()
+	ri.retired = true
+	nd := &ri.flagD
 	if frozen(d) { // a committed mark is permanent; stay frozen
 		ri.state.Store(stateCommit)
-		nd.typ = mark
+		nd = &ri.markD
 	} else {
 		ri.state.Store(stateAbort)
 	}
@@ -100,7 +107,7 @@ func (m *Map[V]) VersionGraphSize() int {
 				return
 			}
 			visited[n] = struct{}{}
-			if !n.leaf {
+			if !n.isLeaf() {
 				walk(n.left.Load())
 				walk(n.right.Load())
 			}

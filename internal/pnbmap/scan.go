@@ -51,7 +51,7 @@ func (m *Map[V]) RangeCount(a, b int64) int {
 }
 
 func (m *Map[V]) scanInto(n *node[V], seq uint64, a, b int64, visit *func(int64, V) bool) bool {
-	if n.leaf {
+	if n.isLeaf() {
 		if n.key >= a && n.key <= b {
 			return (*visit)(n.key, n.val)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/internal/stats"
@@ -27,6 +28,19 @@ type Metrics struct {
 	OpsTotal    uint64                   `json:"ops_total"`
 	Draining    bool                     `json:"draining"`
 	Ops         map[string]stats.Summary `json:"ops"`
+	GC          GCMetrics                `json:"gc"`
+}
+
+// GCMetrics reports the serving process's runtime memory state, so an
+// operator can see what the store's allocation behavior (and the
+// post-horizon recycling that tempers it, DESIGN.md §10) costs in
+// collector activity without attaching a profiler.
+type GCMetrics struct {
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"` // live heap (approximate, no forced GC)
+	HeapObjects    uint64 `json:"heap_objects"`
+	Mallocs        uint64 `json:"mallocs"`           // cumulative allocations
+	NumGC          uint32 `json:"num_gc"`            // cumulative collections
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"` // cumulative stop-the-world pause
 }
 
 // Metrics snapshots the server's counters and per-op latency summaries:
@@ -55,6 +69,15 @@ func (s *Server) Metrics() Metrics {
 		if h := agg.lats[op]; h != nil && h.Count() > 0 {
 			m.Ops[op.String()] = h.Snapshot()
 		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms) // cheap snapshot; does not force a collection
+	m.GC = GCMetrics{
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapObjects:    ms.HeapObjects,
+		Mallocs:        ms.Mallocs,
+		NumGC:          ms.NumGC,
+		GCPauseTotalNs: ms.PauseTotalNs,
 	}
 	return m
 }

@@ -533,6 +533,9 @@ func (s *Set) Compact() core.CompactStats {
 		sum.LiveNodes += cs.LiveNodes
 		sum.PrunedLinks += cs.PrunedLinks
 		sum.RetiredInfos += cs.RetiredInfos
+		sum.GarbageNodes += cs.GarbageNodes
+		sum.RecycledNodes += cs.RecycledNodes
+		sum.RecycledInfos += cs.RecycledInfos
 	}
 	return sum
 }
@@ -577,6 +580,10 @@ func (s *Set) Stats() core.StatsSnapshot {
 		sum.HandshakeAborts += st.HandshakeAborts
 		sum.Compactions += st.Compactions
 		sum.PrunedLinks += st.PrunedLinks
+		sum.PoolNodeHits += st.PoolNodeHits
+		sum.PoolNodePuts += st.PoolNodePuts
+		sum.PoolInfoHits += st.PoolInfoHits
+		sum.PoolInfoPuts += st.PoolInfoPuts
 		sum.LastLiveNodes += st.LastLiveNodes
 		if i == 0 || st.LastHorizon < sum.LastHorizon {
 			sum.LastHorizon = st.LastHorizon
@@ -601,6 +608,10 @@ func (s *Set) foldRetired(trees []*core.Tree) {
 		s.retired.HandshakeAborts += st.HandshakeAborts
 		s.retired.Compactions += st.Compactions
 		s.retired.PrunedLinks += st.PrunedLinks
+		s.retired.PoolNodeHits += st.PoolNodeHits
+		s.retired.PoolNodePuts += st.PoolNodePuts
+		s.retired.PoolInfoHits += st.PoolInfoHits
+		s.retired.PoolInfoPuts += st.PoolInfoPuts
 	}
 }
 
