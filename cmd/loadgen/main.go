@@ -7,7 +7,7 @@
 //
 //	loadgen -addr 127.0.0.1:7700 [-conns 4] [-pipeline 16] [-duration 5s]
 //	        [-keys 1048576] [-prefill -1] [-insert 25 -delete 25 -scan 10 -rmw 0 -scanwidth 100]
-//	        [-zipf 1.2] [-seed 42] [-stats] [-hist]
+//	        [-zipf 1.2] [-seed 42] [-batch 8] [-mloadprefill] [-stats] [-hist]
 //	loadgen -scenario ycsb-a ...        # named YCSB-style mix (internal/scenario)
 //	loadgen -scenario list              # print the scenario table and exit
 //	loadgen -rate 50000 [-arrival poisson|fixed] [-backlog 16384] ...
@@ -20,6 +20,13 @@
 // send time (so server stalls surface as tail latency instead of being
 // coordinated-omitted), and arrivals beyond -backlog queued per
 // connection are counted as dropped.
+//
+// -batch groups consecutive point operations into MBATCH frames of up
+// to that many ops (a transport knob: it composes with -scenario and
+// both loop disciplines, and a batch of k ops still counts as k ops in
+// throughput and latency accounting). -mloadprefill switches the
+// prefill phase to one MLOAD streaming bulk build instead of pipelined
+// single inserts.
 //
 // -scenario replaces the mix/zipf flags with a named workload; the
 // drift/TTL scenarios (ycsb-d) generate operations no flat mix can.
@@ -61,9 +68,11 @@ func main() {
 		backlog  = flag.Int("backlog", 0, "open loop: per-connection scheduled-op backlog before drops; 0 = 16384")
 		stats    = flag.Bool("stats", false, "fetch and print the server's metrics document after the run")
 		hist     = flag.Bool("hist", false, "print client-side latency distributions")
+		mload    = flag.Bool("mloadprefill", false, "prefill via one MLOAD streaming bulk build instead of pipelined inserts")
 	)
 	mixFlags := harness.RegisterMixFlags(flag.CommandLine)
 	zipf := harness.RegisterZipfFlag(flag.CommandLine)
+	batch := harness.RegisterBatchFlag(flag.CommandLine)
 	flag.Parse()
 
 	if *scen == "list" {
@@ -126,6 +135,8 @@ func main() {
 	cfg.Rate = *rate
 	cfg.Arrival = arr
 	cfg.MaxBacklog = *backlog
+	cfg.Batch = *batch
+	cfg.BulkPrefill = *mload
 
 	res, err := loadgen.Run(cfg)
 	if err != nil {

@@ -190,6 +190,35 @@ func (t *Tree) validateLeaf(gp, p, l *node, k int64) (bool, *descriptor, *descri
 	return validated, gpupdate, pupdate
 }
 
+// opOutcome classifies one single-phase attempt of a point operation.
+// opDone carries a result; opRetry means the attempt failed (validation
+// race, freeze conflict, or a version chain pruned under the phase) and
+// the caller must retry, normally at a fresh phase.
+type opOutcome uint8
+
+const (
+	opDone opOutcome = iota
+	opRetry
+)
+
+// findOnce is one attempt of Find at phase seq. Stale phases are safe:
+// validateLeaf anchors the traversed branch to the CURRENT child
+// pointers, so a success at any seq is a read of the present state (an
+// outdated seq merely makes validation likelier to fail and retry).
+func (t *Tree) findOnce(k int64, seq uint64) (res bool, st opOutcome) {
+	gp, p, l := t.search(k, seq)
+	if l == nil {
+		t.stats.retriesHorizon.Add(1)
+		return false, opRetry
+	}
+	validated, _, _ := t.validateLeaf(gp, p, l, k)
+	if validated {
+		return l.key == k, opDone
+	}
+	t.stats.retriesFind.Add(1)
+	return false, opRetry
+}
+
 // Find reports whether k is in the set (paper lines 69-82). It is
 // linearizable and non-blocking; it helps an update only when that update
 // has frozen the parent or grandparent of the leaf it arrives at.
@@ -198,17 +227,9 @@ func (t *Tree) Find(k int64) bool {
 	s := t.pool.pins.enter(k)
 	defer t.pool.pins.exit(s)
 	for {
-		seq := t.clock.Now()
-		gp, p, l := t.search(k, seq)
-		if l == nil {
-			t.stats.retriesHorizon.Add(1)
-			continue
+		if res, st := t.findOnce(k, t.clock.Now()); st == opDone {
+			return res
 		}
-		validated, _, _ := t.validateLeaf(gp, p, l, k)
-		if validated {
-			return l.key == k
-		}
-		t.stats.retriesFind.Add(1)
 	}
 }
 
@@ -253,42 +274,53 @@ func (t *Tree) TryInsert(k int64) (res, ok bool) {
 		if t.sealed.Load() {
 			return false, false
 		}
-		gp, p, l := t.search(k, seq)
-		if l == nil {
-			t.stats.retriesHorizon.Add(1)
-			continue
+		if res, st := t.insertOnce(k, seq); st == opDone {
+			return res, true
 		}
-		validated, _, pupdate := t.validateLeaf(gp, p, l, k)
-		if !validated {
-			t.stats.retriesInsert.Add(1)
-			continue
-		}
-		if l.key == k {
-			return false, true // cannot insert duplicate key
-		}
-		// Build the replacement subtree: an internal node whose two
-		// children are a fresh leaf for k and a fresh copy of l
-		// (lines 161-163). The internal node's prev points at l.
-		nl := t.newLeaf(k, seq)
-		sib := t.newLeaf(l.key, seq)
-		ni := t.newNode(maxKey(k, l.key), seq, l, false)
-		if k < l.key {
-			ni.left.Store(nl)
-			ni.right.Store(sib)
-		} else {
-			ni.left.Store(sib)
-			ni.right.Store(nl)
-		}
-		ok := t.execute(
-			[maxFreeze]*node{p, l},
-			[maxFreeze]*descriptor{pupdate, l.update.Load()},
-			2, 1<<1, // mark = {l}
-			p, l, ni, seq, true)
-		if ok {
-			return true, true
-		}
-		t.stats.retriesInsert.Add(1)
 	}
+}
+
+// insertOnce is one attempt of Insert at phase seq (paper lines 147-168).
+// A stale seq can never commit wrongly: execute's handshake check aborts
+// any attempt whose phase no longer matches the clock, so a commit at seq
+// proves the clock still read seq at decision time.
+func (t *Tree) insertOnce(k int64, seq uint64) (res bool, st opOutcome) {
+	gp, p, l := t.search(k, seq)
+	if l == nil {
+		t.stats.retriesHorizon.Add(1)
+		return false, opRetry
+	}
+	validated, _, pupdate := t.validateLeaf(gp, p, l, k)
+	if !validated {
+		t.stats.retriesInsert.Add(1)
+		return false, opRetry
+	}
+	if l.key == k {
+		return false, opDone // cannot insert duplicate key
+	}
+	// Build the replacement subtree: an internal node whose two
+	// children are a fresh leaf for k and a fresh copy of l
+	// (lines 161-163). The internal node's prev points at l.
+	nl := t.newLeaf(k, seq)
+	sib := t.newLeaf(l.key, seq)
+	ni := t.newNode(maxKey(k, l.key), seq, l, false)
+	if k < l.key {
+		ni.left.Store(nl)
+		ni.right.Store(sib)
+	} else {
+		ni.left.Store(sib)
+		ni.right.Store(nl)
+	}
+	ok := t.execute(
+		[maxFreeze]*node{p, l},
+		[maxFreeze]*descriptor{pupdate, l.update.Load()},
+		2, 1<<1, // mark = {l}
+		p, l, ni, seq, true)
+	if ok {
+		return true, opDone
+	}
+	t.stats.retriesInsert.Add(1)
+	return false, opRetry
 }
 
 // Delete removes k from the set, returning false if k was absent (paper
@@ -316,60 +348,69 @@ func (t *Tree) TryDelete(k int64) (res, ok bool) {
 		if t.sealed.Load() {
 			return false, false
 		}
-		gp, p, l := t.search(k, seq)
-		if l == nil {
-			t.stats.retriesHorizon.Add(1)
-			continue
+		if res, st := t.deleteOnce(k, seq); st == opDone {
+			return res, true
 		}
-		validated, gpupdate, pupdate := t.validateLeaf(gp, p, l, k)
-		if !validated {
-			t.stats.retriesDelete.Add(1)
-			continue
-		}
-		if l.key != k {
-			return false, true // key not in the tree
-		}
-		// The sibling is on the opposite side of l under p (line 182):
-		// if l is p's right child (l.key >= p.key) the sibling is the left.
-		sibLeft := l.key >= p.key
-		sibling := readChild(p, sibLeft, seq)
-		if sibling == nil {
-			t.stats.retriesHorizon.Add(1)
-			continue
-		}
-		validated, _ = t.validateLink(p, sibling, sibLeft)
-		if !validated {
-			t.stats.retriesDelete.Add(1)
-			continue
-		}
-		// Copy the sibling with the current phase; prev points at p, the
-		// node the copy replaces under gp (line 185).
-		cp := t.newNode(sibling.key, seq, p, sibling.isLeaf())
-		var supdate *descriptor
-		if !sibling.isLeaf() {
-			cp.left.Store(sibling.left.Load())
-			cp.right.Store(sibling.right.Load())
-			// Re-validate that the copied children are still current and
-			// the sibling is unfrozen (lines 186-188).
-			validated, supdate = t.validateLink(sibling, cp.left.Load(), true)
-			if validated {
-				validated, _ = t.validateLink(sibling, cp.right.Load(), false)
-			}
-		} else {
-			supdate = sibling.update.Load()
-		}
-		if validated {
-			ok := t.execute(
-				[maxFreeze]*node{gp, p, l, sibling},
-				[maxFreeze]*descriptor{gpupdate, pupdate, l.update.Load(), supdate},
-				4, 1<<1|1<<2|1<<3, // mark = {p, l, sibling}
-				gp, p, cp, seq, false)
-			if ok {
-				return true, true
-			}
-		}
-		t.stats.retriesDelete.Add(1)
 	}
+}
+
+// deleteOnce is one attempt of Delete at phase seq (paper lines 169-195);
+// insertOnce's note on stale phases applies unchanged.
+func (t *Tree) deleteOnce(k int64, seq uint64) (res bool, st opOutcome) {
+	gp, p, l := t.search(k, seq)
+	if l == nil {
+		t.stats.retriesHorizon.Add(1)
+		return false, opRetry
+	}
+	validated, gpupdate, pupdate := t.validateLeaf(gp, p, l, k)
+	if !validated {
+		t.stats.retriesDelete.Add(1)
+		return false, opRetry
+	}
+	if l.key != k {
+		return false, opDone // key not in the tree
+	}
+	// The sibling is on the opposite side of l under p (line 182):
+	// if l is p's right child (l.key >= p.key) the sibling is the left.
+	sibLeft := l.key >= p.key
+	sibling := readChild(p, sibLeft, seq)
+	if sibling == nil {
+		t.stats.retriesHorizon.Add(1)
+		return false, opRetry
+	}
+	validated, _ = t.validateLink(p, sibling, sibLeft)
+	if !validated {
+		t.stats.retriesDelete.Add(1)
+		return false, opRetry
+	}
+	// Copy the sibling with the current phase; prev points at p, the
+	// node the copy replaces under gp (line 185).
+	cp := t.newNode(sibling.key, seq, p, sibling.isLeaf())
+	var supdate *descriptor
+	if !sibling.isLeaf() {
+		cp.left.Store(sibling.left.Load())
+		cp.right.Store(sibling.right.Load())
+		// Re-validate that the copied children are still current and
+		// the sibling is unfrozen (lines 186-188).
+		validated, supdate = t.validateLink(sibling, cp.left.Load(), true)
+		if validated {
+			validated, _ = t.validateLink(sibling, cp.right.Load(), false)
+		}
+	} else {
+		supdate = sibling.update.Load()
+	}
+	if validated {
+		ok := t.execute(
+			[maxFreeze]*node{gp, p, l, sibling},
+			[maxFreeze]*descriptor{gpupdate, pupdate, l.update.Load(), supdate},
+			4, 1<<1|1<<2|1<<3, // mark = {p, l, sibling}
+			gp, p, cp, seq, false)
+		if ok {
+			return true, opDone
+		}
+	}
+	t.stats.retriesDelete.Add(1)
+	return false, opRetry
 }
 
 // execute implements Execute (lines 92-106): bail out (helping in-progress

@@ -112,6 +112,53 @@ func E15Serving(o Options) {
 		shutdownServer(srv)
 	}
 
+	// Part 1.5: the MBATCH lever. Same server, point-only update mix,
+	// fixed conns × pipeline; only the client-side batch size varies.
+	// Batch=1 sends one frame per op (the pre-MBATCH wire); larger
+	// batches amortize framing, opcode dispatch, and — server-side — the
+	// phase read and pin-stripe acquisition across the whole vector.
+	// Accounting is per-op (a batch of k counts as k), so the column is
+	// directly comparable across rows.
+	{
+		batches := []int{1, 4, 8, 32}
+		conns := o.threadSweep()[len(o.threadSweep())-1]
+		pointMix := workload.Mix{InsertPct: 45, DeletePct: 45}
+		m := bst.NewShardedRange(0, keys-1, shards)
+		prefillStore(m, keys, o.Seed)
+		srv, err := server.Start(server.Config{Addr: "127.0.0.1:0", Store: m})
+		if err != nil {
+			fmt.Fprintf(o.Out, "E15: %v\n", err)
+			return
+		}
+		tab := harness.NewTable(
+			fmt.Sprintf("E15: MBATCH batch-size sweep — conns=%d, pipe=16, mix 45i/45d/10f, %d keys, %d shards",
+				conns, keys, shards),
+			"batch", "Kops/s", "point p50", "point p99")
+		for _, b := range batches {
+			res, err := loadgen.Run(loadgen.Config{
+				Addr:     srv.Addr().String(),
+				Conns:    conns,
+				Pipeline: 16,
+				Batch:    b,
+				Duration: o.Duration,
+				KeyRange: keys,
+				Prefill:  0,
+				Mix:      pointMix,
+				Seed:     o.Seed,
+			})
+			if err != nil {
+				fmt.Fprintf(o.Out, "E15: %v\n", err)
+				shutdownServer(srv)
+				return
+			}
+			tab.AddRow(b, res.Throughput/1e3,
+				time.Duration(res.PointLat.Percentile(50)).String(),
+				time.Duration(res.PointLat.Percentile(99)).String())
+		}
+		o.emit(tab)
+		shutdownServer(srv)
+	}
+
 	// Part 2: the forced cross-shard move against an in-flight wire scan.
 	trials := 20
 	if o.Quick {

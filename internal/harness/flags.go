@@ -45,6 +45,13 @@ func RegisterZipfFlag(fs *flag.FlagSet) *float64 {
 	return fs.Float64("zipf", 0, "clustered zipfian key skew, e.g. 1.2; 0 = uniform")
 }
 
+// RegisterBatchFlag declares the shared -batch flag on fs (MBATCH
+// grouping of consecutive point operations on the wire; a transport
+// knob, so it composes with -scenario the way -conns and -pipeline do).
+func RegisterBatchFlag(fs *flag.FlagSet) *int {
+	return fs.Int("batch", 0, "group consecutive point ops into MBATCH frames of up to this many ops; <=1 = one frame per op")
+}
+
 // Zipf returns the -zipf value (0 when the flag was not registered).
 func (t *TargetFlags) Zipf() float64 {
 	if t.zipf == nil {

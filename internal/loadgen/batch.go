@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// batcher accumulates consecutive point operations into one MBATCH
+// frame. Only Insert/Delete/Find are batchable; scans and RMWs force the
+// partial batch out first so the request order on the wire (and thus the
+// in-order reply pipeline) matches draw order. Accounting stays honest:
+// a batch of k ops counts as k completed ops and k latency samples, all
+// stamped from the moment the batch STARTED accumulating — the first
+// op's intended start, so any time an op waits for its batch to fill is
+// measured, not hidden.
+type batcher struct {
+	size int // ops per full batch; < 2 disables batching
+	ops  []wire.BatchEntry
+	t0   time.Time
+	bk   [workload.NumOps]uint16 // per-kind counts of the current batch
+}
+
+func newBatcher(size int) *batcher {
+	if size > wire.MBatchCap {
+		size = wire.MBatchCap
+	}
+	b := &batcher{size: size}
+	if size >= 2 {
+		b.ops = make([]wire.BatchEntry, 0, size)
+	}
+	return b
+}
+
+// takes reports whether op should be absorbed into the batch rather
+// than sent on its own.
+func (b *batcher) takes(op workload.Op) bool {
+	if b.size < 2 {
+		return false
+	}
+	switch op.Kind {
+	case workload.OpInsert, workload.OpDelete, workload.OpFind:
+		return true
+	}
+	return false
+}
+
+// add absorbs one batchable op, stamping the batch's start time at the
+// first, and reports whether the batch is now full (time to flush).
+func (b *batcher) add(op workload.Op, t0 time.Time) bool {
+	if len(b.ops) == 0 {
+		b.t0 = t0
+	}
+	w := wire.OpContains
+	switch op.Kind {
+	case workload.OpInsert:
+		w = wire.OpInsert
+	case workload.OpDelete:
+		w = wire.OpDelete
+	}
+	b.ops = append(b.ops, wire.BatchEntry{Op: w, Key: op.A})
+	b.bk[op.Kind]++
+	return len(b.ops) >= b.size
+}
+
+// pending returns how many ops the current (partial) batch holds.
+func (b *batcher) pending() int { return len(b.ops) }
+
+// flush encodes the accumulated ops as one MBATCH frame and returns the
+// pending entry its single BoolVec reply retires. Must not be called on
+// an empty batch.
+func (b *batcher) flush(enc *wire.Encoder) (pending, error) {
+	p := pending{t0: b.t0, frames: 1, bn: len(b.ops), bk: b.bk}
+	err := enc.MBatch(b.ops)
+	b.ops = b.ops[:0]
+	b.bk = [workload.NumOps]uint16{}
+	return p, err
+}
+
+// retireBatch consumes one MBATCH reply: a BoolVec carrying one result
+// per op, or a whole-batch Err. Completed-op counts and latency samples
+// scale by the batch size (RecordN), keeping throughput and percentile
+// accounting comparable with unbatched runs.
+func retireBatch(dec *wire.Decoder, p pending, out *connOut) error {
+	resp, err := dec.Response()
+	if err != nil {
+		return err
+	}
+	switch resp.Tag {
+	case wire.TagBoolVec:
+		if len(resp.Bools) != p.bn {
+			return fmt.Errorf("loadgen: MBATCH of %d ops got %d results", p.bn, len(resp.Bools))
+		}
+	case wire.TagErr:
+		out.errors += uint64(p.bn)
+	default:
+		return fmt.Errorf("loadgen: MBATCH reply tagged %d", resp.Tag)
+	}
+	out.pointLat.RecordN(time.Since(p.t0).Nanoseconds(), uint64(p.bn))
+	for k := range p.bk {
+		out.ops[k] += uint64(p.bk[k])
+	}
+	return nil
+}

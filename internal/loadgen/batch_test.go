@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestBatchAccounting locks in the honest-accounting contract for both
+// driving disciplines: with Batch=k every MBATCH frame of k ops counts
+// as k completed ops and k point-latency samples — identical invariants
+// to an unbatched run, so batched and unbatched results are directly
+// comparable.
+func TestBatchAccounting(t *testing.T) {
+	const keys = 1 << 12
+	for _, tc := range []struct {
+		name string
+		rate float64
+		mix  workload.Mix
+	}{
+		{"closed/points-only", 0, workload.Mix{InsertPct: 30, DeletePct: 30}},
+		{"closed/with-scans", 0, workload.Mix{InsertPct: 25, DeletePct: 25, ScanPct: 10, RMWPct: 5, ScanWidth: 50}},
+		{"open/points-only", 4000, workload.Mix{InsertPct: 30, DeletePct: 30}},
+		{"open/with-scans", 4000, workload.Mix{InsertPct: 25, DeletePct: 25, ScanPct: 10, RMWPct: 5, ScanWidth: 50}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, _ := startServer(t, keys)
+			res, err := Run(Config{
+				Addr:     srv.Addr().String(),
+				Conns:    2,
+				Pipeline: 8,
+				Batch:    4,
+				Duration: 200 * time.Millisecond,
+				KeyRange: keys,
+				Prefill:  -1,
+				Mix:      tc.mix,
+				Seed:     21,
+				Rate:     tc.rate,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TransportErrs != 0 {
+				t.Fatalf("transport failures: %v", res.TransportErr)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("%d server errors", res.Errors)
+			}
+			points := res.Ops[workload.OpInsert] + res.Ops[workload.OpDelete] +
+				res.Ops[workload.OpFind] + res.Ops[workload.OpRMW]
+			if points == 0 {
+				t.Fatal("no point ops completed")
+			}
+			// The batch-of-k = k-ops contract: every point op contributes
+			// exactly one latency sample whether it rode an MBATCH or not.
+			if res.PointLat.Count() != points {
+				t.Fatalf("point latencies %d != point ops %d", res.PointLat.Count(), points)
+			}
+			if res.ScanLat.Count() != res.Ops[workload.OpScan] {
+				t.Fatalf("scan latencies %d != scans %d", res.ScanLat.Count(), res.Ops[workload.OpScan])
+			}
+			if tc.mix.ScanPct > 0 && res.Ops[workload.OpScan] == 0 {
+				t.Fatal("scan mix produced no scans alongside batching")
+			}
+			if tc.rate > 0 && res.TotalOps()+res.Dropped > res.Offered {
+				t.Fatalf("completed %d + dropped %d > offered %d", res.TotalOps(), res.Dropped, res.Offered)
+			}
+		})
+	}
+}
+
+// TestBatchEndState: a batched insert/delete run mutates the store
+// exactly like its unbatched twin — same seed, same ops, same final set.
+func TestBatchEndState(t *testing.T) {
+	const keys = 1 << 10
+	sizes := map[int]map[int64]bool{}
+	for _, batch := range []int{1, 8} {
+		srv, m := startServer(t, keys)
+		res, err := Run(Config{
+			Addr:     srv.Addr().String(),
+			Conns:    1,
+			Pipeline: 4,
+			Batch:    batch,
+			Duration: 100 * time.Millisecond,
+			KeyRange: keys,
+			Prefill:  0,
+			Mix:      workload.Mix{InsertPct: 100},
+			Seed:     9,
+			Rate:     0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TransportErrs != 0 {
+			t.Fatalf("batch=%d: transport failures: %v", batch, res.TransportErr)
+		}
+		set := map[int64]bool{}
+		m.RangeScanFunc(0, keys-1, func(k int64) bool {
+			set[k] = true
+			return true
+		})
+		sizes[batch] = set
+	}
+	// Same stream, insert-only: whichever run completed fewer ops saw a
+	// prefix of the other's inserts, so its key set must be a subset.
+	small, large := sizes[1], sizes[8]
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	for k := range small {
+		if !large[k] {
+			t.Fatalf("key %d present in one run but absent from the longer one", k)
+		}
+	}
+}
+
+// TestBulkPrefill: the MLOAD prefill path leaves exactly the requested
+// number of keys, like the pipelined-insert prefill it replaces.
+func TestBulkPrefill(t *testing.T) {
+	const keys = 1 << 10
+	srv, m := startServer(t, keys)
+	_, err := Run(Config{
+		Addr:        srv.Addr().String(),
+		Conns:       1,
+		Pipeline:    4,
+		Duration:    10 * time.Millisecond,
+		KeyRange:    keys,
+		Prefill:     300,
+		BulkPrefill: true,
+		Mix:         workload.Mix{}, // find-only: measurement leaves the set unchanged
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Len(); got != 300 {
+		t.Fatalf("store holds %d keys after bulk prefill 300 + find-only load", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

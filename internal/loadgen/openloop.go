@@ -41,6 +41,18 @@ func driveConnOpen(cfg Config, id int, nc net.Conn, stop *atomic.Bool, out *conn
 	go func() {
 		defer senderWG.Done()
 		defer close(pend)
+		b := newBatcher(cfg.Batch)
+		// flushBatch pushes the accumulated MBATCH frame and its single
+		// pend entry. The send cannot block: every absorbed op passed the
+		// backlog check below, and the receiver only drains the channel.
+		flushBatch := func() error {
+			p, err := b.flush(enc)
+			if err != nil {
+				return err
+			}
+			pend <- p
+			return nil
+		}
 		next := time.Now()
 	sending:
 		for !stop.Load() && !dead.Load() {
@@ -56,6 +68,14 @@ func driveConnOpen(cfg Config, id int, nc net.Conn, stop *atomic.Bool, out *conn
 				now := time.Now()
 				if !next.After(now) {
 					break
+				}
+				// Idle: don't sit on a partial batch — its ops' latency
+				// clocks are already running from their intended starts.
+				if b.pending() > 0 {
+					if err := flushBatch(); err != nil {
+						sendErr = err
+						return
+					}
 				}
 				if enc.Buffered() > 0 {
 					if err := enc.Flush(); err != nil {
@@ -74,6 +94,15 @@ func driveConnOpen(cfg Config, id int, nc net.Conn, stop *atomic.Bool, out *conn
 			}
 			op := stream.Next()
 			out.offered++
+			// Scans/RMWs are never batched; the partial batch goes first
+			// so wire order matches arrival order. Its pend send cannot
+			// block: the last absorbed op's backlog check still holds.
+			if !b.takes(op) && b.pending() > 0 {
+				if err := flushBatch(); err != nil {
+					sendErr = err
+					return
+				}
+			}
 			if len(pend) == cap(pend) {
 				out.dropped++ // client saturated; schedule keeps its cadence
 				// Push what's buffered so the backlog can drain: a
@@ -86,12 +115,24 @@ func driveConnOpen(cfg Config, id int, nc net.Conn, stop *atomic.Bool, out *conn
 				}
 				continue
 			}
-			frames, err := sendOp(enc, op)
-			if err != nil {
-				sendErr = err
-				return
+			if b.takes(op) {
+				// Batch t0 is the FIRST op's intended start: later ops in
+				// the batch inherit it, so fill delay is measured against
+				// the earliest arrival, never hidden.
+				if full := b.add(op, next); full {
+					if err := flushBatch(); err != nil {
+						sendErr = err
+						return
+					}
+				}
+			} else {
+				frames, err := sendOp(enc, op)
+				if err != nil {
+					sendErr = err
+					return
+				}
+				pend <- pending{kind: op.Kind, t0: next, frames: frames}
 			}
-			pend <- pending{kind: op.Kind, t0: next, frames: frames}
 			// During a burst, flush on buffer growth rather than every
 			// op: unflushed requests sit invisible to the server.
 			if enc.Buffered() > 32<<10 {
@@ -99,6 +140,11 @@ func driveConnOpen(cfg Config, id int, nc net.Conn, stop *atomic.Bool, out *conn
 					sendErr = err
 					return
 				}
+			}
+		}
+		if !dead.Load() && b.pending() > 0 {
+			if err := flushBatch(); err != nil && sendErr == nil {
+				sendErr = err
 			}
 		}
 		if !dead.Load() && enc.Buffered() > 0 {

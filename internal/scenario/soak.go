@@ -425,6 +425,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 		Addr:     addr,
 		Conns:    cfg.Conns,
 		Pipeline: 8,
+		Batch:    4, // MBATCH frames ride alongside scans/RMWs under churn
 		Duration: cfg.Duration,
 		KeyRange: k,
 		Prefill:  int(k / 4),

@@ -183,7 +183,10 @@ func (s *Server) acceptLoop() {
 type conn struct {
 	nc      net.Conn
 	metrics *connMetrics
-	batch   []int64 // SCAN chunk scratch, reused across scans
+	batch   []int64       // SCAN chunk scratch, reused across scans
+	bops    []bst.BatchOp // MBATCH op scratch
+	bres    []bool        // MBATCH result scratch
+	load    []int64       // MLOAD key staging, one logical run at a time
 }
 
 // drainGrace is how long a draining connection keeps serving after its
@@ -243,6 +246,16 @@ func (s *Server) serveConn(c *conn) {
 		}
 		progress = true
 		t0 := time.Now()
+		if req.Op == wire.OpMLoad {
+			// An MLOAD run spans frames and owns the read loop until its
+			// terminating chunk; it records once, as one logical request.
+			ok := s.serveMLoad(c, dec, enc, req)
+			c.metrics.record(req.Op, time.Since(t0))
+			if !ok {
+				return
+			}
+			continue
+		}
 		s.handle(c, enc, req)
 		c.metrics.record(req.Op, time.Since(t0))
 	}
@@ -325,6 +338,8 @@ func (s *Server) handle(c *conn, enc *wire.Encoder, req wire.Request) {
 		enc.Int(int64(st.RangeCount(a, b))) //nolint:errcheck
 	case wire.OpScan:
 		s.serveScan(c, enc, req.A, req.B)
+	case wire.OpMBatch:
+		s.serveMBatch(c, enc, req)
 	case wire.OpStats:
 		enc.Stats(s.MetricsJSON()) //nolint:errcheck
 	default:

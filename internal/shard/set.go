@@ -41,6 +41,10 @@ type shardLoad struct {
 // add counts one point op on key k.
 func (l *shardLoad) add(k int64) { l.stripes[uint64(k)%loadStripes].n.Add(1) }
 
+// addN counts n point ops against k's stripe in one add — the amortized
+// accounting ApplyBatch uses per shard group.
+func (l *shardLoad) addN(k int64, n uint64) { l.stripes[uint64(k)%loadStripes].n.Add(n) }
+
 // total sums the stripes (approximate under concurrent adds, like any
 // statistics counter).
 func (l *shardLoad) total() uint64 {

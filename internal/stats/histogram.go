@@ -74,6 +74,25 @@ func (h *Histogram) Record(v int64) {
 	}
 }
 
+// RecordN adds the sample v with weight n — n observations of the same
+// value in one call. The batch-driving load generator uses it to stamp a
+// k-op batch's latency once and count it k times, so per-op percentiles
+// stay comparable across batch sizes.
+func (h *Histogram) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.counts[bucketIndex(v)] += n
+	h.total += n
+	h.sum += float64(n) * float64(v)
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min {
+		h.min = v
+	}
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.total }
 

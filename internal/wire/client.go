@@ -174,6 +174,82 @@ func (c *Client) Scan(a, b int64, visit func(k int64) bool) (int64, error) {
 	}
 }
 
+// MBatch applies a vector of point operations (Insert/Delete/Contains
+// sub-ops) in one round trip per MBatchCap chunk and returns one result
+// per op, in order (Insert: was absent; Delete: was present; Contains:
+// is present). Batches over MBatchCap are split transparently, all
+// chunks pipelined before the first reply is read. The batch is NOT
+// atomic on the server — each op is individually linearizable, applied
+// in vector order. The returned slice is a copy.
+func (c *Client) MBatch(ops []BatchEntry) ([]bool, error) {
+	res := make([]bool, 0, len(ops))
+	nchunks := 0
+	for chunk := ops; ; {
+		n := len(chunk)
+		if n > MBatchCap {
+			n = MBatchCap
+		}
+		if err := c.enc.MBatch(chunk[:n]); err != nil {
+			return nil, err
+		}
+		nchunks++
+		chunk = chunk[n:]
+		if len(chunk) == 0 {
+			break
+		}
+	}
+	for i := 0; i < nchunks; i++ {
+		resp, err := c.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if resp.Tag == TagErr {
+			return nil, fmt.Errorf("wire: server error for MBATCH: %s", resp.Msg)
+		}
+		if resp.Tag != TagBoolVec {
+			return nil, fmt.Errorf("%w: MBATCH reply tagged %d", ErrMalformed, resp.Tag)
+		}
+		res = append(res, resp.Bools...)
+	}
+	if len(res) != len(ops) {
+		return nil, fmt.Errorf("%w: MBATCH got %d results for %d ops", ErrMalformed, len(res), len(ops))
+	}
+	return res, nil
+}
+
+// BulkLoad ingests a strictly ascending key sequence through the
+// server's bulk-build path (one migration-style cut instead of per-key
+// Inserts) and returns how many keys were newly added. The load is
+// streamed as MLOAD chunks — one logical request of unbounded size —
+// and the server validates ordering and range, rejecting the WHOLE load
+// without applying anything on bad input.
+func (c *Client) BulkLoad(keys []int64) (int64, error) {
+	for chunk := keys; ; {
+		n := len(chunk)
+		if n > MLoadChunkCap {
+			n = MLoadChunkCap
+		}
+		if err := c.enc.MLoad(chunk[:n], n == len(chunk)); err != nil {
+			return 0, err
+		}
+		chunk = chunk[n:]
+		if len(chunk) == 0 {
+			break
+		}
+	}
+	resp, err := c.Recv()
+	if err != nil {
+		return 0, err
+	}
+	if resp.Tag == TagErr {
+		return 0, fmt.Errorf("wire: server error for MLOAD: %s", resp.Msg)
+	}
+	if resp.Tag != TagInt {
+		return 0, fmt.Errorf("%w: MLOAD reply tagged %d", ErrMalformed, resp.Tag)
+	}
+	return resp.Int, nil
+}
+
 // Stats fetches the server's metrics document (JSON; the same payload
 // the HTTP /metrics endpoint serves). The returned slice is a copy.
 func (c *Client) Stats() ([]byte, error) {

@@ -32,6 +32,14 @@ func FuzzWireDecode(f *testing.F) {
 		}
 	}))
 	f.Add(seed(func(e *Encoder) {
+		e.MBatch([]BatchEntry{{Op: OpInsert, Key: 1}, {Op: OpContains, Key: 1}, {Op: OpDelete, Key: 2}})
+	}))
+	f.Add(seed(func(e *Encoder) {
+		e.MLoad([]int64{1, 2, 3}, false)
+		e.MLoad([]int64{4}, true)
+		e.MLoad(nil, true) // empty load: one empty last chunk
+	}))
+	f.Add(seed(func(e *Encoder) {
 		e.Bool(true)
 		e.Int(-1)
 		e.Key(7, true)
@@ -39,14 +47,20 @@ func FuzzWireDecode(f *testing.F) {
 		e.Done(3)
 		e.Stats([]byte(`{"n":1}`))
 		e.Error("nope")
+		e.BoolVec([]bool{true, false, true})
 	}))
 	f.Add([]byte{0, 0, 0, 0})             // zero-length frame
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4GB declared length
 	f.Add([]byte{0, 0, 0, 2, byte(OpMin)})
-	f.Add([]byte{0, 0, 0, 9, byte(OpInsert), 0, 0, 0})     // truncated payload
-	f.Add([]byte{0, 0, 0, 4, TagBatch, 1, 2, 3})           // ragged batch
-	f.Add([]byte{0, 1, 0, 1, TagStats})                    // length > data
-	f.Add(bytes.Repeat([]byte{0, 0, 0, 1, TagStats}, 200)) // many tiny frames
+	f.Add([]byte{0, 0, 0, 9, byte(OpInsert), 0, 0, 0})                               // truncated payload
+	f.Add([]byte{0, 0, 0, 4, TagBatch, 1, 2, 3})                                     // ragged batch
+	f.Add([]byte{0, 0, 0, 5, byte(OpMBatch), 1, 2, 3, 4})                            // ragged MBATCH record
+	f.Add([]byte{0, 0, 0, 10, byte(OpMBatch), byte(OpScan), 0, 0, 0, 0, 0, 0, 0, 1}) // SCAN as sub-op
+	f.Add([]byte{0, 0, 0, 2, byte(OpMLoad), 7})                                      // bad MLOAD flag byte
+	f.Add([]byte{0, 0, 0, 5, byte(OpMLoad), 1, 9, 9, 9})                             // ragged MLOAD keys
+	f.Add([]byte{0, 0, 0, 3, TagBoolVec, 0, 2})                                      // BoolVec byte out of range
+	f.Add([]byte{0, 1, 0, 1, TagStats})                                              // length > data
+	f.Add(bytes.Repeat([]byte{0, 0, 0, 1, TagStats}, 200))                           // many tiny frames
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Decode as a request stream until the first error, then the same
@@ -58,21 +72,34 @@ func FuzzWireDecode(f *testing.F) {
 			if err != nil {
 				break
 			}
-			n := req.Op.arity()
-			if n < 0 {
-				t.Fatalf("decoder accepted unknown opcode: %+v", req)
+			want := 0
+			switch req.Op {
+			case OpMBatch:
+				want = 4 + 1 + 9*len(req.Ops)
+			case OpMLoad:
+				want = 4 + 2 + 8*len(req.Keys)
+			default:
+				n := req.Op.arity()
+				if n < 0 {
+					t.Fatalf("decoder accepted unknown opcode: %+v", req)
+				}
+				want = 4 + 1 + 8*n
 			}
+			// The decoded Ops/Keys alias dec's scratch, which the
+			// re-decode below must not clobber: copy before comparing.
+			req.Ops = append([]BatchEntry(nil), req.Ops...)
+			req.Keys = append([]int64(nil), req.Keys...)
 			var buf bytes.Buffer
 			enc := NewEncoder(&buf)
 			if err := enc.Request(req); err != nil {
 				t.Fatalf("re-encode of accepted request %+v: %v", req, err)
 			}
 			enc.Flush()
-			if got := buf.Len(); got != 4+1+8*n {
-				t.Fatalf("re-encoded %+v to %d bytes, want %d", req, got, 4+1+8*n)
+			if got := buf.Len(); got != want {
+				t.Fatalf("re-encoded %+v to %d bytes, want %d", req, got, want)
 			}
 			back, err := NewDecoder(&buf).Request()
-			if err != nil || back != req {
+			if err != nil || !requestsEqual(back, req) {
 				t.Fatalf("request round trip: %+v -> %+v (%v)", req, back, err)
 			}
 		}
@@ -111,6 +138,26 @@ func FuzzWireDecode(f *testing.F) {
 			}
 		}
 	})
+}
+
+// requestsEqual compares decoded requests field-wise (Request is no
+// longer comparable with == now that it carries slices).
+func requestsEqual(a, b Request) bool {
+	if a.Op != b.Op || a.A != b.A || a.B != b.B || a.Last != b.Last ||
+		len(a.Ops) != len(b.Ops) || len(a.Keys) != len(b.Keys) {
+		return false
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			return false
+		}
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestFuzzSeedsParse keeps the checked-in corpus honest: every seed file

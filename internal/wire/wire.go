@@ -28,17 +28,20 @@
 //	PRED     key (8)          -> Key
 //	LEN      -                -> Int
 //	STATS    -                -> Stats
+//	MBATCH   n×(op (1) + key (8))    -> BoolVec  (n ≥ 0, sub-ops INSERT/DELETE/CONTAINS)
+//	MLOAD    last (1) + m×key (8)    -> Int | Err  (reply after the last chunk only)
 //
 // # Responses
 //
-//	tag    payload after the tag byte
-//	Bool   0|1 (1)
-//	Int    value (8)
-//	Key    ok (1) + key (8)
-//	Batch  keys (8×n, n ≥ 1)  — one chunk of a streaming SCAN reply
-//	Done   total (8)          — terminates a SCAN reply stream
-//	Stats  JSON bytes
-//	Err    UTF-8 message
+//	tag      payload after the tag byte
+//	Bool     0|1 (1)
+//	Int      value (8)
+//	Key      ok (1) + key (8)
+//	Batch    keys (8×n, n ≥ 1)  — one chunk of a streaming SCAN reply
+//	Done     total (8)          — terminates a SCAN reply stream
+//	Stats    JSON bytes
+//	Err      UTF-8 message
+//	BoolVec  n×(0|1), one result byte per MBATCH sub-op, in order
 //
 // # Pipelining
 //
@@ -51,6 +54,13 @@
 // a frame. Streaming SCAN chunks (rather than one giant frame) keeps
 // MaxFrame small and lets wide scans overlap with the client's read
 // loop.
+//
+// MLOAD is the one multi-frame REQUEST: a run of MLOAD frames on a
+// connection, terminated by the first frame whose last flag is set, forms
+// ONE logical bulk-ingest request answered by a single Int (keys newly
+// added) or Err reply. Frames of a run must be contiguous — any other
+// opcode arriving mid-run is a protocol error — and keys must ascend
+// strictly across the whole run.
 package wire
 
 import (
@@ -77,6 +87,8 @@ const (
 	OpPred
 	OpLen
 	OpStats
+	OpMBatch
+	OpMLoad
 
 	opEnd // one past the last valid opcode
 )
@@ -89,6 +101,7 @@ var opNames = [opEnd]string{
 	OpInsert: "INSERT", OpDelete: "DELETE", OpContains: "CONTAINS",
 	OpScan: "SCAN", OpCount: "COUNT", OpMin: "MIN", OpMax: "MAX",
 	OpSucc: "SUCC", OpPred: "PRED", OpLen: "LEN", OpStats: "STATS",
+	OpMBatch: "MBATCH", OpMLoad: "MLOAD",
 }
 
 // String returns the protocol name of the opcode.
@@ -111,13 +124,14 @@ func Ops() []Op {
 // Response tags. They share a byte space with opcodes but start high so
 // a reply frame can never be mistaken for a request frame.
 const (
-	TagBool  uint8 = 0xB0 + iota // body: 1 byte, 0 or 1
-	TagInt                       // body: 8-byte big-endian int64
-	TagKey                       // body: ok byte + 8-byte key
-	TagBatch                     // body: n×8 key bytes, n ≥ 1
-	TagDone                      // body: 8-byte total key count of the scan
-	TagStats                     // body: JSON
-	TagErr                       // body: UTF-8 message
+	TagBool    uint8 = 0xB0 + iota // body: 1 byte, 0 or 1
+	TagInt                         // body: 8-byte big-endian int64
+	TagKey                         // body: ok byte + 8-byte key
+	TagBatch                       // body: n×8 key bytes, n ≥ 1
+	TagDone                        // body: 8-byte total key count of the scan
+	TagStats                       // body: JSON
+	TagErr                         // body: UTF-8 message
+	TagBoolVec                     // body: n bytes, each 0 or 1 (one per MBATCH sub-op)
 
 	tagEnd
 )
@@ -132,19 +146,44 @@ const MaxFrame = 1 << 16
 // Batch frame (8×ScanBatchCap + 1 ≤ MaxFrame).
 const ScanBatchCap = 4096
 
+// MBatchCap is the largest number of sub-ops one MBATCH frame holds
+// (9×MBatchCap + 1 ≤ MaxFrame); it also bounds BoolVec replies. The
+// Client splits larger batches transparently.
+const MBatchCap = (MaxFrame - 1) / 9
+
+// MLoadChunkCap is the largest number of keys one MLOAD frame holds
+// (8×MLoadChunkCap + 2 ≤ MaxFrame). The Client chunks larger loads
+// transparently; the logical request has no size limit of its own.
+const MLoadChunkCap = (MaxFrame - 2) / 8
+
 // ErrMalformed reports a structurally invalid frame (bad length for the
 // opcode/tag, unknown opcode/tag, or a declared length outside
 // [1, MaxFrame]). It is wrapped with detail; match with errors.Is.
 var ErrMalformed = errors.New("wire: malformed frame")
 
+// BatchEntry is one sub-operation of an MBATCH request: a point opcode
+// (OpInsert, OpDelete or OpContains) and its key.
+type BatchEntry struct {
+	Op  Op
+	Key int64
+}
+
 // Request is one decoded request. A holds the key of single-key ops and
-// the lower bound of SCAN/COUNT; B the upper bound.
+// the lower bound of SCAN/COUNT; B the upper bound. Ops is MBATCH's
+// sub-op vector; Keys and Last are MLOAD's chunk payload and final-chunk
+// flag. On decoded requests Ops and Keys alias the decoder's internal
+// buffer — valid only until the next decode call; copy to retain.
 type Request struct {
 	Op   Op
 	A, B int64
+	Ops  []BatchEntry // MBATCH sub-ops
+	Keys []int64      // MLOAD chunk keys
+	Last bool         // MLOAD: this chunk terminates the run
 }
 
-// arity returns how many int64 arguments op carries.
+// arity returns how many int64 arguments op carries; -1 marks opcodes
+// with variable-length payloads (and unknown ones), which Request
+// encoding/decoding handles out of line.
 func (o Op) arity() int {
 	switch o {
 	case OpInsert, OpDelete, OpContains, OpSucc, OpPred:
@@ -160,18 +199,19 @@ func (o Op) arity() int {
 // Response is one decoded reply frame. Which fields are meaningful
 // depends on Tag: Bool (TagBool), Int (TagInt and TagDone), OK+Int
 // (TagKey: Int is the key), Keys (TagBatch), Blob (TagStats, the JSON),
-// Msg (TagErr).
+// Msg (TagErr), Bools (TagBoolVec).
 //
-// Keys and Blob alias the decoder's internal buffer: they are valid only
-// until the next decode call. Copy them to retain.
+// Keys, Blob and Bools alias the decoder's internal buffers: they are
+// valid only until the next decode call. Copy them to retain.
 type Response struct {
-	Tag  uint8
-	Bool bool
-	OK   bool
-	Int  int64
-	Keys []int64
-	Blob []byte
-	Msg  string
+	Tag   uint8
+	Bool  bool
+	OK    bool
+	Int   int64
+	Keys  []int64
+	Blob  []byte
+	Msg   string
+	Bools []bool
 }
 
 // IsScanChunk reports whether the frame is part of a streaming SCAN
@@ -218,8 +258,16 @@ func (e *Encoder) fixed(lead uint8, extra []byte) error {
 	return err
 }
 
-// Request writes one request frame.
+// Request writes one request frame. MBATCH takes its sub-ops from r.Ops
+// and MLOAD its chunk from r.Keys and r.Last; every other opcode uses
+// A/B.
 func (e *Encoder) Request(r Request) error {
+	switch r.Op {
+	case OpMBatch:
+		return e.MBatch(r.Ops)
+	case OpMLoad:
+		return e.MLoad(r.Keys, r.Last)
+	}
 	n := r.Op.arity()
 	if n < 0 {
 		return fmt.Errorf("%w: encoding unknown opcode %d", ErrMalformed, r.Op)
@@ -228,6 +276,65 @@ func (e *Encoder) Request(r Request) error {
 	binary.BigEndian.PutUint64(buf[0:8], uint64(r.A))
 	binary.BigEndian.PutUint64(buf[8:16], uint64(r.B))
 	return e.fixed(uint8(r.Op), buf[:8*n])
+}
+
+// MBatch writes one MBATCH request frame carrying ops verbatim (the
+// whole frame is one shard-groupable batch; callers with more than
+// MBatchCap ops split them — Client.MBatch does so transparently). Only
+// OpInsert, OpDelete and OpContains sub-ops are legal; validation
+// happens before any bytes are written, so a rejected batch never
+// leaves a torn frame in the buffer. Empty batches are legal and get an
+// empty BoolVec reply.
+func (e *Encoder) MBatch(ops []BatchEntry) error {
+	if len(ops) > MBatchCap {
+		return fmt.Errorf("%w: MBATCH of %d ops exceeds cap %d", ErrMalformed, len(ops), MBatchCap)
+	}
+	for _, op := range ops {
+		switch op.Op {
+		case OpInsert, OpDelete, OpContains:
+		default:
+			return fmt.Errorf("%w: %v is not an MBATCH sub-op", ErrMalformed, op.Op)
+		}
+	}
+	if _, err := e.w.Write(e.header(1+9*len(ops), uint8(OpMBatch))); err != nil {
+		return err
+	}
+	var rec [9]byte
+	for _, op := range ops {
+		rec[0] = uint8(op.Op)
+		binary.BigEndian.PutUint64(rec[1:], uint64(op.Key))
+		if _, err := e.w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MLoad writes one MLOAD chunk of up to MLoadChunkCap keys; last marks
+// the chunk that terminates the logical bulk-ingest request. Empty
+// chunks are legal (a load of zero keys is one empty last chunk).
+func (e *Encoder) MLoad(keys []int64, last bool) error {
+	if len(keys) > MLoadChunkCap {
+		return fmt.Errorf("%w: MLOAD chunk of %d keys exceeds cap %d", ErrMalformed, len(keys), MLoadChunkCap)
+	}
+	flag := byte(0)
+	if last {
+		flag = 1
+	}
+	if _, err := e.w.Write(e.header(2+8*len(keys), uint8(OpMLoad))); err != nil {
+		return err
+	}
+	if err := e.w.WriteByte(flag); err != nil {
+		return err
+	}
+	var kb [8]byte
+	for _, k := range keys {
+		binary.BigEndian.PutUint64(kb[:], uint64(k))
+		if _, err := e.w.Write(kb[:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Bool writes a TagBool reply.
@@ -287,6 +394,28 @@ func (e *Encoder) Done(total int64) error {
 	return e.fixed(TagDone, buf)
 }
 
+// BoolVec writes a TagBoolVec reply: one result byte per MBATCH sub-op,
+// in sub-op order. Empty vectors are legal (the reply to an empty
+// MBATCH).
+func (e *Encoder) BoolVec(vals []bool) error {
+	if len(vals) > MBatchCap {
+		return fmt.Errorf("%w: BoolVec of %d results exceeds cap %d", ErrMalformed, len(vals), MBatchCap)
+	}
+	if _, err := e.w.Write(e.header(1+len(vals), TagBoolVec)); err != nil {
+		return err
+	}
+	for _, v := range vals {
+		b := byte(0)
+		if v {
+			b = 1
+		}
+		if err := e.w.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Stats writes a TagStats reply carrying a JSON document.
 func (e *Encoder) Stats(json []byte) error {
 	if 1+len(json) > MaxFrame {
@@ -314,9 +443,11 @@ func (e *Encoder) Error(msg string) error {
 // blocked reads with deadlines and must not lose a half-received
 // request.
 type Decoder struct {
-	r    *bufio.Reader
-	buf  []byte
-	keys []int64
+	r     *bufio.Reader
+	buf   []byte
+	keys  []int64
+	ops   []BatchEntry
+	bools []bool
 
 	// In-flight frame state (survives transient read errors).
 	hdr    [4]byte
@@ -389,13 +520,20 @@ func (d *Decoder) frame() ([]byte, error) {
 
 // Request decodes one request frame. io.EOF (clean close between
 // frames) passes through unwrapped so servers can distinguish an orderly
-// disconnect from protocol garbage.
+// disconnect from protocol garbage. The Ops and Keys of MBATCH/MLOAD
+// requests alias internal buffers; see Request.
 func (d *Decoder) Request() (Request, error) {
 	buf, err := d.frame()
 	if err != nil {
 		return Request{}, err
 	}
 	op := Op(buf[0])
+	switch op {
+	case OpMBatch:
+		return d.mbatch(buf[1:])
+	case OpMLoad:
+		return d.mload(buf[1:])
+	}
 	n := op.arity()
 	if n < 0 {
 		return Request{}, fmt.Errorf("%w: unknown opcode %d", ErrMalformed, buf[0])
@@ -411,6 +549,47 @@ func (d *Decoder) Request() (Request, error) {
 		req.B = int64(binary.BigEndian.Uint64(buf[9:17]))
 	}
 	return req, nil
+}
+
+// mbatch decodes an MBATCH body: n 9-byte (sub-op, key) records, n ≥ 0.
+func (d *Decoder) mbatch(body []byte) (Request, error) {
+	if len(body)%9 != 0 {
+		return Request{}, fmt.Errorf("%w: MBATCH body of %d bytes is not a record multiple", ErrMalformed, len(body))
+	}
+	n := len(body) / 9
+	if cap(d.ops) < n {
+		d.ops = make([]BatchEntry, n)
+	}
+	ops := d.ops[:n]
+	for i := range ops {
+		rec := body[9*i:]
+		sub := Op(rec[0])
+		switch sub {
+		case OpInsert, OpDelete, OpContains:
+		default:
+			return Request{}, fmt.Errorf("%w: byte %d is not an MBATCH sub-op", ErrMalformed, rec[0])
+		}
+		ops[i] = BatchEntry{Op: sub, Key: int64(binary.BigEndian.Uint64(rec[1:9]))}
+	}
+	return Request{Op: OpMBatch, Ops: ops}, nil
+}
+
+// mload decodes an MLOAD body: a last-chunk flag byte plus m 8-byte
+// keys, m ≥ 0.
+func (d *Decoder) mload(body []byte) (Request, error) {
+	if len(body) == 0 || body[0] > 1 || (len(body)-1)%8 != 0 {
+		return Request{}, fmt.Errorf("%w: bad MLOAD body of %d bytes", ErrMalformed, len(body))
+	}
+	last, body := body[0] == 1, body[1:]
+	m := len(body) / 8
+	if cap(d.keys) < m {
+		d.keys = make([]int64, m)
+	}
+	keys := d.keys[:m]
+	for i := range keys {
+		keys[i] = int64(binary.BigEndian.Uint64(body[8*i:]))
+	}
+	return Request{Op: OpMLoad, Keys: keys, Last: last}, nil
 }
 
 // Response decodes one reply frame. Keys and Blob alias internal
@@ -456,6 +635,18 @@ func (d *Decoder) Response() (Response, error) {
 		resp.Blob = body
 	case TagErr:
 		resp.Msg = string(body)
+	case TagBoolVec:
+		if cap(d.bools) < len(body) {
+			d.bools = make([]bool, len(body))
+		}
+		vals := d.bools[:len(body)]
+		for i, b := range body {
+			if b > 1 {
+				return Response{}, fmt.Errorf("%w: bad BoolVec byte %d", ErrMalformed, b)
+			}
+			vals[i] = b == 1
+		}
+		resp.Bools = vals
 	default:
 		return Response{}, fmt.Errorf("%w: unknown response tag %d", ErrMalformed, tag)
 	}

@@ -41,7 +41,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decode %d: %v", i, err)
 		}
-		if got != w {
+		if !requestsEqual(got, w) {
 			t.Fatalf("round trip %d: got %+v, want %+v", i, got, w)
 		}
 	}
@@ -121,6 +121,118 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMBatchRoundTrip: MBATCH requests and their BoolVec replies
+// round-trip, including the empty batch.
+func TestMBatchRoundTrip(t *testing.T) {
+	batches := [][]BatchEntry{
+		nil,
+		{{Op: OpInsert, Key: 1}},
+		{{Op: OpInsert, Key: math.MinInt64}, {Op: OpDelete, Key: -1}, {Op: OpContains, Key: math.MaxInt64}},
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, ops := range batches {
+		if err := enc.MBatch(ops); err != nil {
+			t.Fatalf("encode %v: %v", ops, err)
+		}
+	}
+	enc.Flush()
+	dec := NewDecoder(&buf)
+	for i, want := range batches {
+		got, err := dec.Request()
+		if err != nil || got.Op != OpMBatch {
+			t.Fatalf("decode %d: %+v, %v", i, got, err)
+		}
+		if !requestsEqual(got, Request{Op: OpMBatch, Ops: want}) {
+			t.Fatalf("batch %d: got %+v, want %+v", i, got.Ops, want)
+		}
+	}
+
+	buf.Reset()
+	vecs := [][]bool{nil, {true}, {true, false, true, false}}
+	for _, v := range vecs {
+		if err := enc.BoolVec(v); err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+	}
+	enc.Flush()
+	for i, want := range vecs {
+		r, err := dec.Response()
+		if err != nil || r.Tag != TagBoolVec || len(r.Bools) != len(want) {
+			t.Fatalf("BoolVec %d: %+v, %v", i, r, err)
+		}
+		for j := range want {
+			if r.Bools[j] != want[j] {
+				t.Fatalf("BoolVec %d[%d] = %v", i, j, r.Bools[j])
+			}
+		}
+	}
+}
+
+// TestMLoadRoundTrip: MLOAD chunks round-trip with their last flags.
+func TestMLoadRoundTrip(t *testing.T) {
+	chunks := []struct {
+		keys []int64
+		last bool
+	}{
+		{[]int64{1, 2, 3}, false},
+		{nil, false},
+		{[]int64{4}, true},
+		{nil, true},
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, c := range chunks {
+		if err := enc.MLoad(c.keys, c.last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc.Flush()
+	dec := NewDecoder(&buf)
+	for i, c := range chunks {
+		got, err := dec.Request()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !requestsEqual(got, Request{Op: OpMLoad, Keys: c.keys, Last: c.last}) {
+			t.Fatalf("chunk %d: got %+v, want %+v", i, got, c)
+		}
+	}
+}
+
+// TestMBatchCaps: over-cap MBATCH frames and sub-op validation fail
+// before any bytes hit the buffer (no torn frames).
+func TestMBatchCaps(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.MBatch(make([]BatchEntry, MBatchCap+1)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("over-cap MBATCH: %v", err)
+	}
+	if err := enc.MBatch([]BatchEntry{{Op: OpScan, Key: 1}}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("SCAN sub-op: %v", err)
+	}
+	if err := enc.MLoad(make([]int64, MLoadChunkCap+1), true); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("over-cap MLOAD: %v", err)
+	}
+	enc.Flush()
+	if buf.Len() != 0 {
+		t.Fatalf("rejected frames left %d bytes in the buffer", buf.Len())
+	}
+
+	ops := make([]BatchEntry, MBatchCap)
+	for i := range ops {
+		ops[i] = BatchEntry{Op: OpContains, Key: int64(i)}
+	}
+	if err := enc.MBatch(ops); err != nil {
+		t.Fatalf("cap MBATCH: %v", err)
+	}
+	enc.Flush()
+	got, err := NewDecoder(&buf).Request()
+	if err != nil || len(got.Ops) != MBatchCap {
+		t.Fatalf("cap MBATCH round trip: %d ops, %v", len(got.Ops), err)
+	}
+}
+
 // TestDecodeRejectsMalformed feeds structurally invalid frames and
 // expects ErrMalformed (not a panic, not a huge allocation).
 func TestDecodeRejectsMalformed(t *testing.T) {
@@ -137,6 +249,11 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		"short INSERT":       frame(byte(OpInsert), 1, 2, 3),
 		"long MIN":           frame(byte(OpMin), 9),
 		"SCAN missing bound": frame(byte(OpScan), 0, 0, 0, 0, 0, 0, 0, 1),
+		"ragged MBATCH":      frame(byte(OpMBatch), byte(OpInsert), 1, 2),
+		"MBATCH bad sub-op":  frame(byte(OpMBatch), byte(OpLen), 0, 0, 0, 0, 0, 0, 0, 1),
+		"MLOAD no flag":      frame(byte(OpMLoad)),
+		"MLOAD bad flag":     frame(byte(OpMLoad), 2),
+		"ragged MLOAD":       frame(byte(OpMLoad), 1, 5, 5),
 	}
 	for name, in := range cases {
 		if _, err := NewDecoder(bytes.NewReader(in)).Request(); !errors.Is(err, ErrMalformed) {
@@ -151,6 +268,7 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		"ragged batch":   frame(TagBatch, 1, 2, 3),
 		"short key":      frame(TagKey, 1),
 		"bad key flag":   frame(TagKey, 2, 0, 0, 0, 0, 0, 0, 0, 0),
+		"bad BoolVec":    frame(TagBoolVec, 1, 0, 2),
 	}
 	for name, in := range respCases {
 		if _, err := NewDecoder(bytes.NewReader(in)).Response(); !errors.Is(err, ErrMalformed) {
