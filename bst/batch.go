@@ -37,6 +37,13 @@ func (t *Tree) ApplyBatch(ops []BatchOp, res []bool) { t.t.ApplyOps(ops, res) }
 // replacement table, exactly like single ops. See DESIGN.md §11.
 func (m *ShardedMap) ApplyBatch(ops []BatchOp, res []bool) { m.s.ApplyBatch(ops, res) }
 
+// ApplyBatchPhases is ApplyBatch that additionally records each op's
+// commit phase into phases (ignored when nil, else at least len(ops)
+// long); see (*ShardedMap).InsertPhase for what the phase means.
+func (m *ShardedMap) ApplyBatchPhases(ops []BatchOp, res []bool, phases []uint64) {
+	m.s.ApplyBatchPhases(ops, res, phases)
+}
+
 // BulkLoad ingests a strictly ascending key sequence through the
 // migration machinery instead of per-key Inserts: one atomic cut of
 // every shard, each shard's frozen contents merged with its slice of the
@@ -51,3 +58,11 @@ func (m *ShardedMap) ApplyBatch(ops []BatchOp, res []bool) { m.s.ApplyBatch(ops,
 // migrations. On RelaxedScans maps (no shared clock, so no migration
 // cut) it degrades to an Insert loop with the same result.
 func (m *ShardedMap) BulkLoad(keys []int64) (added int, err error) { return m.s.BulkLoad(keys) }
+
+// BulkLoadPhase is BulkLoad that additionally reports the migration cut
+// phase the load was linearized at: reads at phases > cut observe every
+// loaded key. Durability logs a bulk load as one WAL record stamped with
+// this phase. Fails on RelaxedScans maps, which have no single cut.
+func (m *ShardedMap) BulkLoadPhase(keys []int64) (added int, cut uint64, err error) {
+	return m.s.BulkLoadPhase(keys)
+}

@@ -1,0 +1,139 @@
+// Command bstctl is a scriptable probe client for bstserver: one-shot
+// point ops and ordered queries over the wire protocol, built for shell
+// oracles (the CI crash-recovery smoke asserts LEN/scan checksums with
+// it) and quick manual poking.
+//
+// Usage:
+//
+//	bstctl [-addr HOST:PORT] [-retry DUR] COMMAND ARGS...
+//
+//	bstctl insert A B     insert keys [A, B); prints the effective count
+//	bstctl delete A B     delete keys [A, B); prints the effective count
+//	bstctl contains K     prints true/false
+//	bstctl len            prints the key count
+//	bstctl cksum A B      scans [A, B]; prints "<count> <sum>" — a cheap
+//	                      order-and-membership checksum for oracles
+//	bstctl min|max        prints the key, or "none"
+//
+// -retry keeps re-dialing until the budget elapses, so a script can
+// launch a (re)starting server and probe it without racing the listener.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7700", "server address")
+		retry = flag.Duration("retry", 5*time.Second, "dial retry budget (0 = single attempt)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fail("usage: bstctl [-addr HOST:PORT] insert|delete|contains|len|cksum|min|max ...")
+	}
+
+	c, err := dialRetry(*addr, *retry)
+	if err != nil {
+		fail("dial %s: %v", *addr, err)
+	}
+	defer c.Close()
+
+	switch cmd := args[0]; cmd {
+	case "insert", "delete":
+		a, b := keyArg(args, 1), keyArg(args, 2)
+		eff := int64(0)
+		for k := a; k < b; k++ {
+			var ok bool
+			var err error
+			if cmd == "insert" {
+				ok, err = c.Insert(k)
+			} else {
+				ok, err = c.Delete(k)
+			}
+			if err != nil {
+				fail("%s %d: %v", cmd, k, err)
+			}
+			if ok {
+				eff++
+			}
+		}
+		fmt.Println(eff)
+	case "contains":
+		ok, err := c.Contains(keyArg(args, 1))
+		if err != nil {
+			fail("contains: %v", err)
+		}
+		fmt.Println(ok)
+	case "len":
+		n, err := c.Len()
+		if err != nil {
+			fail("len: %v", err)
+		}
+		fmt.Println(n)
+	case "cksum":
+		a, b := keyArg(args, 1), keyArg(args, 2)
+		var count, sum int64
+		if _, err := c.Scan(a, b, func(k int64) bool {
+			count++
+			sum += k
+			return true
+		}); err != nil {
+			fail("scan: %v", err)
+		}
+		fmt.Println(count, sum)
+	case "min", "max":
+		var k int64
+		var ok bool
+		var err error
+		if cmd == "min" {
+			k, ok, err = c.Min()
+		} else {
+			k, ok, err = c.Max()
+		}
+		if err != nil {
+			fail("%s: %v", cmd, err)
+		}
+		if !ok {
+			fmt.Println("none")
+		} else {
+			fmt.Println(k)
+		}
+	default:
+		fail("unknown command %q", cmd)
+	}
+}
+
+func dialRetry(addr string, budget time.Duration) (*wire.Client, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		c, err := wire.Dial(addr)
+		if err == nil || time.Now().After(deadline) {
+			return c, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func keyArg(args []string, i int) int64 {
+	if i >= len(args) {
+		fail("%s: missing key argument %d", args[0], i)
+	}
+	k, err := strconv.ParseInt(args[i], 10, 64)
+	if err != nil {
+		fail("%s: bad key %q: %v", args[0], args[i], err)
+	}
+	return k
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bstctl: "+format+"\n", args...)
+	os.Exit(1)
+}

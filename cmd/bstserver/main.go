@@ -17,10 +17,18 @@
 // version-memory pruning so a long-lived server's heap tracks the live
 // set, not the update count.
 //
+// -persist DIR makes the served set durable (DESIGN.md §12): updates are
+// phase-stamped into a group-fsynced WAL before they are acknowledged,
+// -checkpoint-every streams periodic wait-free snapshot checkpoints that
+// truncate the log, and startup recovers newest-checkpoint + WAL-replay
+// before the listener opens. Persistence requires a sharded target with
+// the shared phase clock (-relaxed has no single cut to persist).
+//
 // On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
-// finishes in-flight and pipelined requests, flushes, and exits 0 — the
-// CI smoke job asserts exactly this. cmd/loadgen is the matching
-// closed-loop client.
+// finishes in-flight and pipelined requests, flushes (and with -persist,
+// fsyncs and closes the WAL), and exits 0 — the CI smoke jobs assert
+// exactly this. cmd/loadgen is the matching closed-loop client and
+// cmd/bstctl the scriptable probe.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 
 	"repro/bst"
 	"repro/internal/harness"
+	"repro/internal/persist"
 	"repro/internal/server"
 )
 
@@ -45,11 +54,14 @@ func main() {
 		compact  = flag.Duration("compact", 0, "periodic version-memory pruning interval; 0 disables")
 		drainFor = flag.Duration("drain", 10*time.Second, "graceful-drain budget on shutdown")
 		sockBuf  = flag.Int("sockbuf", 0, "per-connection socket send/receive buffer in bytes; 0 = OS default")
+		persDir  = flag.String("persist", "", "durability directory (WAL + checkpoints); empty disables")
+		ckptIvl  = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval with -persist; 0 = WAL only")
+		walSync  = flag.Duration("wal-sync", 0, "WAL fsync window with -persist; 0 = group-commit every update")
 	)
 	target := harness.RegisterTargetFlags(flag.CommandLine, harness.TargetSharded, false)
 	flag.Parse()
 
-	name, store, stops, err := buildStore(target, *keys, *compact)
+	name, store, stops, closeStore, err := buildStore(target, *keys, *compact, *persDir, *ckptIvl, *walSync)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bstserver:", err)
 		os.Exit(2)
@@ -84,6 +96,13 @@ func main() {
 	for _, stop := range stops {
 		stop()
 	}
+	// The WAL closes only after the listener has drained, so every
+	// acknowledged in-flight update is flushed and fsynced before exit.
+	if closeStore != nil {
+		if cerr := closeStore(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bstserver:", err)
 		os.Exit(1)
@@ -92,20 +111,26 @@ func main() {
 }
 
 // buildStore resolves the target cluster and constructs the served
-// implementation, returning its canonical name plus the stop functions
-// of any background machinery (rebalancer, compactor).
-func buildStore(target *harness.TargetFlags, keys int64, compact time.Duration) (string, server.Store, []func(), error) {
+// implementation, returning its canonical name, the stop functions of
+// any background machinery (rebalancer, compactor, checkpointer), and a
+// final closer that makes the WAL durable after the drain (nil without
+// -persist).
+func buildStore(target *harness.TargetFlags, keys int64, compact time.Duration, persDir string, ckptIvl, walSync time.Duration) (string, server.Store, []func(), func() error, error) {
 	if keys < 1 {
-		return "", nil, nil, fmt.Errorf("-keys must be positive")
+		return "", nil, nil, nil, fmt.Errorf("-keys must be positive")
 	}
 	name, err := target.Resolve(keys)
 	if err != nil {
-		return "", nil, nil, err
+		return "", nil, nil, nil, err
 	}
 	var stops []func()
 	var store server.Store
+	var closer func() error
 	switch {
 	case name == harness.TargetPNBBST:
+		if persDir != "" {
+			return "", nil, nil, nil, fmt.Errorf("-persist requires a sharded target (the composite snapshot cut is what a checkpoint streams)")
+		}
 		t := bst.New()
 		if compact > 0 {
 			stops = append(stops, t.StartAutoCompact(compact))
@@ -114,7 +139,7 @@ func buildStore(target *harness.TargetFlags, keys int64, compact time.Duration) 
 	default:
 		n, ok := harness.ParseAnySharded(name)
 		if !ok {
-			return "", nil, nil, fmt.Errorf("-impl %s is not servable (use pnbbst or a sharded target; the baselines have no linearizable scans to serve)", name)
+			return "", nil, nil, nil, fmt.Errorf("-impl %s is not servable (use pnbbst or a sharded target; the baselines have no linearizable scans to serve)", name)
 		}
 		var opts []bst.ShardedOption
 		if _, relaxed := harness.ParseShardedRelaxedTarget(name); relaxed {
@@ -124,7 +149,7 @@ func buildStore(target *harness.TargetFlags, keys int64, compact time.Duration) 
 		if _, auto := harness.ParseShardedAutoTarget(name); auto {
 			stop, err := m.StartAutoRebalance(bst.RebalanceConfig{})
 			if err != nil {
-				return "", nil, nil, err
+				return "", nil, nil, nil, err
 			}
 			stops = append(stops, stop)
 		}
@@ -132,6 +157,25 @@ func buildStore(target *harness.TargetFlags, keys int64, compact time.Duration) 
 			stops = append(stops, m.StartAutoCompact(compact))
 		}
 		store = m
+		if persDir != "" {
+			// Open's Logf reports the recovery image line on startup.
+			pm, _, err := persist.Open(persist.Config{
+				Dir:       persDir,
+				SyncEvery: walSync,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			}, m)
+			if err != nil {
+				return "", nil, nil, nil, fmt.Errorf("-persist %s: %w", persDir, err)
+			}
+			if ckptIvl > 0 {
+				stops = append(stops, pm.StartAutoCheckpoint(ckptIvl))
+			}
+			store = pm
+			closer = pm.Close
+			name += "+persist"
+		}
 	}
-	return name, store, stops, nil
+	return name, store, stops, closer, nil
 }

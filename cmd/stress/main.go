@@ -12,15 +12,20 @@
 //	stress [-impl pnbbst|sharded[<N>]] [-shards 8] [-relaxed] [-duration 30s] [-threads N] [-keys 4096]
 //	       [-seed 1] [-compact] [-rebalance] [-zipf 1.2] [-mem 1s]
 //	stress -soak [-duration 30s] [-conns 4] [-keys 16384] [-shards 8] [-rate 50000] [-zipf 1.2] [-seed 1]
+//	       [-persist DIR] [-checkpoint-every 1s]
 //
 // With -soak the rounds machinery is replaced by the all-features-on
 // soak (internal/scenario): a real TCP server over the sharded map with
 // auto-rebalance and auto-compact live, driven by zipf-skewed update
 // load plus a drifting TTL working set (open loop with -rate), while
 // mover/tear-scanner, oracle, stats-monotonicity and heap checkers audit
-// continuously. SIGINT/SIGTERM ends the soak early but gracefully — the
-// workload drains, the audits complete, and the exit status still
-// reflects them. Exit 0 iff every invariant held (SoakReport.Ok).
+// continuously. -persist adds the durability axis: every update is
+// WAL-logged, checkpoints stream every -checkpoint-every under full
+// churn, and teardown recovers the directory from scratch and fails the
+// run unless the image equals the final live set. SIGINT/SIGTERM ends
+// the soak early but gracefully — the workload drains, the audits
+// complete, and the exit status still reflects them. Exit 0 iff every
+// invariant held (SoakReport.Ok).
 //
 // The -impl/-shards/-relaxed/-rebalance/-zipf cluster is the shared
 // harness.TargetFlags wiring (same spellings and validation as
@@ -74,6 +79,8 @@ func main() {
 		soak     = flag.Bool("soak", false, "run the all-features-on soak (TCP serving + rebalance + compact + drift/TTL + continuous audits) instead of rounds")
 		conns    = flag.Int("conns", 4, "soak: workload connections")
 		rate     = flag.Float64("rate", 0, "soak: open-loop total offered ops/s; 0 = closed loop")
+		persist  = flag.String("persist", "", "soak: durability directory (WAL + periodic checkpoints under churn, recovery verified at teardown); empty disables")
+		ckEvery  = flag.Duration("checkpoint-every", time.Second, "soak: checkpoint interval with -persist")
 	)
 	target := harness.RegisterTargetFlags(flag.CommandLine, "pnbbst", true)
 	flag.Parse()
@@ -82,6 +89,7 @@ func main() {
 		os.Exit(runSoak(soakArgs{
 			duration: *duration, conns: *conns, keys: *keys,
 			shards: target.Shards, rate: *rate, zipf: target.Zipf(), seed: *seed,
+			persist: *persist, ckptEvery: *ckEvery,
 		}))
 	}
 
@@ -144,13 +152,15 @@ func main() {
 
 // soakArgs carries the flag subset the soak mode consumes.
 type soakArgs struct {
-	duration time.Duration
-	conns    int
-	keys     int64
-	shards   int
-	rate     float64
-	zipf     float64
-	seed     uint64
+	duration  time.Duration
+	conns     int
+	keys      int64
+	shards    int
+	rate      float64
+	zipf      float64
+	seed      uint64
+	persist   string
+	ckptEvery time.Duration
 }
 
 // runSoak runs the all-features-on soak with graceful signal handling
@@ -172,13 +182,15 @@ func runSoak(a soakArgs) int {
 	fmt.Printf("stress: soak %v, %d conns, %d keys, %d shards, rate=%g, seed %d\n",
 		a.duration, a.conns, a.keys, a.shards, a.rate, a.seed)
 	rep, err := scenario.Soak(scenario.SoakConfig{
-		Duration: a.duration,
-		Conns:    a.conns,
-		KeyRange: a.keys,
-		Shards:   a.shards,
-		Rate:     a.rate,
-		ZipfSkew: a.zipf,
-		Seed:     a.seed,
+		Duration:        a.duration,
+		Conns:           a.conns,
+		KeyRange:        a.keys,
+		Shards:          a.shards,
+		Rate:            a.rate,
+		ZipfSkew:        a.zipf,
+		Seed:            a.seed,
+		PersistDir:      a.persist,
+		CheckpointEvery: a.ckptEvery,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		},

@@ -76,8 +76,21 @@ type BatchOp struct {
 // Every completed op's contract is the single-op one; none of the
 // remainder left any trace.
 func (t *Tree) TryApplyOps(ops []BatchOp, res []bool) (applied int, ok bool) {
+	return t.TryApplyOpsPhases(ops, res, nil)
+}
+
+// TryApplyOpsPhases is TryApplyOps that additionally records each op's
+// deciding phase into phases (ignored when nil, else at least len(ops)
+// long). For effective Insert/Delete ops this is the exact commit phase,
+// with TryInsertPhase's guarantee; durability stamps per-op WAL records
+// with it. Note the cached phase makes runs of phases non-decreasing but
+// individual ops still get the phase their own successful attempt used.
+func (t *Tree) TryApplyOpsPhases(ops []BatchOp, res []bool, phases []uint64) (applied int, ok bool) {
 	if len(res) < len(ops) {
 		panic("core: TryApplyOps result slice shorter than ops")
+	}
+	if phases != nil && len(phases) < len(ops) {
+		panic("core: TryApplyOpsPhases phase slice shorter than ops")
 	}
 	for _, op := range ops {
 		checkKey(op.Key)
@@ -105,6 +118,9 @@ func (t *Tree) TryApplyOps(ops []BatchOp, res []bool) (applied int, ok bool) {
 			}
 			if st == opDone {
 				res[i] = r
+				if phases != nil {
+					phases[i] = seq
+				}
 				break
 			}
 			seq = t.clock.Now() // refresh the cached phase, then retry the op

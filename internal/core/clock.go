@@ -44,3 +44,20 @@ func (c *Clock) Open() uint64 {
 	c.c.Add(1)
 	return seq
 }
+
+// AdvanceTo raises the counter to at least v. It exists for durability:
+// WAL records are stamped with the phase their update committed at, and
+// replay filters on "phase > checkpoint cut", which is only meaningful if
+// phases are monotone across the whole log lineage. A freshly built tree
+// starts its clock at 0, so recovery advances it past every phase the old
+// process persisted before accepting new updates. Jumping the counter is
+// safe at any time — to every in-flight attempt it is indistinguishable
+// from a burst of Opens (stale attempts handshake-abort and retry).
+func (c *Clock) AdvanceTo(v uint64) {
+	for {
+		cur := c.c.Load()
+		if cur >= v || c.c.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -266,16 +266,30 @@ func (t *Tree) Insert(k int64) bool {
 // (see Seal) — so a committed attempt is part of the migration snapshot
 // and TryInsert reports ok=true for it.
 func (t *Tree) TryInsert(k int64) (res, ok bool) {
+	res, _, ok = t.TryInsertPhase(k)
+	return res, ok
+}
+
+// TryInsertPhase is TryInsert that additionally reports the phase the
+// deciding attempt ran at. For an effective insert (res=true) this is the
+// EXACT commit phase: the handshake check in help aborts any attempt whose
+// phase no longer matches the clock, so a commit at seq proves the clock
+// still read seq at decision time. Durability stamps WAL records with this
+// phase; a later checkpoint cut c therefore covers the update iff
+// phase <= c, which is what makes "replay records with phase > c" exact
+// (internal/persist). For res=false the phase is the one the duplicate
+// was observed at (the linearization phase of the failed insert).
+func (t *Tree) TryInsertPhase(k int64) (res bool, phase uint64, ok bool) {
 	checkKey(k)
 	s := t.pool.pins.enter(k)
 	defer t.pool.pins.exit(s)
 	for {
 		seq := t.clock.Now()
 		if t.sealed.Load() {
-			return false, false
+			return false, 0, false
 		}
 		if res, st := t.insertOnce(k, seq); st == opDone {
-			return res, true
+			return res, seq, true
 		}
 	}
 }
@@ -340,16 +354,24 @@ func (t *Tree) Delete(k int64) bool {
 // contract: ok=false means the tree is sealed and the delete did not take
 // effect; ok=true results are part of the migration snapshot.
 func (t *Tree) TryDelete(k int64) (res, ok bool) {
+	res, _, ok = t.TryDeletePhase(k)
+	return res, ok
+}
+
+// TryDeletePhase is TryDelete reporting the deciding attempt's phase,
+// with exactly TryInsertPhase's contract: for res=true it is the exact
+// commit phase of the delete.
+func (t *Tree) TryDeletePhase(k int64) (res bool, phase uint64, ok bool) {
 	checkKey(k)
 	s := t.pool.pins.enter(k)
 	defer t.pool.pins.exit(s)
 	for {
 		seq := t.clock.Now()
 		if t.sealed.Load() {
-			return false, false
+			return false, 0, false
 		}
 		if res, st := t.deleteOnce(k, seq); st == opDone {
-			return res, true
+			return res, seq, true
 		}
 	}
 }

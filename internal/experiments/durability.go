@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/bst"
+	"repro/internal/harness"
+	"repro/internal/persist"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// E17Durability — the cost of durability and the headline wait-free
+// checkpoint claim (DESIGN.md §12).
+//
+// E17a prices the WAL: identical update storms against the bare sharded
+// map, the group-committed WAL (every ack fsynced, leader batching), and
+// the windowed WAL (1ms fsync window) — throughput and update latency
+// percentiles side by side. Group commit trades per-op latency for
+// durability; the window mode buys most of the throughput back for a
+// bounded loss window.
+//
+// E17b measures — not asserts — the checkpoint dip: updates are counted
+// in fixed windows while a checkpoint streams the full map mid-run. A
+// stop-the-world checkpointer would crater the windows it spans; the
+// wait-free cut (rotate + shared-clock snapshot + stream from the frozen
+// phase) should leave them within noise of the surrounding baseline. The
+// table prints each window so the dip, if any, is visible rather than
+// averaged away.
+func E17Durability(o Options) {
+	keys := o.scale(1 << 16)
+	threads := o.MaxThreads
+
+	tab := harness.NewTable(
+		fmt.Sprintf("E17a: durability cost — update storm, %d keys, %d threads, 8 shards", keys, threads),
+		"mode", "updates/s", "p50", "p99", "max", "fsyncs", "appends")
+	for _, mode := range []struct {
+		name      string
+		persist   bool
+		syncEvery time.Duration
+	}{
+		{"off (no WAL)", false, 0},
+		{"wal group-commit", true, 0},
+		{"wal window 1ms", true, time.Millisecond},
+	} {
+		ops, hist, pst, err := e17Storm(o, keys, threads, mode.persist, mode.syncEvery, stormHooks{})
+		if err != nil {
+			fmt.Fprintf(o.Out, "E17a %s: %v\n", mode.name, err)
+			continue
+		}
+		syncs, appends := "-", "-"
+		if mode.persist {
+			syncs, appends = fmt.Sprint(pst.WALSyncs), fmt.Sprint(pst.WALAppends)
+		}
+		tab.AddRow(mode.name, ops,
+			time.Duration(hist.Percentile(50)).String(),
+			time.Duration(hist.Percentile(99)).String(),
+			time.Duration(hist.Max()).String(),
+			syncs, appends)
+	}
+	o.emit(tab)
+	e17Dip(o, keys, threads)
+}
+
+// e17Dip runs E17b: per-window writer throughput with one checkpoint
+// streamed mid-run (windowed WAL, so fsync scheduling noise does not
+// mask the signal).
+func e17Dip(o Options, keys int64, threads int) {
+	const windows = 12
+	winDur := o.Duration / windows
+	if winDur < 5*time.Millisecond {
+		winDur = 5 * time.Millisecond
+	}
+	var (
+		counts         [windows]uint64
+		window         atomic.Int64
+		ckStart, ckEnd atomic.Int64
+		ckStats        persist.CheckpointStats
+		ckErr          error
+		ckDone         = make(chan struct{})
+	)
+	ckStart.Store(-1)
+	ckEnd.Store(-1)
+	var ops atomic.Uint64
+	sampler := func(pm *persist.Map, done <-chan struct{}) {
+		var last uint64
+		fired := false
+		defer func() {
+			if !fired {
+				close(ckDone) // storm ended before the trigger window
+			}
+		}()
+		tick := time.NewTicker(winDur)
+		defer tick.Stop()
+		for w := 0; w < windows; w++ {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			window.Store(int64(w))
+			cur := ops.Load()
+			counts[w] = cur - last
+			last = cur
+			if w == windows/3 {
+				fired = true
+				go func() {
+					defer close(ckDone)
+					ckStart.Store(window.Load())
+					ckStats, ckErr = pm.Checkpoint()
+					ckEnd.Store(window.Load())
+				}()
+			}
+		}
+	}
+	if _, _, _, err := e17Storm(o, keys, threads, true, time.Millisecond, stormHooks{sampler: sampler, ops: &ops, joinBeforeClose: ckDone}); err != nil {
+		fmt.Fprintf(o.Out, "E17b: %v\n", err)
+		return
+	}
+	if ckErr != nil {
+		fmt.Fprintf(o.Out, "E17b: checkpoint: %v\n", ckErr)
+		return
+	}
+	cs, ce := int(ckStart.Load()), int(ckEnd.Load())
+	tab := harness.NewTable(
+		fmt.Sprintf("E17b: writer throughput per %v window; checkpoint streamed windows %d..%d (cut=%d, %d keys, %v)",
+			winDur.Round(time.Millisecond), cs, ce, ckStats.Cut, ckStats.Keys, ckStats.Took.Round(time.Millisecond)),
+		"window", "updates/s", "during checkpoint")
+	var base, baseN, ck, ckN float64
+	for w := 0; w < windows; w++ {
+		inCk := cs >= 0 && w >= cs && (ce < 0 || w <= ce)
+		rate := float64(counts[w]) / winDur.Seconds()
+		mark := ""
+		if inCk {
+			mark = "*"
+			ck += rate
+			ckN++
+		} else if w > 0 && counts[w] > 0 { // skip warmup and post-deadline residue
+			base += rate
+			baseN++
+		}
+		tab.AddRow(w, rate, mark)
+	}
+	o.emit(tab)
+	if baseN > 0 && ckN > 0 && base > 0 {
+		fmt.Fprintf(o.Out,
+			"E17b: mean updates/s outside checkpoint %.0f, during checkpoint %.0f (%.1f%% of baseline)\n\n",
+			base/baseN, ck/ckN, (ck/ckN)/(base/baseN)*100)
+	}
+}
+
+// stormHooks are e17Storm's optional E17b attachments: a sampler running
+// alongside the storm, a completed-update counter, and a channel the
+// storm must wait on before closing the persist.Map (the in-flight
+// checkpoint's completion).
+type stormHooks struct {
+	sampler         func(pm *persist.Map, done <-chan struct{})
+	ops             *atomic.Uint64
+	joinBeforeClose <-chan struct{}
+}
+
+// e17Storm runs threads update workers against a fresh 8-shard map for
+// o.Duration, optionally wrapped in a persist.Map on a temp directory,
+// and returns aggregate throughput, the merged latency histogram, and
+// the final durability counters.
+func e17Storm(o Options, keys int64, threads int, persistOn bool, syncEvery time.Duration, hooks stormHooks) (float64, *stats.Histogram, persist.Stats, error) {
+	m := bst.NewShardedRange(0, keys-1, 8)
+	var pm *persist.Map
+	insert, del := m.Insert, m.Delete
+	if persistOn {
+		dir, err := os.MkdirTemp("", "e17-")
+		if err != nil {
+			return 0, nil, persist.Stats{}, err
+		}
+		defer os.RemoveAll(dir)
+		pm, _, err = persist.Open(persist.Config{Dir: dir, SyncEvery: syncEvery}, m)
+		if err != nil {
+			return 0, nil, persist.Stats{}, err
+		}
+		defer pm.Close()
+		insert, del = pm.Insert, pm.Delete
+	}
+	// Prefill to half occupancy so inserts and deletes both do real work;
+	// direct, unlogged — prefill is not part of the measurement.
+	rng := workload.NewRNG(o.Seed)
+	for i := int64(0); i < keys/2; i++ {
+		m.Insert(rng.Intn(keys))
+	}
+
+	done := make(chan struct{})
+	var samplerWg sync.WaitGroup
+	if hooks.sampler != nil {
+		samplerWg.Add(1)
+		go func() {
+			defer samplerWg.Done()
+			hooks.sampler(pm, done)
+		}()
+	}
+	var wg sync.WaitGroup
+	hists := make([]*stats.Histogram, threads)
+	var total atomic.Uint64
+	deadline := time.Now().Add(o.Duration)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		hists[w] = stats.NewHistogram()
+		go func(w int) {
+			defer wg.Done()
+			h := hists[w]
+			r := workload.NewRNG(o.Seed + 7*uint64(w) + 1)
+			n := uint64(0)
+			for time.Now().Before(deadline) {
+				k := r.Intn(keys)
+				t0 := time.Now()
+				if r.Intn(2) == 0 {
+					insert(k)
+				} else {
+					del(k)
+				}
+				h.Record(time.Since(t0).Nanoseconds())
+				n++
+				if hooks.ops != nil {
+					hooks.ops.Add(1)
+				}
+			}
+			total.Add(n)
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	samplerWg.Wait()
+	if hooks.joinBeforeClose != nil {
+		<-hooks.joinBeforeClose
+	}
+
+	merged := stats.NewHistogram()
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	var pst persist.Stats
+	if pm != nil {
+		pst = pm.Stats()
+	}
+	return float64(total.Load()) / o.Duration.Seconds(), merged, pst, nil
+}

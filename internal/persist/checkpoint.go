@@ -1,0 +1,245 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Checkpoint file layout (all frames, see frame.go):
+//
+//	header frame:  ckptMagic | cut phase uvarint
+//	block frames:  key count uvarint | that many zigzag-varint keys
+//	footer frame:  ckptFooter | total key count uvarint
+//
+// The file is written to ckpt-<cut>.tmp and renamed into place only
+// after an fsync, so a crash mid-checkpoint leaves either the previous
+// checkpoint untouched plus an ignorable .tmp, or a complete new file —
+// never a half-visible image. The footer doubles as the completeness
+// witness: a CRC-valid prefix of a checkpoint without its footer (e.g. a
+// .tmp renamed by hand, or bit rot truncating the file) is rejected and
+// recovery falls back to the next-newest image.
+var (
+	ckptMagic  = []byte("PNBCKP1\n")
+	ckptFooter = []byte("PNBCKEND")
+)
+
+func ckptPath(dir string, cut uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%016x.ckpt", cut))
+}
+
+// keyStreamer is the view a checkpoint streams: bst.ShardedSnapshot
+// satisfies it, and so does any frozen ascending key source in tests.
+type keyStreamer interface {
+	Range(a, b int64, visit func(k int64) bool)
+}
+
+// writeCheckpoint streams view's keys (ascending, as Range guarantees)
+// into a durable checkpoint image for cut, blockSize keys per frame.
+// gate, when non-nil, is called before each block frame is written —
+// the test hook that lets a tear-check hold the stream mid-checkpoint
+// while movers churn the live map. Returns the final path and key count.
+func writeCheckpoint(dir string, cut uint64, view keyStreamer, blockSize int, gate func(block int)) (string, int, error) {
+	if blockSize <= 0 {
+		blockSize = 8192
+	}
+	tmp := ckptPath(dir, cut) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", 0, err
+	}
+	// On any failure, abandon the temp file; recovery ignores *.tmp and
+	// Open sweeps them.
+	w := bufio.NewWriterSize(f, 1<<16)
+	hdr := binary.AppendUvarint(append([]byte(nil), ckptMagic...), cut)
+	if _, err := w.Write(appendFrame(nil, hdr)); err != nil {
+		f.Close()
+		return "", 0, err
+	}
+
+	var (
+		block   = make([]int64, 0, blockSize)
+		buf     []byte
+		total   int
+		blockNo int
+		werr    error
+	)
+	flushBlock := func() bool {
+		if len(block) == 0 {
+			return true
+		}
+		if gate != nil {
+			gate(blockNo)
+		}
+		blockNo++
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, uint64(len(block)))
+		for _, k := range block {
+			buf = binary.AppendVarint(buf, k)
+		}
+		_, werr = w.Write(appendFrame(nil, buf))
+		total += len(block)
+		block = block[:0]
+		return werr == nil
+	}
+	view.Range(core.MinKey, core.MaxKey, func(k int64) bool {
+		block = append(block, k)
+		if len(block) == blockSize {
+			return flushBlock()
+		}
+		return true
+	})
+	if werr == nil {
+		flushBlock()
+	}
+	if werr != nil {
+		f.Close()
+		return "", 0, werr
+	}
+	footer := binary.AppendUvarint(append([]byte(nil), ckptFooter...), uint64(total))
+	if _, err := w.Write(appendFrame(nil, footer)); err != nil {
+		f.Close()
+		return "", 0, err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return "", 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", 0, err
+	}
+	if err := f.Close(); err != nil {
+		return "", 0, err
+	}
+	final := ckptPath(dir, cut)
+	if err := os.Rename(tmp, final); err != nil {
+		return "", 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return "", 0, err
+	}
+	return final, total, nil
+}
+
+// errInvalidCheckpoint reports a checkpoint file that fails validation
+// (torn frame, missing footer, bad magic, count mismatch, unsorted
+// keys). Recovery treats it as absent and falls back to an older image.
+var errInvalidCheckpoint = errors.New("persist: invalid checkpoint")
+
+// loadCheckpoint reads and fully validates one checkpoint file,
+// returning its keys (strictly ascending) and cut phase.
+func loadCheckpoint(path string) ([]int64, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	hdr, err := readFrame(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: header: %v", errInvalidCheckpoint, err)
+	}
+	if len(hdr) < len(ckptMagic) || string(hdr[:len(ckptMagic)]) != string(ckptMagic) {
+		return nil, 0, fmt.Errorf("%w: bad magic", errInvalidCheckpoint)
+	}
+	cut, n := binary.Uvarint(hdr[len(ckptMagic):])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad cut phase", errInvalidCheckpoint)
+	}
+	var keys []int64
+	for {
+		payload, err := readFrame(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, errTornFrame) {
+				return nil, 0, fmt.Errorf("%w: no footer", errInvalidCheckpoint)
+			}
+			return nil, 0, err
+		}
+		if len(payload) >= len(ckptFooter) && string(payload[:len(ckptFooter)]) == string(ckptFooter) {
+			want, n := binary.Uvarint(payload[len(ckptFooter):])
+			if n <= 0 || want != uint64(len(keys)) {
+				return nil, 0, fmt.Errorf("%w: footer count %d != %d keys", errInvalidCheckpoint, want, len(keys))
+			}
+			// The image must be strictly ascending: the bulk-load build
+			// requires it, and it is a cheap whole-file integrity check.
+			for i := 1; i < len(keys); i++ {
+				if keys[i] <= keys[i-1] {
+					return nil, 0, fmt.Errorf("%w: keys not strictly ascending", errInvalidCheckpoint)
+				}
+			}
+			return keys, cut, nil
+		}
+		count, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("%w: bad block count", errInvalidCheckpoint)
+		}
+		payload = payload[n:]
+		for j := uint64(0); j < count; j++ {
+			k, n := binary.Varint(payload)
+			if n <= 0 {
+				return nil, 0, fmt.Errorf("%w: block key truncated", errInvalidCheckpoint)
+			}
+			payload = payload[n:]
+			keys = append(keys, k)
+		}
+	}
+}
+
+// listCheckpoints returns the cut phases of the checkpoint files in dir,
+// ascending.
+func listCheckpoints(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var cuts []uint64
+	for _, e := range ents {
+		var cut uint64
+		// Sscanf does not anchor at end of input, so require the name to
+		// round-trip exactly — "ckpt-*.ckpt.tmp" must not parse.
+		if n, err := fmt.Sscanf(e.Name(), "ckpt-%x.ckpt", &cut); n == 1 && err == nil &&
+			e.Name() == filepath.Base(ckptPath(dir, cut)) {
+			cuts = append(cuts, cut)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	return cuts, nil
+}
+
+// removeCheckpointsBelow deletes checkpoint files older than cut, the
+// tail end of checkpoint-then-truncate rotation.
+func removeCheckpointsBelow(dir string, cut uint64) error {
+	cuts, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	for _, c := range cuts {
+		if c < cut {
+			if err := os.Remove(ckptPath(dir, c)); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(dir)
+}
+
+// sweepTemps removes leftover .tmp files from crashed checkpoints.
+func sweepTemps(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}

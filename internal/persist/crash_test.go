@@ -1,0 +1,237 @@
+package persist
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestKillMinusNineRecovery is the end-to-end crash drill: a real
+// bstserver process with -persist and fast periodic checkpoints, a
+// client applying acknowledged ops into a sequential oracle, and SIGKILL
+// fired mid-traffic — so kills land mid-checkpoint and mid-batch. After
+// each kill the restarted server must recover exactly the acknowledged
+// set, modulo the single op that was in flight (sent, ack never read)
+// at the instant of the kill: group commit makes every ACKED op durable,
+// and the in-flight one may have committed or not — both are correct.
+// The final cycle drains with SIGTERM instead and must exit 0 with the
+// oracle matched exactly.
+func TestKillMinusNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash drill")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "bstserver")
+	build := exec.Command(goTool, "build", "-o", bin, "./cmd/bstserver")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building bstserver: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-addr", addr,
+			"-persist", dir,
+			"-checkpoint-every", "50ms",
+			"-keys", "65536",
+			"-shards", "4",
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting bstserver: %v", err)
+		}
+		return cmd
+	}
+
+	oracle := make(map[int64]bool) // acknowledged membership
+	rng := rand.New(rand.NewSource(1))
+
+	// churn applies n random acked ops (point ops and small MBATCHes)
+	// and returns the keys of the op in flight when conn died, if any.
+	churn := func(c *wire.Client, n int) ([]int64, bool) {
+		for i := 0; i < n; i++ {
+			if rng.Intn(8) == 0 { // a batch: its records share one WAL frame
+				ents := make([]wire.BatchEntry, 4)
+				keys := make([]int64, 4)
+				for j := range ents {
+					k := int64(rng.Intn(4096))
+					keys[j] = k
+					op := wire.OpInsert
+					if rng.Intn(3) == 0 {
+						op = wire.OpDelete
+					}
+					ents[j] = wire.BatchEntry{Op: op, Key: k}
+				}
+				res, err := c.MBatch(ents)
+				if err != nil {
+					return keys, false
+				}
+				for j, ok := range res {
+					if ok {
+						oracle[keys[j]] = ents[j].Op == wire.OpInsert
+					}
+				}
+				continue
+			}
+			k := int64(rng.Intn(4096))
+			if rng.Intn(3) == 0 {
+				if ok, err := c.Delete(k); err != nil {
+					return []int64{k}, false
+				} else if ok {
+					oracle[k] = false
+				}
+			} else {
+				if ok, err := c.Insert(k); err != nil {
+					return []int64{k}, false
+				} else if ok {
+					oracle[k] = true
+				}
+			}
+		}
+		return nil, true
+	}
+
+	verify := func(c *wire.Client, uncertain []int64, what string) {
+		t.Helper()
+		got := make(map[int64]bool)
+		if _, err := c.Scan(0, 65535, func(k int64) bool {
+			got[k] = true
+			return true
+		}); err != nil {
+			t.Fatalf("%s: scan: %v", what, err)
+		}
+		loose := make(map[int64]bool, len(uncertain))
+		for _, k := range uncertain {
+			loose[k] = true
+		}
+		for k, want := range oracle {
+			if !loose[k] && got[k] != want {
+				t.Fatalf("%s: key %d: recovered %v, oracle %v", what, k, got[k], want)
+			}
+			// Uncertain keys: adopt the recovered truth as the new oracle.
+			if loose[k] {
+				oracle[k] = got[k]
+			}
+		}
+		for k := range got {
+			if _, known := oracle[k]; !known && !loose[k] {
+				t.Fatalf("%s: recovered key %d the oracle never acked", what, k)
+			}
+		}
+	}
+
+	var uncertain []int64
+	const cycles = 3
+	for cycle := 0; cycle < cycles; cycle++ {
+		cmd := start()
+		c, err := dialRetry(addr, 10*time.Second)
+		if err != nil {
+			cmd.Process.Kill()
+			t.Fatalf("cycle %d: dial: %v", cycle, err)
+		}
+		verify(c, uncertain, fmt.Sprintf("cycle %d post-restart", cycle))
+		uncertain = nil
+
+		if cycle < cycles-1 {
+			// Kill mid-traffic: churn on a second goroutine-free path —
+			// single connection, synchronous ops — and SIGKILL on a timer,
+			// so the kill lands wherever the server happens to be
+			// (streaming a checkpoint every 50ms, mid-batch one op in 8).
+			killAt := time.Now().Add(time.Duration(150+rng.Intn(200)) * time.Millisecond)
+			for time.Now().Before(killAt) {
+				if inflight, ok := churn(c, 16); !ok {
+					uncertain = inflight // conn died under us: kill already landed
+					break
+				}
+			}
+			cmd.Process.Kill()
+			if inflight, ok := churn(c, 4); !ok && uncertain == nil {
+				uncertain = inflight
+			}
+			c.Close()
+			cmd.Wait()
+		} else {
+			// Final cycle: a clean SIGTERM drain must exit 0 and lose nothing.
+			if _, ok := churn(c, 500); !ok {
+				t.Fatal("final churn failed against a live server")
+			}
+			c.Close()
+			cmd.Process.Signal(os.Interrupt)
+			if err := cmd.Wait(); err != nil {
+				t.Fatalf("SIGTERM drain: server exited non-zero: %v", err)
+			}
+			img, err := Recover(dir)
+			if err != nil {
+				t.Fatalf("post-drain recovery: %v", err)
+			}
+			for _, k := range img.Keys {
+				if !oracle[k] {
+					t.Fatalf("post-drain: key %d durable but not in oracle", k)
+				}
+			}
+			n := 0
+			for _, present := range oracle {
+				if present {
+					n++
+				}
+			}
+			if n != len(img.Keys) {
+				t.Fatalf("post-drain: %d keys durable, oracle has %d", len(img.Keys), n)
+			}
+		}
+	}
+}
+
+func dialRetry(addr string, budget time.Duration) (*wire.Client, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		c, err := wire.Dial(addr)
+		if err == nil || time.Now().After(deadline) {
+			return c, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}

@@ -1,0 +1,199 @@
+package persist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Image is the state Recover reconstructs from a persist directory: the
+// final key set plus everything Open needs to resume the log lineage.
+type Image struct {
+	// Keys is the recovered key set, strictly ascending — ready for the
+	// bulk-load build.
+	Keys []int64
+
+	// Cut is the checkpoint cut phase the image started from (0 when
+	// HasCheckpoint is false: recovery from WAL alone, over an empty
+	// image at cut 0 — no committed phase is <= 0, so nothing is lost).
+	Cut           uint64
+	HasCheckpoint bool
+	// CheckpointKeys counts the keys the checkpoint contributed, before
+	// replay (it may legitimately be zero: a checkpoint of an empty map
+	// is a valid, complete image).
+	CheckpointKeys int
+
+	// MaxPhase is the highest phase seen anywhere — cut or WAL record,
+	// filtered or not. The recovering process must advance its clock past
+	// it before accepting updates, so new commit phases extend the
+	// lineage monotonically.
+	MaxPhase uint64
+
+	// NextSeg is the first free WAL segment index for new appends.
+	// Recovery never appends to an existing segment (its tail may be
+	// torn); the old segments stay until the next checkpoint truncates
+	// them, and a future recovery re-drops their torn tails the same way.
+	NextSeg uint64
+
+	// Replay statistics. WALRecords counts decoded records; WALApplied
+	// counts those with phase > Cut that replay applied; TornTail counts
+	// frames dropped from the newest segment's crash residue; and
+	// BadCheckpoints lists checkpoint files that failed validation and
+	// were skipped (newest-valid-wins).
+	WALRecords     int
+	WALApplied     int
+	WALSegments    int
+	TornTail       int
+	BadCheckpoints []string
+}
+
+// Recover rebuilds the durable state of dir: newest valid checkpoint
+// image + replay of exactly the WAL records with phase > the image's cut.
+//
+// Replay is order-independent, which is what makes it exact under the
+// concurrent WAL: records are appended by racing writers, so log order
+// is NOT commit order. But the log only holds EFFECTIVE point ops — each
+// recInsert/recDelete flipped its key's membership when it committed —
+// so for a key with no bulk loads, final presence is
+//
+//	image(k) XOR parity(point records for k with phase > cut)
+//
+// and parity needs no order. Bulk loads union their keys in at their cut
+// phase b; a point flip on k at phase <= b is pre-union (the load's
+// replacement trees only serve phases > b, so any flip AT b committed in
+// a pre-load tree), and a flip at phase > b post-dates it. Hence per
+// key: presence after the LAST load containing k is true, and only the
+// parity of flips above that load's phase still applies.
+func Recover(dir string) (*Image, error) {
+	img := &Image{}
+
+	// Newest valid checkpoint wins; invalid ones (torn temp renamed by
+	// hand, bit rot, count mismatch) are skipped, not fatal.
+	cuts, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	var image []int64
+	for i := len(cuts) - 1; i >= 0; i-- {
+		keys, cut, err := loadCheckpoint(ckptPath(dir, cuts[i]))
+		if err != nil {
+			img.BadCheckpoints = append(img.BadCheckpoints, ckptPath(dir, cuts[i]))
+			continue
+		}
+		image, img.Cut, img.HasCheckpoint = keys, cut, true
+		img.CheckpointKeys = len(keys)
+		break
+	}
+	img.MaxPhase = img.Cut
+
+	// One pass over the WAL, retaining per-key events above the cut.
+	type keyState struct {
+		maxLoad uint64 // highest load phase containing the key
+		hasLoad bool
+		flips   []uint64 // point-record phases (all > cut)
+	}
+	events := make(map[int64]*keyState)
+	at := func(k int64) *keyState {
+		s := events[k]
+		if s == nil {
+			s = &keyState{}
+			events[k] = s
+		}
+		return s
+	}
+	st, maxSeg, err := replaySegments(dir, func(r record) error {
+		if r.phase > img.MaxPhase {
+			img.MaxPhase = r.phase
+		}
+		if r.phase <= img.Cut {
+			return nil // covered by the checkpoint image
+		}
+		img.WALApplied++
+		switch r.kind {
+		case recInsert, recDelete:
+			at(r.key).flips = append(at(r.key).flips, r.phase)
+		case recLoad:
+			for _, k := range r.keys {
+				s := at(k)
+				if !s.hasLoad || r.phase > s.maxLoad {
+					s.hasLoad, s.maxLoad = true, r.phase
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	img.WALRecords = st.Records
+	img.WALSegments = st.Segments
+	img.TornTail = st.TornTail + st.BadHeader
+	img.NextSeg = maxSeg + 1
+	if st.Segments == 0 {
+		img.NextSeg = 1
+	}
+
+	// Resolve each touched key, then merge with the checkpoint image.
+	type change struct {
+		key int64
+		on  bool
+	}
+	changes := make([]change, 0, len(events))
+	inImage := func(k int64) bool {
+		i := sort.Search(len(image), func(i int) bool { return image[i] >= k })
+		return i < len(image) && image[i] == k
+	}
+	for k, s := range events {
+		var on bool
+		if s.hasLoad {
+			on = true // present after the last load containing k...
+			for _, p := range s.flips {
+				if p > s.maxLoad { // ...flipped only by records above it
+					on = !on
+				}
+			}
+		} else {
+			on = inImage(k)
+			for range s.flips {
+				on = !on
+			}
+		}
+		changes = append(changes, change{key: k, on: on})
+	}
+	sort.Slice(changes, func(i, j int) bool { return changes[i].key < changes[j].key })
+
+	out := make([]int64, 0, len(image)+len(changes))
+	ci := 0
+	for _, k := range image {
+		for ci < len(changes) && changes[ci].key < k {
+			if changes[ci].on {
+				out = append(out, changes[ci].key)
+			}
+			ci++
+		}
+		if ci < len(changes) && changes[ci].key == k {
+			if changes[ci].on {
+				out = append(out, k)
+			}
+			ci++
+			continue
+		}
+		out = append(out, k)
+	}
+	for ; ci < len(changes); ci++ {
+		if changes[ci].on {
+			out = append(out, changes[ci].key)
+		}
+	}
+	img.Keys = out
+	return img, nil
+}
+
+// String summarizes a recovery for logs.
+func (img *Image) String() string {
+	src := "no checkpoint"
+	if img.HasCheckpoint {
+		src = fmt.Sprintf("checkpoint cut=%d keys=%d", img.Cut, img.CheckpointKeys)
+	}
+	return fmt.Sprintf("persist: recovered %d keys (%s; wal: %d segments, %d records, %d applied, %d torn frames dropped; %d invalid checkpoints skipped)",
+		len(img.Keys), src, img.WALSegments, img.WALRecords, img.WALApplied, img.TornTail, len(img.BadCheckpoints))
+}

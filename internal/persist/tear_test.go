@@ -1,0 +1,204 @@
+package persist
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/bst"
+)
+
+// TestCheckpointTearCheck is the persistence edition of the E13/E15 tear
+// oracle: movers relocate key pairs across a shard boundary while the
+// checkpoint streams (the stream deliberately stalled between blocks via
+// ckptGate, and Split/Merge churning shard topology underneath), and the
+// checkpoint image must still be an atomic cut.
+//
+// Each mover owns a (home, away) pair on opposite sides of a shard
+// boundary and cycles Delete(home) → Insert(away) → Delete(away) →
+// Insert(home), so the pair's live state is always {home}, {}, or
+// {away} — never both. A torn image — home captured before its delete,
+// away captured after its insert — would contain BOTH. The composite
+// snapshot's shared-clock cut makes that impossible no matter how slowly
+// the checkpoint drains, and this test holds it to that.
+func TestCheckpointTearCheck(t *testing.T) {
+	const (
+		pairs    = 8
+		homeBase = 100 // shard 0 of 4 over [0, 999] (width 250)
+		awayBase = 600 // shard 2
+	)
+	m := bst.NewShardedRange(0, 999, 4)
+	dir := t.TempDir()
+	p, _, err := Open(Config{Dir: dir, CheckpointBlock: 16}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Fixed residents pad the image so it spans many 16-key blocks —
+	// many gate stalls, many mover cycles mid-stream.
+	var fixed []int64
+	for k := int64(0); k < 1000; k += 7 {
+		if (k >= homeBase && k < homeBase+pairs) || (k >= awayBase && k < awayBase+pairs) {
+			continue
+		}
+		p.Insert(k)
+		fixed = append(fixed, k)
+	}
+	for i := int64(0); i < pairs; i++ {
+		p.Insert(homeBase + i) // each pair starts at home
+	}
+
+	// Stall the stream between blocks so movers run mid-checkpoint.
+	var gateHits atomic.Int64
+	p.ckptGate = func(int) {
+		gateHits.Add(1)
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var cycles atomic.Int64
+	for i := int64(0); i < pairs; i++ {
+		wg.Add(1)
+		go func(home, away int64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.Delete(home)
+				p.Insert(away)
+				p.Delete(away)
+				p.Insert(home)
+				cycles.Add(1)
+			}
+		}(homeBase+i, awayBase+i)
+	}
+	// Shard topology churn under the stream: the snapshot pins its cut
+	// before migration installs new tables, so Split/Merge must not
+	// perturb the image either.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := m.Split(1); err == nil {
+				m.Merge(1)
+			}
+		}
+	}()
+
+	st, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if gateHits.Load() < 5 || cycles.Load() == 0 {
+		t.Fatalf("stream not contended enough: %d blocks gated, %d mover cycles",
+			gateHits.Load(), cycles.Load())
+	}
+	t.Logf("checkpoint cut=%d keys=%d; %d blocks gated, %d mover cycles mid-stream",
+		st.Cut, st.Keys, gateHits.Load(), cycles.Load())
+
+	// The image must be an atomic cut: every fixed resident present, and
+	// per pair at most one side — never home AND away.
+	keys, cut, err := loadCheckpoint(st.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != st.Cut {
+		t.Fatalf("file cut %d != reported cut %d", cut, st.Cut)
+	}
+	in := make(map[int64]bool, len(keys))
+	for _, k := range keys {
+		in[k] = true
+	}
+	for _, k := range fixed {
+		if !in[k] {
+			t.Fatalf("fixed resident %d missing from image", k)
+		}
+	}
+	for i := int64(0); i < pairs; i++ {
+		if in[homeBase+i] && in[awayBase+i] {
+			t.Fatalf("torn image: pair %d captured on BOTH sides of the boundary (home %d and away %d)",
+				i, homeBase+i, awayBase+i)
+		}
+	}
+
+	// And recovery from that mid-churn checkpoint + the WAL above its
+	// cut must reproduce the final state exactly.
+	want := p.Keys()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys(t, img.Keys, want, "recovered after mid-churn checkpoint")
+}
+
+// TestCheckpointDuringBulkLoad pins the cutMu contract: a BulkLoad's cut
+// and a checkpoint's cut are serialized, so whichever phase is lower is
+// fully ordered before the other — the image either contains the whole
+// load or none of it, and replay restores the rest.
+func TestCheckpointDuringBulkLoad(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := openTest(t, dir)
+	defer p.Close()
+	for k := int64(0); k < 512; k++ {
+		p.Insert(k * 4)
+	}
+	p.ckptGate = func(int) { time.Sleep(time.Millisecond) }
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([]int64, 0, 64)
+		next := int64(1 << 16)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch = batch[:0]
+			for j := int64(0); j < 64; j++ {
+				batch = append(batch, next)
+				next += 3
+			}
+			if _, err := p.BulkLoad(batch); err != nil {
+				t.Errorf("BulkLoad: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := p.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	want := p.Keys()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := openTest(t, dir)
+	defer p2.Close()
+	wantKeys(t, p2.Keys(), want, "recovered across load/checkpoint races")
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/bst"
 	"repro/internal/loadgen"
+	"repro/internal/persist"
 	"repro/internal/server"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -30,6 +31,14 @@ type SoakConfig struct {
 	CompactEvery   time.Duration // StartAutoCompact interval; default 100ms
 	RebalanceEvery time.Duration // AutoRebalance tick; default 25ms
 	CheckEvery     time.Duration // stats/heap/oracle-scan cadence; default 250ms
+
+	// PersistDir adds the durability axis: the served store is wrapped in
+	// a persist.Map on this directory, checkpoints stream every
+	// CheckpointEvery (default 1s) under full churn, and teardown runs a
+	// recovery-and-verify pass — the recovered image must equal the final
+	// live set exactly. The directory must be empty or absent.
+	PersistDir      string
+	CheckpointEvery time.Duration
 
 	Logf func(format string, args ...any) // optional progress log
 	Stop <-chan struct{}                  // optional early stop (e.g. SIGTERM)
@@ -62,6 +71,12 @@ type SoakReport struct {
 	VersionGraph   int
 	Drained        bool // server shut down cleanly within its deadline
 
+	// Durability axis (PersistDir set).
+	Checkpoints      uint64 // checkpoints streamed under churn
+	WALAppends       uint64 // record groups logged
+	RecoveredKeys    int    // keys in the post-drain recovery image
+	RecoveryVerified bool   // recovered image == final live set
+
 	Violations []string
 }
 
@@ -80,6 +95,10 @@ func (r *SoakReport) String() string {
 		r.Splits, r.Merges, r.Compactions, r.FinalLen, r.VersionGraph, r.Drained)
 	if r.Offered > 0 {
 		s += fmt.Sprintf("\n  open loop: offered=%d dropped=%d", r.Offered, r.Dropped)
+	}
+	if r.Checkpoints > 0 || r.WALAppends > 0 {
+		s += fmt.Sprintf("\n  durability: checkpoints=%d wal appends=%d recovered=%d keys verified=%v",
+			r.Checkpoints, r.WALAppends, r.RecoveredKeys, r.RecoveryVerified)
 	}
 	if len(r.Violations) > 0 {
 		s += fmt.Sprintf("\n  VIOLATIONS (%d):", len(r.Violations))
@@ -143,7 +162,22 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 	}
 
 	m := bst.NewShardedRange(-k, k-1, cfg.Shards)
-	srv, err := server.Start(server.Config{Addr: "127.0.0.1:0", Store: m})
+	var store server.Store = m
+	var pm *persist.Map
+	var stopCkpt func()
+	if cfg.PersistDir != "" {
+		if cfg.CheckpointEvery <= 0 {
+			cfg.CheckpointEvery = time.Second
+		}
+		var err error
+		pm, _, err = persist.Open(persist.Config{Dir: cfg.PersistDir}, m)
+		if err != nil {
+			return nil, fmt.Errorf("soak: persist: %w", err)
+		}
+		store = pm
+		stopCkpt = pm.StartAutoCheckpoint(cfg.CheckpointEvery)
+	}
+	srv, err := server.Start(server.Config{Addr: "127.0.0.1:0", Store: store})
 	if err != nil {
 		return nil, fmt.Errorf("soak: server: %w", err)
 	}
@@ -152,6 +186,9 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 	stopRb, err := m.StartAutoRebalance(bst.RebalanceConfig{Interval: cfg.RebalanceEvery})
 	if err != nil {
 		stopCompact()
+		if stopCkpt != nil {
+			stopCkpt()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx) //nolint:errcheck
@@ -235,9 +272,15 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 		checkers.Wait()
 		stopRb()
 		stopCompact()
+		if stopCkpt != nil {
+			stopCkpt()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx) //nolint:errcheck
+		if pm != nil {
+			pm.Close() //nolint:errcheck
+		}
 	}
 	if setupErr != nil {
 		teardownEarly()
@@ -495,6 +538,48 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 	} else {
 		rep.Drained = true
 	}
+
+	// Durability audit: stop the checkpointer, seal the WAL, and recover
+	// the directory from scratch — the image must equal the final live
+	// set exactly (every acknowledged update present, nothing extra).
+	if pm != nil {
+		if stopCkpt != nil {
+			stopCkpt()
+		}
+		pst := pm.Stats()
+		rep.Checkpoints = pst.Checkpoints
+		rep.WALAppends = pst.WALAppends
+		if pst.CheckpointErrs > 0 {
+			violate("%d background checkpoints failed", pst.CheckpointErrs)
+		}
+		if err := pm.Close(); err != nil {
+			violate("persist close: %v", err)
+		}
+		img, err := persist.Recover(cfg.PersistDir)
+		if err != nil {
+			violate("teardown recovery: %v", err)
+		} else {
+			rep.RecoveredKeys = len(img.Keys)
+			live := m.Keys()
+			rep.RecoveryVerified = int64Slices(img.Keys, live)
+			if !rep.RecoveryVerified {
+				violate("recovered image (%d keys) != final live set (%d keys)", len(img.Keys), len(live))
+			}
+		}
+	}
 	logf("soak: %s", rep)
 	return rep, nil
+}
+
+// int64Slices reports element-wise equality.
+func int64Slices(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -40,6 +40,41 @@ func TestSoakSmoke(t *testing.T) {
 	}
 }
 
+// TestSoakPersistence runs the soak's durability axis: every update
+// WAL-logged, checkpoints streaming under full churn (rebalance,
+// compaction, drift, movers all live), and the teardown pass recovering
+// the directory from scratch and holding it to the final live set.
+func TestSoakPersistence(t *testing.T) {
+	rep, err := Soak(SoakConfig{
+		Duration:        1500 * time.Millisecond,
+		Conns:           3,
+		KeyRange:        4096,
+		Shards:          4,
+		Seed:            3,
+		CompactEvery:    50 * time.Millisecond,
+		RebalanceEvery:  20 * time.Millisecond,
+		CheckEvery:      100 * time.Millisecond,
+		PersistDir:      t.TempDir(),
+		CheckpointEvery: 200 * time.Millisecond,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("soak failed:\n%s", rep)
+	}
+	if rep.WALAppends == 0 {
+		t.Fatal("durability axis logged nothing")
+	}
+	if rep.Checkpoints == 0 {
+		t.Fatal("no checkpoint completed under churn")
+	}
+	if !rep.RecoveryVerified {
+		t.Fatalf("teardown recovery mismatch:\n%s", rep)
+	}
+}
+
 // TestSoakOpenLoopAndEarlyStop: the open-loop soak honors an external
 // stop signal (the cmd/stress SIGTERM path) and still audits cleanly.
 func TestSoakOpenLoopAndEarlyStop(t *testing.T) {

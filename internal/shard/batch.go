@@ -32,8 +32,20 @@ import (
 // after a yield. Ops that committed before the seal are part of the
 // migration snapshot, so the re-routed remainder observes them.
 func (s *Set) ApplyBatch(ops []core.BatchOp, res []bool) {
+	s.ApplyBatchPhases(ops, res, nil)
+}
+
+// ApplyBatchPhases is ApplyBatch that additionally records each op's
+// deciding phase into phases (ignored when nil, else at least len(ops)
+// long), with core.TryApplyOpsPhases' contract: for effective
+// Insert/Delete ops this is the exact commit phase. Durability stamps
+// the per-op records of an MBATCH with these.
+func (s *Set) ApplyBatchPhases(ops []core.BatchOp, res []bool, phases []uint64) {
 	if len(res) < len(ops) {
 		panic("shard: ApplyBatch result slice shorter than ops")
+	}
+	if phases != nil && len(phases) < len(ops) {
+		panic("shard: ApplyBatchPhases phase slice shorter than ops")
 	}
 	if len(ops) == 0 {
 		return
@@ -47,7 +59,11 @@ func (s *Set) ApplyBatch(ops []core.BatchOp, res []bool) {
 		order = make([]int, n)          // pos regrouped by destination shard
 		gops  = make([]core.BatchOp, n) // per-group op scratch
 		gres  = make([]bool, n)         // per-group result scratch
+		gph   []uint64                  // per-group phase scratch
 	)
+	if phases != nil {
+		gph = make([]uint64, n)
+	}
 	for {
 		tab := s.tab.Load()
 		p := len(tab.trees)
@@ -81,9 +97,16 @@ func (s *Set) ApplyBatch(ops []core.BatchOp, res []bool) {
 			for j, i := range seg {
 				gops[j] = ops[i]
 			}
-			applied, ok := tab.trees[g].TryApplyOps(gops[:len(seg)], gres[:len(seg)])
+			var segPh []uint64
+			if gph != nil {
+				segPh = gph[:len(seg)]
+			}
+			applied, ok := tab.trees[g].TryApplyOpsPhases(gops[:len(seg)], gres[:len(seg)], segPh)
 			for j := 0; j < applied; j++ {
 				res[seg[j]] = gres[j]
+				if gph != nil {
+					phases[seg[j]] = gph[j]
+				}
 			}
 			if applied > 0 {
 				tab.loads[g].addN(ops[seg[0]].Key, uint64(applied))

@@ -186,7 +186,7 @@ func TestApplyBatchMigrationCut(t *testing.T) {
 	// and cut. ApplyBatch must now refuse to commit updates there.
 	s.migrateMu.Lock()
 	tab := s.tab.Load()
-	snaps := s.cutShards(tab, 0, 0)
+	snaps, _ := s.cutShards(tab, 0, 0)
 
 	done := make(chan []bool)
 	go func() {

@@ -99,14 +99,14 @@ func (s *Set) mergeTable(tab *table, i int) error {
 }
 
 // cutShards seals shards [first, last] of tab and returns their
-// snapshots at one shared migration cut. Order is load-bearing three
-// ways: registrations precede the phase open (epoch ordering — no
-// shard's horizon may overtake the cut while the migration reads it),
-// seals precede the phase open (core.Seal — no update may commit to a
-// victim above the cut), and the phase open precedes the snapshot reads
-// (they traverse T_cut). Caller holds migrateMu and releases the
-// snapshots.
-func (s *Set) cutShards(tab *table, first, last int) []*core.Snapshot {
+// snapshots at one shared migration cut, plus the cut phase itself.
+// Order is load-bearing three ways: registrations precede the phase open
+// (epoch ordering — no shard's horizon may overtake the cut while the
+// migration reads it), seals precede the phase open (core.Seal — no
+// update may commit to a victim above the cut), and the phase open
+// precedes the snapshot reads (they traverse T_cut). Caller holds
+// migrateMu and releases the snapshots.
+func (s *Set) cutShards(tab *table, first, last int) ([]*core.Snapshot, uint64) {
 	regs := make([]core.Registration, last-first+1)
 	for i := first; i <= last; i++ {
 		regs[i-first] = tab.trees[i].Register()
@@ -119,7 +119,7 @@ func (s *Set) cutShards(tab *table, first, last int) []*core.Snapshot {
 	for i := first; i <= last; i++ {
 		snaps[i-first] = tab.trees[i].SnapshotAt(cut, regs[i-first]) // adopts the registration
 	}
-	return snaps
+	return snaps, cut
 }
 
 // install publishes a new routing table that replaces shards
@@ -153,7 +153,7 @@ func (s *Set) splitLocked(tab *table, i int) error {
 	if tab.trees[i].Len() < 2 {
 		return ErrSplitTooSmall // cheap pre-check before sealing anything
 	}
-	snaps := s.cutShards(tab, i, i)
+	snaps, _ := s.cutShards(tab, i, i)
 	snap := snaps[0]
 	defer snap.Release()
 	keys := snap.RangeScan(core.MinKey, core.MaxKey)
@@ -193,7 +193,7 @@ func (s *Set) mergeLocked(tab *table, i int) error {
 	if i < 0 || i+1 >= len(tab.trees) {
 		return fmt.Errorf("shard: merge index %d outside [0, %d)", i, len(tab.trees)-1)
 	}
-	snaps := s.cutShards(tab, i, i+1)
+	snaps, _ := s.cutShards(tab, i, i+1)
 	defer snaps[0].Release()
 	defer snaps[1].Release()
 	// Shards hold disjoint ascending ranges, so streaming the two

@@ -193,6 +193,51 @@ func (s *Set) Delete(k int64) bool {
 	}
 }
 
+// InsertPhase is Insert that additionally reports the phase the deciding
+// attempt committed at (core.Tree.TryInsertPhase). With the shared clock
+// this phase is comparable across every shard and every migration cut,
+// which is what durability's WAL stamps records with (internal/persist).
+// On relaxed sets the phase belongs to the owning shard's private clock
+// and is NOT comparable across shards.
+func (s *Set) InsertPhase(k int64) (res bool, phase uint64) {
+	for {
+		tab := s.tab.Load()
+		i := tab.r.Of(k)
+		if res, phase, ok := tab.trees[i].TryInsertPhase(k); ok {
+			tab.loads[i].add(k)
+			return res, phase
+		}
+		runtime.Gosched()
+	}
+}
+
+// DeletePhase is Delete reporting the deciding attempt's commit phase,
+// with InsertPhase's contract.
+func (s *Set) DeletePhase(k int64) (res bool, phase uint64) {
+	for {
+		tab := s.tab.Load()
+		i := tab.r.Of(k)
+		if res, phase, ok := tab.trees[i].TryDeletePhase(k); ok {
+			tab.loads[i].add(k)
+			return res, phase
+		}
+		runtime.Gosched()
+	}
+}
+
+// AdvanceClock raises the shared phase clock to at least p, reporting
+// whether the set has one (false on relaxed sets, where there is no
+// single clock to advance). Durability recovery calls this before the
+// set accepts traffic so that every new commit phase exceeds every phase
+// the previous process persisted (core.Clock.AdvanceTo).
+func (s *Set) AdvanceClock(p uint64) bool {
+	if s.clock == nil {
+		return false
+	}
+	s.clock.AdvanceTo(p)
+	return true
+}
+
 // Find reports whether k is present. Linearizable and non-blocking.
 // Reads never wait on migrations: a sealed shard still answers (its last
 // state is exactly the migration cut the replacement trees start from).

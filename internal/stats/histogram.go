@@ -120,15 +120,26 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.total)
 }
 
-// Percentile returns an approximation of the p-th percentile (0 < p <=
-// 100). The true value lies within one sub-bucket (~6%) of the result.
+// Percentile returns an approximation of the p-th percentile. p is
+// clamped to (0, 100]: p <= 0 (and NaN) reads as the smallest recorded
+// rank (the minimum) and p > 100 as the 100th percentile (the maximum) —
+// out-of-range requests used to fall through to rank arithmetic that
+// happened to answer something, and now answer the nearest real
+// percentile by contract. The true value lies within one sub-bucket
+// (~6%) of the result.
 func (h *Histogram) Percentile(p float64) int64 {
 	if h.total == 0 {
 		return 0
 	}
-	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
-	if rank == 0 {
-		rank = 1
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(1) // p <= 0 or NaN: clamp to the lowest rank
+	if p > 0 {
+		rank = uint64(math.Ceil(p / 100 * float64(h.total)))
+		if rank == 0 {
+			rank = 1
+		}
 	}
 	var seen uint64
 	for i, c := range h.counts {

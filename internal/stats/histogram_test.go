@@ -2,6 +2,7 @@ package stats
 
 import (
 	"encoding/json"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -33,6 +34,30 @@ func TestExactSmallValues(t *testing.T) {
 	// Values below histSubBuckets are recorded exactly.
 	if p := h.Percentile(100); p != 15 {
 		t.Fatalf("p100 = %d, want 15", p)
+	}
+}
+
+func TestPercentileClamp(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 16; v++ {
+		h.Record(v) // exact below histSubBuckets: min 0, max 15
+	}
+	nan := math.NaN()
+	for _, tc := range []struct {
+		p    float64
+		want int64
+	}{
+		{-5, 0},           // below range: lowest rank (the minimum)
+		{0, 0},            // zero: lowest rank
+		{nan, 0},          // NaN: lowest rank, not a garbage rank
+		{100, 15},         // top of range: the maximum
+		{150, 15},         // above range: clamped to p100
+		{math.Inf(1), 15}, // +Inf: clamped to p100
+		{50, 7},           // in range untouched: ceil(0.5*16) = rank 8
+	} {
+		if got := h.Percentile(tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %d, want %d", tc.p, got, tc.want)
+		}
 	}
 }
 
