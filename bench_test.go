@@ -1,4 +1,4 @@
-// Benchmarks: one Benchmark family per evaluation experiment (E1..E16 in
+// Benchmarks: one Benchmark family per evaluation experiment (E1..E18 in
 // DESIGN.md §4 / EXPERIMENTS.md). Each family measures a representative
 // point of its experiment with testing.B semantics; the full sweeps —
 // thread counts, key ranges, widths — are produced by cmd/benchbst.
@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -754,6 +755,91 @@ func BenchmarkE16OpenLoop(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(ops)/float64(b.N), "ops/run")
 	b.ReportMetric(float64(lastP99), "p99-intended-ns")
+}
+
+// BenchmarkE18Emit — experiment E18 (micro half): cost of one flight-
+// recorder Emit on the disabled path (must collapse to a single atomic
+// load) and the enabled path (ring write, which must stay allocation-
+// free — -benchmem asserts 0 allocs/op for both).
+func BenchmarkE18Emit(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "disabled"
+		if enabled {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := obs.NewRecorder(obs.DefaultCapacity)
+			r.SetEnabled(enabled)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Emit(obs.EventCompact, obs.KindNone, -1, uint64(i), 1, 2, 3)
+			}
+		})
+	}
+}
+
+// BenchmarkE18ObservedServing — experiment E18 (macro half, single
+// point): the BenchmarkE15WireOps loop with full observability armed —
+// recorder on, slow-op sampling at 100µs, metrics listener up. Compare
+// ns/op against BenchmarkE15WireOps for the instrumentation delta;
+// cmd/benchbst -experiment E18 runs the three-config comparison with a
+// live scraper.
+func BenchmarkE18ObservedServing(b *testing.B) {
+	prior := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prior)
+	const keys = 1 << 16
+	m := bst.NewShardedRange(0, keys-1, 8)
+	srv, err := server.Start(server.Config{
+		Addr:        "127.0.0.1:0",
+		MetricsAddr: "127.0.0.1:0",
+		Store:       m,
+		SlowOp:      100 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+	c, err := wire.Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	rng := workload.NewRNG(7)
+	const depth = 16
+	inflight := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := wire.OpInsert
+		switch i % 3 {
+		case 1:
+			op = wire.OpDelete
+		case 2:
+			op = wire.OpContains
+		}
+		if err := c.Send(wire.Request{Op: op, A: rng.Intn(keys)}); err != nil {
+			b.Fatal(err)
+		}
+		if inflight++; inflight == depth {
+			if _, err := c.Recv(); err != nil {
+				b.Fatal(err)
+			}
+			inflight--
+		}
+	}
+	for ; inflight > 0; inflight-- {
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(obs.Default.Seq()), "events")
 }
 
 func itoa(v int64) string {

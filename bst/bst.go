@@ -197,6 +197,10 @@ func (t *Tree) PoolingEnabled() bool { return t.t.PoolingEnabled() }
 // handshake aborts, phases opened, compaction progress, pool traffic).
 func (t *Tree) Stats() Stats { return t.t.Stats() }
 
+// ClockNow returns the tree's current phase. The bool mirrors
+// ShardedMap.ClockNow (a single tree always has a clock).
+func (t *Tree) ClockNow() (uint64, bool) { return t.t.Clock().Now(), true }
+
 // ResetStats zeroes the instrumentation counters.
 func (t *Tree) ResetStats() { t.t.ResetStats() }
 

@@ -113,6 +113,19 @@ func (m *ShardedMap) Migrations() (splits, merges uint64) { return m.s.Migration
 // migration) — the signal the rebalancer acts on.
 func (m *ShardedMap) ShardLoads() []uint64 { return m.s.ShardLoads() }
 
+// ShardInfo is one shard's introspection row (bounds, load, per-tree
+// contention and reclamation gauges). See shard.ShardInfo.
+type ShardInfo = shard.ShardInfo
+
+// ShardInfos returns one introspection row per current shard, all read
+// from a single routing-table snapshot. The metrics endpoint serves
+// these as per-shard Prometheus gauges.
+func (m *ShardedMap) ShardInfos() []ShardInfo { return m.s.ShardInfos() }
+
+// ClockNow returns the current phase of the shared clock (false for a
+// relaxed map, which has no shared clock).
+func (m *ShardedMap) ClockNow() (uint64, bool) { return m.s.ClockNow() }
+
 // Relaxed reports whether the map was built with RelaxedScans.
 func (m *ShardedMap) Relaxed() bool { return m.s.Relaxed() }
 

@@ -1,5 +1,5 @@
 // Command benchbst regenerates the evaluation of the PNB-BST
-// reproduction (experiments E1..E17, see DESIGN.md §4 and
+// reproduction (experiments E1..E18, see DESIGN.md §4 and
 // EXPERIMENTS.md), and runs one-off workloads against a chosen
 // implementation.
 //
@@ -47,7 +47,7 @@ import (
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
-		expID    = flag.String("experiment", "", "experiment id to run (E1..E17)")
+		expID    = flag.String("experiment", "", "experiment id to run (E1..E18)")
 		all      = flag.Bool("all", false, "run every experiment")
 		quick    = flag.Bool("quick", false, "smoke-scale: short durations, small key ranges")
 		duration = flag.Duration("duration", 2*time.Second, "measurement window per data point")

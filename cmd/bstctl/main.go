@@ -15,29 +15,53 @@
 //	                      order-and-membership checksum for oracles
 //	bstctl min|max        prints the key, or "none"
 //
+// Two commands talk to the HTTP metrics listener (-metrics HOST:PORT)
+// instead of the wire port:
+//
+//	bstctl events [N] [TYPE]   prints the flight recorder's newest N
+//	                           events (default 50), optionally one type
+//	bstctl top                 prints server totals and a per-shard table
+//	                           (-watch DUR refreshes until interrupted)
+//
 // -retry keeps re-dialing until the budget elapses, so a script can
 // launch a (re)starting server and probe it without racing the listener.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/wire"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7700", "server address")
-		retry = flag.Duration("retry", 5*time.Second, "dial retry budget (0 = single attempt)")
+		addr    = flag.String("addr", "127.0.0.1:7700", "server address")
+		metrics = flag.String("metrics", "127.0.0.1:7701", "HTTP metrics address (events, top)")
+		watch   = flag.Duration("watch", 0, "with top: refresh interval (0 = print once)")
+		retry   = flag.Duration("retry", 5*time.Second, "dial retry budget (0 = single attempt)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("usage: bstctl [-addr HOST:PORT] insert|delete|contains|len|cksum|min|max ...")
+		fail("usage: bstctl [-addr HOST:PORT] insert|delete|contains|len|cksum|min|max|events|top ...")
+	}
+
+	// The metrics-plane commands need no wire connection.
+	switch args[0] {
+	case "events":
+		cmdEvents(*metrics, args[1:])
+		return
+	case "top":
+		cmdTop(*metrics, *watch)
+		return
 	}
 
 	c, err := dialRetry(*addr, *retry)
@@ -108,6 +132,106 @@ func main() {
 		}
 	default:
 		fail("unknown command %q", cmd)
+	}
+}
+
+// cmdEvents fetches and prints the flight-recorder tail from /events.
+// Optional positional args: max count (default 50), then an event type
+// name (migration, checkpoint, compact, walsync, drain, slowop).
+func cmdEvents(metrics string, args []string) {
+	n := 50
+	typ := ""
+	if len(args) > 0 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 0 {
+			fail("events: bad count %q", args[0])
+		}
+		n = v
+	}
+	if len(args) > 1 {
+		typ = args[1]
+	}
+	url := fmt.Sprintf("http://%s/events?n=%d", metrics, n)
+	if typ != "" {
+		url += "&type=" + typ
+	}
+	var doc struct {
+		Enabled bool       `json:"enabled"`
+		Seq     uint64     `json:"seq"`
+		Events  []obs.View `json:"events"`
+	}
+	getJSON(url, &doc)
+	if !doc.Enabled {
+		fmt.Println("(flight recorder disabled — start bstserver with -obs)")
+	}
+	for _, e := range doc.Events {
+		kind := e.Kind
+		if kind != "" {
+			kind = "/" + kind
+		}
+		shard := ""
+		if e.Shard >= 0 {
+			shard = fmt.Sprintf(" shard=%d", e.Shard)
+		}
+		ts := time.Unix(0, e.Wall).Format("15:04:05.000000")
+		fmt.Printf("#%d %s %s%s phase=%d%s a=%d b=%d c=%d\n",
+			e.Seq, ts, e.Type, kind, e.Phase, shard, e.A, e.B, e.C)
+	}
+	fmt.Printf("(%d events shown, %d emitted total)\n", len(doc.Events), doc.Seq)
+}
+
+// cmdTop prints the server totals and the per-shard introspection table
+// from /metrics, optionally refreshing every watch interval.
+func cmdTop(metrics string, watch time.Duration) {
+	for {
+		var m server.Metrics
+		getJSON(fmt.Sprintf("http://%s/metrics", metrics), &m)
+		fmt.Printf("uptime %.0fs  conns %d/%d  ops %d  draining %v  clock phase %d\n",
+			m.UptimeSec, m.ConnsActive, m.ConnsTotal, m.OpsTotal, m.Draining, m.Clock)
+		if m.Persist != nil {
+			fmt.Printf("persist: ckpts %d  last cut %d  durable phase %d  wal seg %d  syncs %d\n",
+				m.Persist.Checkpoints, m.Persist.LastCut, m.Persist.DurablePhase,
+				m.Persist.CurrentSegment, m.Persist.WALSyncs)
+		}
+		if len(m.Events) > 0 {
+			line := "events:"
+			for _, t := range []string{"migration", "checkpoint", "compact", "walsync", "drain", "slowop"} {
+				e := m.Events[t]
+				line += fmt.Sprintf(" %s=%d", t, e.Count)
+				if e.Count > 0 {
+					line += fmt.Sprintf("(phase %d)", e.LastPhase)
+				}
+			}
+			fmt.Println(line)
+		}
+		if len(m.Shards) > 0 {
+			fmt.Printf("%5s %12s %12s %10s %8s %8s %9s %8s %6s\n",
+				"shard", "lo", "hi", "load", "vgraph", "live", "retries", "helps", "prune")
+			for _, sh := range m.Shards {
+				fmt.Printf("%5d %12d %12d %10d %8d %8d %9d %8d %6d\n",
+					sh.Index, sh.Lo, sh.Hi, sh.Load, sh.VersionGraph, sh.LiveNodes,
+					sh.Retries, sh.Helps, sh.PrunedLinks)
+			}
+		}
+		if watch <= 0 {
+			return
+		}
+		time.Sleep(watch)
+		fmt.Println()
+	}
+}
+
+func getJSON(url string, into any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		fail("GET %s: decode: %v", url, err)
 	}
 }
 

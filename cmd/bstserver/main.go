@@ -42,6 +42,7 @@ import (
 
 	"repro/bst"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/server"
 )
@@ -57,9 +58,16 @@ func main() {
 		persDir  = flag.String("persist", "", "durability directory (WAL + checkpoints); empty disables")
 		ckptIvl  = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval with -persist; 0 = WAL only")
 		walSync  = flag.Duration("wal-sync", 0, "WAL fsync window with -persist; 0 = group-commit every update")
+		obsOn    = flag.Bool("obs", true, "record phase-stamped control-plane events (flight recorder; /events)")
+		slowOp   = flag.Duration("slowop", 0, "flight-record requests slower than this (decode+apply+flush); 0 disables")
 	)
 	target := harness.RegisterTargetFlags(flag.CommandLine, harness.TargetSharded, false)
 	flag.Parse()
+	obs.SetEnabled(*obsOn)
+	if *obsOn {
+		// SIGQUIT dumps the event log before the runtime's goroutine dump.
+		defer obs.DumpOnSIGQUIT(os.Stderr)()
+	}
 
 	name, store, stops, closeStore, err := buildStore(target, *keys, *compact, *persDir, *ckptIvl, *walSync)
 	if err != nil {
@@ -72,6 +80,7 @@ func main() {
 		MetricsAddr: *metrics,
 		Store:       store,
 		SockBuf:     *sockBuf,
+		SlowOp:      *slowOp,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -102,6 +111,9 @@ func main() {
 		if cerr := closeStore(); cerr != nil && err == nil {
 			err = cerr
 		}
+	}
+	if *obsOn {
+		fmt.Println("bstserver:", obs.Default.Summary())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bstserver:", err)

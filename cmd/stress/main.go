@@ -63,6 +63,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/shard"
 	"repro/internal/workload"
@@ -84,6 +85,12 @@ func main() {
 	)
 	target := harness.RegisterTargetFlags(flag.CommandLine, "pnbbst", true)
 	flag.Parse()
+
+	// The flight recorder is always on under stress: its phase-stamped
+	// tail is the first artifact to read after a failure, and the soak
+	// audits it at teardown.
+	obs.SetEnabled(true)
+	defer obs.DumpOnSIGQUIT(os.Stderr)()
 
 	if *soak {
 		os.Exit(runSoak(soakArgs{
@@ -147,6 +154,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	fmt.Println("stress:", obs.Default.Summary())
 	fmt.Printf("PASS: %d rounds\n", rounds)
 }
 
@@ -201,6 +209,7 @@ func runSoak(a soakArgs) int {
 		return 1
 	}
 	fmt.Println(rep)
+	fmt.Println("stress:", obs.Default.Summary())
 	if !rep.Ok() {
 		fmt.Fprintln(os.Stderr, "FAIL: soak invariants violated")
 		return 1
@@ -268,6 +277,7 @@ func makeTarget(name string, keyRange int64) (set, func() snapView, *shard.Set, 
 func guard(seed uint64) {
 	if r := recover(); r != nil {
 		fmt.Fprintf(os.Stderr, "PANIC (replay with -seed %d): %v\n", seed, r)
+		obs.Default.DumpTo(os.Stderr) // flight recorder's last seconds, next to the stack
 		panic(r)
 	}
 }

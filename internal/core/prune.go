@@ -22,6 +22,8 @@ package core
 // prev except through ReadChild, which retries the operation at a fresh
 // phase when it meets a cut chain (tree.go).
 
+import "repro/internal/obs"
+
 // CompactStats reports one Compact pass.
 type CompactStats struct {
 	Horizon       uint64 // reclamation horizon the pass used
@@ -74,6 +76,15 @@ func (t *Tree) Compact() CompactStats {
 	t.stats.prunedLinks.Add(cs.PrunedLinks)
 	t.stats.lastLiveNodes.Store(uint64(cs.LiveNodes))
 	t.stats.lastHorizon.Store(cs.Horizon)
+	// Flight-record passes that did reclamation work (no-op passes on an
+	// idle tree would only flood the ring). Phase stamp = the horizon the
+	// pass pruned behind; payload = pruned links, recycled objects, live
+	// nodes after the pass. Shard is -1: the tree does not know its index
+	// in a sharded set.
+	if cs.PrunedLinks > 0 || cs.GarbageNodes > 0 || cs.RecycledNodes > 0 || cs.RecycledInfos > 0 {
+		obs.Emit(obs.EventCompact, obs.KindNone, -1, cs.Horizon,
+			int64(cs.PrunedLinks), int64(cs.RecycledNodes+cs.RecycledInfos), int64(cs.LiveNodes))
+	}
 	return cs
 }
 

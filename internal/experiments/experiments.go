@@ -1,5 +1,5 @@
 // Package experiments defines the reproduction's evaluation suite
-// (experiments E1..E17 of DESIGN.md §4). Each experiment is a function
+// (experiments E1..E18 of DESIGN.md §4). Each experiment is a function
 // that runs a parameter sweep through the harness and renders the table
 // or figure-series the corresponding claim calls for. cmd/benchbst is a
 // thin CLI over this package; bench_test.go exercises single
@@ -80,7 +80,7 @@ type Experiment struct {
 	Run   func(Options)
 }
 
-// All returns the experiments in order E1..E17.
+// All returns the experiments in order E1..E18.
 func All() []Experiment {
 	return []Experiment{
 		{"E1", "Update-only throughput vs threads (Fig. E1)", E1UpdateOnly},
@@ -100,6 +100,7 @@ func All() []Experiment {
 		{"E15", "Network serving layer: pipelined TCP throughput and wire-level scan atomicity (E15)", E15Serving},
 		{"E16", "Open-loop load: latency vs offered rate, honest tails (E16)", E16OpenLoop},
 		{"E17", "Durability: WAL cost and the wait-free checkpoint dip (E17)", E17Durability},
+		{"E18", "Observability overhead: flight recorder, slow-op sampling, live scrape (E18)", E18Observability},
 	}
 }
 

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/bst"
+	"repro/internal/harness"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// E18Observability — what does watching the system cost? (DESIGN.md §13)
+//
+// The flight recorder is control-plane-only by design: no point op ever
+// emits unless it trips the slow-op threshold, and a disabled recorder
+// reduces every emit site to one atomic load. This experiment holds the
+// design to its number twice:
+//
+// Part 1 (micro): ns and allocations per Emit on the disabled and
+// enabled paths, measured directly. The enabled path must be
+// allocation-free (the ring slot is copied in place) — an event log that
+// allocates would perturb the very GC behavior it exists to observe.
+//
+// Part 2 (macro): an E15-style loopback serving run — update-heavy mix
+// over the sharded map, closed loop — under three configurations:
+// observability fully off; the recorder enabled with slow-op sampling
+// armed; and additionally a scraper client hammering the Prometheus
+// exposition and the /events tail concurrently with the load. The
+// headline claim is the delta column: the fully-instrumented server
+// should serve within ~2% of the dark one. Per-row deltas of a single
+// interleaved pass carry run-to-run noise of the same order as the
+// effect — EXPERIMENTS.md reruns this with longer windows for the
+// honest number quoted in DESIGN.md §13.
+func E18Observability(o Options) {
+	prior := obs.Enabled()
+	defer obs.SetEnabled(prior)
+
+	// Part 1: per-emit micro cost, disabled vs enabled.
+	micro := harness.NewTable(
+		"E18: flight recorder per-Emit cost (micro, single goroutine)",
+		"path", "ns/emit", "allocs/emit")
+	r := obs.NewRecorder(obs.DefaultCapacity)
+	measure := func(n int) (nsPer float64, allocsPer float64) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			r.Emit(obs.EventCompact, obs.KindNone, -1, uint64(i), 1, 2, 3)
+		}
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		return float64(elapsed.Nanoseconds()) / float64(n),
+			float64(after.Mallocs-before.Mallocs) / float64(n)
+	}
+	n := 2_000_000
+	if o.Quick {
+		n = 200_000
+	}
+	r.SetEnabled(false)
+	ns, allocs := measure(n)
+	micro.AddRow("disabled (one atomic load)", fmt.Sprintf("%.1f", ns), fmt.Sprintf("%.4f", allocs))
+	r.SetEnabled(true)
+	ns, allocs = measure(n)
+	micro.AddRow("enabled (ring write)", fmt.Sprintf("%.1f", ns), fmt.Sprintf("%.4f", allocs))
+	o.emit(micro)
+
+	// Part 2: serving throughput, dark vs instrumented vs scraped.
+	keys := o.scale(1 << 18)
+	const shards = 8
+	mix := workload.Mix{InsertPct: 40, DeletePct: 40, ScanPct: 5, RMWPct: 5, ScanWidth: 128}
+	conns := o.threadSweep()[len(o.threadSweep())-1]
+
+	type config struct {
+		name   string
+		obsOn  bool
+		slowOp time.Duration
+		scrape bool
+	}
+	configs := []config{
+		{"off (recorder disabled, no sampling)", false, 0, false},
+		{"on (recorder + slowop sampling)", true, 100 * time.Microsecond, false},
+		{"on + scraper (prom + events every 100ms)", true, 100 * time.Microsecond, true},
+	}
+	tab := harness.NewTable(
+		fmt.Sprintf("E18: serving throughput under observability — %d keys, %d shards, conns=%d, pipe=16, mix 40i/40d/5s/5rmw",
+			keys, shards, conns),
+		"config", "Kops/s", "delta vs off", "events recorded")
+	var baseline float64
+	for _, cfg := range configs {
+		obs.SetEnabled(cfg.obsOn)
+		seqBefore := obs.Default.Seq()
+		m := bst.NewShardedRange(0, keys-1, shards)
+		prefillStore(m, keys, o.Seed)
+		srv, err := server.Start(server.Config{
+			Addr:        "127.0.0.1:0",
+			MetricsAddr: "127.0.0.1:0",
+			Store:       m,
+			SlowOp:      cfg.slowOp,
+		})
+		if err != nil {
+			fmt.Fprintf(o.Out, "E18: %v\n", err)
+			return
+		}
+		stopScrape := make(chan struct{})
+		scrapeDone := make(chan struct{})
+		if cfg.scrape {
+			go func() {
+				defer close(scrapeDone)
+				base := fmt.Sprintf("http://%s", srv.MetricsAddr())
+				for {
+					select {
+					case <-stopScrape:
+						return
+					case <-time.After(100 * time.Millisecond):
+					}
+					for _, path := range []string{"/metrics.prom", "/events?n=50"} {
+						resp, err := http.Get(base + path)
+						if err != nil {
+							continue // server may be shutting down
+						}
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck
+						resp.Body.Close()
+					}
+				}
+			}()
+		} else {
+			close(scrapeDone)
+		}
+		res, err := loadgen.Run(loadgen.Config{
+			Addr:     srv.Addr().String(),
+			Conns:    conns,
+			Pipeline: 16,
+			Duration: o.Duration,
+			KeyRange: keys,
+			Prefill:  0,
+			Mix:      mix,
+			Seed:     o.Seed,
+		})
+		close(stopScrape)
+		<-scrapeDone
+		shutdownServer(srv)
+		if err != nil {
+			fmt.Fprintf(o.Out, "E18: %v\n", err)
+			return
+		}
+		kops := res.Throughput / 1e3
+		delta := "—"
+		if baseline == 0 {
+			baseline = kops
+		} else if baseline > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(kops-baseline)/baseline)
+		}
+		tab.AddRow(cfg.name, fmt.Sprintf("%.0f", kops), delta, obs.Default.Seq()-seqBefore)
+	}
+	o.emit(tab)
+}

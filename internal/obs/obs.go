@@ -1,0 +1,403 @@
+// Package obs is the runtime flight recorder: a fixed-size ring buffer
+// of structured events, each stamped with wall time and the exact phase
+// on the shared clock at which the event took effect. Control-plane
+// transitions (shard migrations, checkpoint cuts, WAL fsync watermark
+// advances, compaction passes, drain, slow requests) are rare relative
+// to the data path, so the recorder optimizes for a free *disabled*
+// path — one atomic load — and a cheap, allocation-free *enabled* path
+// (a short critical section on the recorder mutex; no emit ever happens
+// per point-op unless that op tripped the slow-op threshold).
+//
+// Phase stamps are what make the log a debugging instrument rather than
+// a printf substitute: every linearization cut in the system (scan cuts,
+// migration cuts, checkpoint cuts, WAL commit phases) comes from the
+// same clock, so events from different subsystems can be ordered and
+// cross-checked against each other — e.g. a WAL rotation's sealed-max
+// phase must never exceed the checkpoint cut that follows it. The soak
+// audits exactly these relations over the recorded log.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// EventType classifies recorded events.
+type EventType uint8
+
+const (
+	EventNone EventType = iota
+	EventMigration
+	EventCheckpoint
+	EventCompact
+	EventWALSync
+	EventDrain
+	EventSlowOp
+	numEventTypes
+)
+
+// NumEventTypes is the number of distinct event types (excluding
+// EventNone); Counts() is indexed by EventType up to this bound.
+const NumEventTypes = int(numEventTypes)
+
+var typeNames = [numEventTypes]string{
+	EventNone:       "none",
+	EventMigration:  "migration",
+	EventCheckpoint: "checkpoint",
+	EventCompact:    "compact",
+	EventWALSync:    "walsync",
+	EventDrain:      "drain",
+	EventSlowOp:     "slowop",
+}
+
+// String returns the lowercase name used in /events filters, Prometheus
+// labels, and summaries.
+func (t EventType) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type%d", uint8(t))
+}
+
+// ParseEventType maps a name back to its EventType (for /events?type=).
+func ParseEventType(s string) (EventType, bool) {
+	for i, n := range typeNames {
+		if n == s && i != 0 {
+			return EventType(i), true
+		}
+	}
+	return EventNone, false
+}
+
+// Event kind subcodes. Kind refines Type: which flavor of migration,
+// which WAL sync occasion. For EventSlowOp, Kind carries the wire
+// opcode instead.
+const (
+	KindNone uint8 = 0
+
+	// EventMigration
+	KindSplit uint8 = 1
+	KindMerge uint8 = 2
+
+	// EventCheckpoint
+	KindCheckpointDone uint8 = 1
+	KindRecovery       uint8 = 2
+
+	// EventWALSync
+	KindSync   uint8 = 1 // group-commit fsync advanced the watermark
+	KindRotate uint8 = 2 // segment rotation sealed the tail (pre-checkpoint)
+	KindClose  uint8 = 3 // final sync at WAL close
+)
+
+var kindNames = map[EventType]map[uint8]string{
+	EventMigration:  {KindSplit: "split", KindMerge: "merge"},
+	EventCheckpoint: {KindCheckpointDone: "done", KindRecovery: "recovery"},
+	EventWALSync:    {KindSync: "sync", KindRotate: "rotate", KindClose: "close"},
+}
+
+// KindString renders an event's Kind subcode for humans. SlowOp kinds
+// are wire opcodes and are rendered by the caller (the server knows the
+// opcode names; obs must not import wire).
+func KindString(t EventType, kind uint8) string {
+	if m := kindNames[t]; m != nil {
+		if s, ok := m[kind]; ok {
+			return s
+		}
+	}
+	if kind == KindNone {
+		return ""
+	}
+	return fmt.Sprintf("k%d", kind)
+}
+
+// Event is one recorded occurrence. The payload slots A, B, C are
+// type-specific (documented per emit site); Shard is -1 when the event
+// is not tied to a shard index. Phase is the clock phase at which the
+// event took effect (a cut, a horizon, a durable watermark), or 0 when
+// no phase applies.
+type Event struct {
+	Seq   uint64    // global emit sequence number (dense, from 1)
+	Wall  int64     // wall-clock time, UnixNano
+	Phase uint64    // shared-clock phase the event is stamped with
+	Type  EventType //
+	Kind  uint8     // subcode (see Kind*), or wire opcode for EventSlowOp
+	Shard int32     // shard index, or -1
+	A     int64     // payload (per type)
+	B     int64     // payload (per type)
+	C     int64     // payload (per type)
+}
+
+// Recorder is a fixed-capacity ring of Events plus per-type cumulative
+// counters. Emit on a disabled recorder is one atomic load. Emit on an
+// enabled recorder takes a mutex for the ring slot — events are rare
+// control-plane occurrences, so a short lock beats publishing racy slots
+// (and stays clean under the race detector, which the CI soak runs
+// under). Reads (Events, Counts, Summary) are safe concurrently with
+// emits.
+type Recorder struct {
+	enabled atomic.Bool
+
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total events ever emitted; next event gets Seq next+1
+
+	counts    [numEventTypes]atomic.Uint64
+	lastPhase [numEventTypes]atomic.Uint64
+}
+
+// NewRecorder returns a disabled recorder with the given ring capacity.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{ring: make([]Event, 0, capacity)}
+}
+
+// DefaultCapacity is the ring size of the package-level Default
+// recorder: big enough to hold hours of control-plane events, small
+// enough to dump whole on SIGQUIT.
+const DefaultCapacity = 4096
+
+// Default is the process-wide recorder all in-tree emit sites use. It
+// starts disabled; servers and harnesses opt in via SetEnabled.
+var Default = NewRecorder(DefaultCapacity)
+
+// SetEnabled turns the recorder on or off. Off is the zero state: emits
+// become a single atomic load and the ring keeps its contents.
+func (r *Recorder) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether emits are currently recorded.
+func (r *Recorder) Enabled() bool { return r.enabled.Load() }
+
+// Emit records one event if the recorder is enabled. It is allocation
+// free; the ring slot is copied in place under the recorder mutex.
+func (r *Recorder) Emit(t EventType, kind uint8, shard int32, phase uint64, a, b, c int64) {
+	if !r.enabled.Load() {
+		return
+	}
+	wall := time.Now().UnixNano()
+	r.counts[t].Add(1)
+	r.lastPhase[t].Store(phase)
+	r.mu.Lock()
+	r.next++
+	e := Event{Seq: r.next, Wall: wall, Phase: phase, Type: t, Kind: kind, Shard: shard, A: a, B: b, C: c}
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, e)
+	} else {
+		r.ring[(r.next-1)%uint64(cap(r.ring))] = e
+	}
+	r.mu.Unlock()
+}
+
+// Emit records one event on the Default recorder.
+func Emit(t EventType, kind uint8, shard int32, phase uint64, a, b, c int64) {
+	Default.Emit(t, kind, shard, phase, a, b, c)
+}
+
+// Enabled reports whether the Default recorder is recording.
+func Enabled() bool { return Default.Enabled() }
+
+// SetEnabled switches the Default recorder.
+func SetEnabled(on bool) { Default.SetEnabled(on) }
+
+// Filter selects events out of the ring. The zero Filter matches
+// everything.
+type Filter struct {
+	Type     EventType // match only this type (EventNone = all)
+	MinPhase uint64    // inclusive; 0 = no lower bound
+	MaxPhase uint64    // inclusive; 0 = no upper bound
+	SinceSeq uint64    // only events with Seq > SinceSeq
+	Max      int       // keep only the newest Max matches; <= 0 = all
+}
+
+func (f Filter) match(e Event) bool {
+	if f.Type != EventNone && e.Type != f.Type {
+		return false
+	}
+	if e.Phase < f.MinPhase {
+		return false
+	}
+	if f.MaxPhase != 0 && e.Phase > f.MaxPhase {
+		return false
+	}
+	if e.Seq <= f.SinceSeq {
+		return false
+	}
+	return true
+}
+
+// Events returns the buffered events matching f in emit order (ascending
+// Seq). The returned slice is a copy.
+func (r *Recorder) Events(f Filter) []Event {
+	r.mu.Lock()
+	n := len(r.ring)
+	out := make([]Event, 0, n)
+	if n == cap(r.ring) && r.next > uint64(n) {
+		// Ring has wrapped: oldest entry sits right after the newest.
+		start := int(r.next % uint64(n))
+		for i := 0; i < n; i++ {
+			if e := r.ring[(start+i)%n]; f.match(e) {
+				out = append(out, e)
+			}
+		}
+	} else {
+		for _, e := range r.ring {
+			if f.match(e) {
+				out = append(out, e)
+			}
+		}
+	}
+	r.mu.Unlock()
+	if f.Max > 0 && len(out) > f.Max {
+		out = out[len(out)-f.Max:]
+	}
+	return out
+}
+
+// Seq returns the sequence number of the most recently emitted event
+// (0 if none yet).
+func (r *Recorder) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Counts returns cumulative emit counts per EventType since process
+// start (not limited to what the ring still holds).
+func (r *Recorder) Counts() [NumEventTypes]uint64 {
+	var out [NumEventTypes]uint64
+	for i := range out {
+		out[i] = r.counts[i].Load()
+	}
+	return out
+}
+
+// LastPhase returns the phase stamp of the most recent event of type t
+// (0 if none).
+func (r *Recorder) LastPhase(t EventType) uint64 {
+	if int(t) >= NumEventTypes {
+		return 0
+	}
+	return r.lastPhase[t].Load()
+}
+
+// Summary renders one line of counts by type plus the last phase seen
+// per type — the teardown artifact stress and soak print, and what the
+// CI smoke greps.
+func (r *Recorder) Summary() string {
+	out := "events:"
+	for t := EventType(1); t < numEventTypes; t++ {
+		c := r.counts[t].Load()
+		out += fmt.Sprintf(" %s=%d", t, c)
+		if c > 0 {
+			out += fmt.Sprintf("(phase %d)", r.lastPhase[t].Load())
+		}
+	}
+	return out
+}
+
+// DumpTo writes every buffered event, oldest first, one per line.
+func (r *Recorder) DumpTo(w io.Writer) {
+	events := r.Events(Filter{})
+	fmt.Fprintf(w, "obs: %d buffered events (%d total emitted)\n", len(events), r.Seq())
+	for _, e := range events {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// String renders an event for logs and dumps.
+func (e Event) String() string {
+	ts := time.Unix(0, e.Wall).UTC().Format("15:04:05.000000")
+	kind := KindString(e.Type, e.Kind)
+	if kind != "" {
+		kind = "/" + kind
+	}
+	shard := ""
+	if e.Shard >= 0 {
+		shard = fmt.Sprintf(" shard=%d", e.Shard)
+	}
+	return fmt.Sprintf("#%d %s %s%s phase=%d%s a=%d b=%d c=%d",
+		e.Seq, ts, e.Type, kind, e.Phase, shard, e.A, e.B, e.C)
+}
+
+// View is the JSON shape of an Event as served by /events and consumed
+// by bstctl: numeric payloads plus pre-rendered type/kind names.
+type View struct {
+	Seq   uint64 `json:"seq"`
+	Wall  int64  `json:"wall_ns"`
+	Phase uint64 `json:"phase"`
+	Type  string `json:"type"`
+	Kind  string `json:"kind,omitempty"`
+	Shard int32  `json:"shard"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+	C     int64  `json:"c"`
+}
+
+// View converts the event to its JSON shape. SlowOp kinds (wire
+// opcodes) render as "k<op>"; the server substitutes the opcode name
+// before serving.
+func (e Event) View() View {
+	return View{
+		Seq:   e.Seq,
+		Wall:  e.Wall,
+		Phase: e.Phase,
+		Type:  e.Type.String(),
+		Kind:  KindString(e.Type, e.Kind),
+		Shard: e.Shard,
+		A:     e.A,
+		B:     e.B,
+		C:     e.C,
+	}
+}
+
+// SaturateInt64 clamps a uint64 into an int64 payload slot.
+func SaturateInt64(v uint64) int64 {
+	if v > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}
+
+// DumpOnSIGQUIT installs a handler that dumps the Default recorder to w
+// on SIGQUIT, then restores the default handler and re-raises so the Go
+// runtime still prints its goroutine dump and exits as usual. It
+// returns a stop function (used by tests).
+func DumpOnSIGQUIT(w io.Writer) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+			fmt.Fprintln(w, "obs: SIGQUIT event-log dump")
+			Default.DumpTo(w)
+			fmt.Fprintln(w, Default.Summary())
+			signal.Reset(syscall.SIGQUIT)
+			_ = syscall.Kill(syscall.Getpid(), syscall.SIGQUIT)
+		case <-done:
+			signal.Stop(ch)
+		}
+	}()
+	return func() { close(done) }
+}
+
+// DumpOnPanic is meant to be deferred at the top of a goroutine that
+// owns the process (main, a stress harness): if the goroutine is
+// panicking, it dumps the event log to w and re-panics, so the flight
+// recorder's last seconds land next to the stack trace.
+func DumpOnPanic(w io.Writer) {
+	if r := recover(); r != nil {
+		fmt.Fprintf(w, "obs: panic event-log dump (%v)\n", r)
+		Default.DumpTo(w)
+		fmt.Fprintln(w, Default.Summary())
+		panic(r)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEmitAndTail(t *testing.T) {
+	r := NewRecorder(8)
+	r.Emit(EventMigration, KindSplit, 3, 100, 1, 2, 3) // disabled: dropped
+	if got := r.Events(Filter{}); len(got) != 0 {
+		t.Fatalf("disabled recorder buffered %d events", len(got))
+	}
+	r.SetEnabled(true)
+	r.Emit(EventMigration, KindSplit, 3, 100, 10, 2, 1)
+	r.Emit(EventCheckpoint, KindCheckpointDone, -1, 120, 500, 0, 0)
+	r.Emit(EventCompact, KindNone, -1, 90, 7, 8, 9)
+
+	events := r.Events(Filter{})
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d", i, e.Seq)
+		}
+		if e.Wall == 0 {
+			t.Fatalf("event %d has zero wall time", i)
+		}
+	}
+	if e := events[0]; e.Type != EventMigration || e.Kind != KindSplit || e.Shard != 3 || e.Phase != 100 || e.A != 10 {
+		t.Fatalf("unexpected first event: %+v", e)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	const capacity = 4
+	r := NewRecorder(capacity)
+	r.SetEnabled(true)
+	for i := 1; i <= 10; i++ {
+		r.Emit(EventCompact, KindNone, -1, uint64(i), int64(i), 0, 0)
+	}
+	events := r.Events(Filter{})
+	if len(events) != capacity {
+		t.Fatalf("got %d events, want %d", len(events), capacity)
+	}
+	// Newest capacity events, ascending: seqs 7..10.
+	for i, e := range events {
+		want := uint64(10 - capacity + 1 + i)
+		if e.Seq != want {
+			t.Fatalf("events[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+		if e.Phase != want {
+			t.Fatalf("events[%d].Phase = %d, want %d", i, e.Phase, want)
+		}
+	}
+	if r.Seq() != 10 {
+		t.Fatalf("Seq() = %d, want 10", r.Seq())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRecorder(64)
+	r.SetEnabled(true)
+	for i := 1; i <= 20; i++ {
+		typ := EventMigration
+		if i%2 == 0 {
+			typ = EventWALSync
+		}
+		r.Emit(typ, KindNone, -1, uint64(i*10), 0, 0, 0)
+	}
+	if got := r.Events(Filter{Type: EventMigration}); len(got) != 10 {
+		t.Fatalf("type filter: got %d, want 10", len(got))
+	}
+	got := r.Events(Filter{MinPhase: 50, MaxPhase: 100})
+	if len(got) != 6 { // phases 50,60,70,80,90,100
+		t.Fatalf("phase filter: got %d, want 6", len(got))
+	}
+	for _, e := range got {
+		if e.Phase < 50 || e.Phase > 100 {
+			t.Fatalf("phase filter leaked phase %d", e.Phase)
+		}
+	}
+	got = r.Events(Filter{SinceSeq: 18})
+	if len(got) != 2 || got[0].Seq != 19 {
+		t.Fatalf("seq filter: got %+v", got)
+	}
+	got = r.Events(Filter{Max: 3})
+	if len(got) != 3 || got[2].Seq != 20 {
+		t.Fatalf("max filter: got %+v", got)
+	}
+}
+
+func TestCountsAndLastPhase(t *testing.T) {
+	r := NewRecorder(2) // smaller than the emit count: counts must survive eviction
+	r.SetEnabled(true)
+	for i := 1; i <= 5; i++ {
+		r.Emit(EventMigration, KindSplit, 0, uint64(i), 0, 0, 0)
+	}
+	r.Emit(EventDrain, KindNone, -1, 99, 0, 0, 0)
+	counts := r.Counts()
+	if counts[EventMigration] != 5 {
+		t.Fatalf("migration count = %d, want 5", counts[EventMigration])
+	}
+	if counts[EventDrain] != 1 {
+		t.Fatalf("drain count = %d, want 1", counts[EventDrain])
+	}
+	if p := r.LastPhase(EventMigration); p != 5 {
+		t.Fatalf("LastPhase(migration) = %d, want 5", p)
+	}
+	if p := r.LastPhase(EventCheckpoint); p != 0 {
+		t.Fatalf("LastPhase(checkpoint) = %d, want 0", p)
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "migration=5(phase 5)") || !strings.Contains(sum, "checkpoint=0") {
+		t.Fatalf("summary missing expected fields: %q", sum)
+	}
+}
+
+// TestEmitAllocFree is the acceptance check that the emit path never
+// allocates — neither disabled (one atomic load) nor enabled (ring slot
+// copy under a mutex).
+func TestEmitAllocFree(t *testing.T) {
+	r := NewRecorder(16)
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Emit(EventSlowOp, 4, -1, 12345, 1, 2, 3)
+	}); n != 0 {
+		t.Fatalf("disabled Emit allocates %v per run", n)
+	}
+	r.SetEnabled(true)
+	// Warm the ring past the append-growth portion first.
+	for i := 0; i < 32; i++ {
+		r.Emit(EventSlowOp, 4, -1, 1, 0, 0, 0)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Emit(EventSlowOp, 4, -1, 12345, 1, 2, 3)
+	}); n != 0 {
+		t.Fatalf("enabled Emit allocates %v per run", n)
+	}
+}
+
+func TestConcurrentEmitAndRead(t *testing.T) {
+	r := NewRecorder(128)
+	r.SetEnabled(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Emit(EventCompact, KindNone, int32(g), uint64(i), int64(i), 0, 0)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			events := r.Events(Filter{})
+			for j := 1; j < len(events); j++ {
+				if events[j].Seq <= events[j-1].Seq {
+					t.Errorf("events out of order: %d then %d", events[j-1].Seq, events[j].Seq)
+					return
+				}
+			}
+			_ = r.Counts()
+			_ = r.Summary()
+		}
+	}()
+	wg.Wait()
+	if got := r.Seq(); got != 2000 {
+		t.Fatalf("Seq() = %d, want 2000", got)
+	}
+	if c := r.Counts()[EventCompact]; c != 2000 {
+		t.Fatalf("count = %d, want 2000", c)
+	}
+}
+
+func TestParseEventType(t *testing.T) {
+	for typ := EventType(1); int(typ) < NumEventTypes; typ++ {
+		got, ok := ParseEventType(typ.String())
+		if !ok || got != typ {
+			t.Fatalf("ParseEventType(%q) = %v, %v", typ.String(), got, ok)
+		}
+	}
+	if _, ok := ParseEventType("none"); ok {
+		t.Fatal("ParseEventType(none) should not match")
+	}
+	if _, ok := ParseEventType("bogus"); ok {
+		t.Fatal("ParseEventType(bogus) should not match")
+	}
+}
+
+func TestViewAndString(t *testing.T) {
+	e := Event{Seq: 7, Wall: 1e9, Phase: 42, Type: EventWALSync, Kind: KindRotate, Shard: -1, A: 3, B: 4, C: 5}
+	v := e.View()
+	if v.Type != "walsync" || v.Kind != "rotate" || v.Seq != 7 || v.Phase != 42 {
+		t.Fatalf("unexpected view: %+v", v)
+	}
+	s := e.String()
+	if !strings.Contains(s, "walsync/rotate") || !strings.Contains(s, "phase=42") {
+		t.Fatalf("unexpected String(): %q", s)
+	}
+	if strings.Contains(s, "shard=") {
+		t.Fatalf("shard -1 should not render: %q", s)
+	}
+}
+
+func TestDumpTo(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetEnabled(true)
+	r.Emit(EventMigration, KindMerge, 2, 10, 0, 0, 0)
+	var sb strings.Builder
+	r.DumpTo(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "1 buffered events") || !strings.Contains(out, "migration/merge") {
+		t.Fatalf("unexpected dump: %q", out)
+	}
+}

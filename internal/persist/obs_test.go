@@ -1,0 +1,108 @@
+package persist
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestObsEventsAndPhaseConsistency drives updates and checkpoints with
+// the flight recorder on and checks the phase relations the event log
+// promises: checkpoint cuts are monotone, every WAL rotation's
+// sealed-max phase is <= the cut of the checkpoint that follows it, the
+// durable phase watermark in Stats covers every acked update, and
+// recovery stamps the recovered lineage's max phase.
+func TestObsEventsAndPhaseConsistency(t *testing.T) {
+	defer obs.SetEnabled(obs.Enabled())
+	obs.SetEnabled(true)
+	start := obs.Default.Seq()
+	dir := t.TempDir()
+
+	pm, _, err := Open(Config{Dir: dir}, newTestMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastCut uint64
+	for round := 0; round < 3; round++ {
+		for k := int64(round * 100); k < int64(round*100+100); k++ {
+			pm.Insert(k)
+		}
+		st, err := pm.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Cut <= lastCut {
+			t.Fatalf("checkpoint cut %d not above previous %d", st.Cut, lastCut)
+		}
+		lastCut = st.Cut
+	}
+	stats := pm.Stats()
+	if stats.DurablePhase == 0 {
+		t.Fatal("DurablePhase still 0 after group-committed inserts")
+	}
+	if stats.LastCheckpointNS == 0 {
+		t.Fatal("LastCheckpointNS still 0 after checkpoints")
+	}
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := obs.Default.Events(obs.Filter{SinceSeq: start})
+	var ckptCuts []uint64
+	var maxRotate uint64
+	sawClose := false
+	for _, e := range events {
+		switch {
+		case e.Type == obs.EventCheckpoint && e.Kind == obs.KindCheckpointDone:
+			// Rotation precedes the cut-open, so every rotation emitted
+			// before this checkpoint sealed only phases <= its cut.
+			if maxRotate > e.Phase {
+				t.Fatalf("rotate phase %d exceeds following checkpoint cut %d", maxRotate, e.Phase)
+			}
+			ckptCuts = append(ckptCuts, e.Phase)
+		case e.Type == obs.EventWALSync && e.Kind == obs.KindRotate:
+			if e.Phase > maxRotate {
+				maxRotate = e.Phase
+			}
+		case e.Type == obs.EventWALSync && e.Kind == obs.KindClose:
+			sawClose = true
+			if e.Phase != stats.DurablePhase {
+				t.Fatalf("close event phase %d != durable phase %d", e.Phase, stats.DurablePhase)
+			}
+		}
+	}
+	if len(ckptCuts) != 3 {
+		t.Fatalf("recorded %d checkpoint events, want 3", len(ckptCuts))
+	}
+	for i := 1; i < len(ckptCuts); i++ {
+		if ckptCuts[i] <= ckptCuts[i-1] {
+			t.Fatalf("checkpoint cuts not monotone: %v", ckptCuts)
+		}
+	}
+	if !sawClose {
+		t.Fatal("no walsync close event recorded")
+	}
+	if got := obs.Default.LastPhase(obs.EventCheckpoint); got != ckptCuts[2] {
+		t.Fatalf("LastPhase(checkpoint) = %d, want %d", got, ckptCuts[2])
+	}
+
+	// Reopen: recovery must emit a KindRecovery checkpoint event stamped
+	// with the image's max phase, and the recovered lineage resumes
+	// above every recorded phase.
+	mark := obs.Default.Seq()
+	pm2, img, err := Open(Config{Dir: dir}, newTestMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm2.Close()
+	recs := obs.Default.Events(obs.Filter{SinceSeq: mark, Type: obs.EventCheckpoint})
+	if len(recs) != 1 || recs[0].Kind != obs.KindRecovery {
+		t.Fatalf("recovery events = %+v, want one KindRecovery", recs)
+	}
+	if recs[0].Phase != img.MaxPhase {
+		t.Fatalf("recovery event phase %d != image max phase %d", recs[0].Phase, img.MaxPhase)
+	}
+	if recs[0].A != int64(pm2.Len()) {
+		t.Fatalf("recovery event keys %d != recovered len %d", recs[0].A, pm2.Len())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/bst"
+	"repro/internal/obs"
 )
 
 // Config configures Open.
@@ -78,7 +79,9 @@ type Map struct {
 	checkpoints atomic.Uint64
 	ckptErrs    atomic.Uint64
 	lastCut     atomic.Uint64
+	lastCkptNS  atomic.Int64 // wall time (UnixNano) the newest checkpoint committed
 	closed      atomic.Bool
+	openedAt    time.Time
 }
 
 // ErrRelaxedPersist reports an Open on a RelaxedScans map: without the
@@ -135,15 +138,26 @@ func Open(cfg Config, m *bst.ShardedMap) (*Map, *Image, error) {
 	if cfg.Logf != nil {
 		cfg.Logf("%s", img.String())
 	}
-	return &Map{m: m, wal: l, cfg: cfg}, img, nil
+	// Flight-record the recovery: phase = the highest persisted phase the
+	// image carried (the recovered lineage resumes above it).
+	obs.Emit(obs.EventCheckpoint, obs.KindRecovery, -1, img.MaxPhase,
+		int64(len(img.Keys)), int64(img.WALApplied), int64(img.TornTail))
+	return &Map{m: m, wal: l, cfg: cfg, openedAt: time.Now()}, img, nil
 }
 
 // Underlying returns the wrapped map for read-only inspection (stats,
 // invariant checks). Updating it directly bypasses the WAL.
 func (p *Map) Underlying() *bst.ShardedMap { return p.m }
 
-func (p *Map) mustAppend(group []byte) {
-	if err := p.wal.append(group); err != nil {
+// ShardInfos delegates per-shard introspection to the wrapped map, so a
+// durable store serves the same per-shard gauges as a plain one.
+func (p *Map) ShardInfos() []bst.ShardInfo { return p.m.ShardInfos() }
+
+// ClockNow returns the current phase of the wrapped map's shared clock.
+func (p *Map) ClockNow() (uint64, bool) { return p.m.ClockNow() }
+
+func (p *Map) mustAppend(group []byte, maxPhase uint64) {
+	if err := p.wal.append(group, maxPhase); err != nil {
 		panic(fmt.Sprintf("persist: WAL append failed, durability lost: %v", err))
 	}
 }
@@ -153,7 +167,7 @@ func (p *Map) mustAppend(group []byte) {
 func (p *Map) Insert(k int64) bool {
 	res, phase := p.m.InsertPhase(k)
 	if res {
-		p.mustAppend(appendPointRecord(nil, recInsert, k, phase))
+		p.mustAppend(appendPointRecord(nil, recInsert, k, phase), phase)
 	}
 	return res
 }
@@ -163,7 +177,7 @@ func (p *Map) Insert(k int64) bool {
 func (p *Map) Delete(k int64) bool {
 	res, phase := p.m.DeletePhase(k)
 	if res {
-		p.mustAppend(appendPointRecord(nil, recDelete, k, phase))
+		p.mustAppend(appendPointRecord(nil, recDelete, k, phase), phase)
 	}
 	return res
 }
@@ -176,6 +190,7 @@ func (p *Map) ApplyBatch(ops []bst.BatchOp, res []bool) {
 	phases := make([]uint64, len(ops))
 	p.m.ApplyBatchPhases(ops, res, phases)
 	var group []byte
+	var maxPhase uint64
 	for i, op := range ops {
 		if !res[i] {
 			continue // ineffective (or Contains): no membership flip to log
@@ -185,10 +200,15 @@ func (p *Map) ApplyBatch(ops []bst.BatchOp, res []bool) {
 			group = appendPointRecord(group, recInsert, op.Key, phases[i])
 		case bst.BatchDelete:
 			group = appendPointRecord(group, recDelete, op.Key, phases[i])
+		default:
+			continue
+		}
+		if phases[i] > maxPhase {
+			maxPhase = phases[i]
 		}
 	}
 	if group != nil {
-		p.mustAppend(group)
+		p.mustAppend(group, maxPhase)
 	}
 }
 
@@ -208,7 +228,7 @@ func (p *Map) BulkLoad(keys []int64) (int, error) {
 	// Log the whole vector even when some keys were already present:
 	// replay treats a load as a union at the cut phase, which is
 	// idempotent per key, and the vector is what was made durable.
-	p.mustAppend(appendLoadRecord(nil, keys, cut))
+	p.mustAppend(appendLoadRecord(nil, keys, cut), cut)
 	return added, nil
 }
 
@@ -287,7 +307,14 @@ func (p *Map) Checkpoint() (CheckpointStats, error) {
 	}
 	p.checkpoints.Add(1)
 	p.lastCut.Store(cut)
+	p.lastCkptNS.Store(time.Now().UnixNano())
 	st := CheckpointStats{Cut: cut, Keys: n, Path: path, Took: time.Since(start)}
+	// Flight-record at the atomic commit point, stamped with the cut —
+	// the phase at which the on-disk image equals the in-memory map.
+	// Payload: keys streamed, wall time spent, durable phase watermark
+	// at emit.
+	obs.Emit(obs.EventCheckpoint, obs.KindCheckpointDone, -1, cut,
+		int64(n), int64(st.Took), obs.SaturateInt64(p.wal.syncedPhase.Load()))
 	if p.cfg.Logf != nil {
 		p.cfg.Logf("persist: checkpoint cut=%d keys=%d took=%s", st.Cut, st.Keys, st.Took)
 	}
@@ -335,6 +362,8 @@ type Stats struct {
 	WALSyncs         uint64 // fsyncs performed (leader syncs cover groups)
 	CurrentSegment   uint64
 	DurableWatermark uint64 // append groups known durable
+	DurablePhase     uint64 // highest commit phase known durable
+	LastCheckpointNS int64  // wall time (UnixNano) the newest checkpoint committed, 0 if none
 }
 
 // Stats returns the durability counters.
@@ -350,6 +379,8 @@ func (p *Map) Stats() Stats {
 		WALSyncs:         p.wal.syncs.Load(),
 		CurrentSegment:   seg,
 		DurableWatermark: p.wal.synced.Load(),
+		DurablePhase:     p.wal.syncedPhase.Load(),
+		LastCheckpointNS: p.lastCkptNS.Load(),
 	}
 }
 

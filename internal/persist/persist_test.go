@@ -9,14 +9,6 @@ import (
 	"time"
 
 	"repro/bst"
-	"repro/internal/server"
-)
-
-// The durable wrapper must slot into the serving stack unchanged.
-var (
-	_ server.Store      = (*Map)(nil)
-	_ server.BatchStore = (*Map)(nil)
-	_ server.BulkLoader = (*Map)(nil)
 )
 
 func newTestMap() *bst.ShardedMap { return bst.NewShardedRange(0, 1<<20, 8) }

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // walMagic opens every segment's header frame.
@@ -34,16 +36,19 @@ type wal struct {
 	dir       string
 	syncEvery time.Duration
 
-	mu      sync.Mutex // guards f, w, seg, written, scratch
-	f       *os.File
-	w       *bufio.Writer
-	seg     uint64
-	written uint64 // append groups buffered so far, monotone
-	scratch []byte
-	closed  bool
+	mu       sync.Mutex // guards f, w, seg, written, maxPhase, scratch
+	f        *os.File
+	w        *bufio.Writer
+	seg      uint64
+	written  uint64 // append groups buffered so far, monotone
+	maxPhase uint64 // highest commit phase among buffered appends, monotone
+	scratch  []byte
+	closed   bool
 
-	syncMu sync.Mutex    // held by the fsync leader, rotation, and close
-	synced atomic.Uint64 // append groups known durable
+	syncMu      sync.Mutex    // held by the fsync leader, rotation, and close
+	synced      atomic.Uint64 // append groups known durable
+	syncedPhase atomic.Uint64 // highest commit phase known durable (the phase watermark)
+	lastEmitNS  int64         // wall time of the last walsync flight-record emit (under syncMu)
 
 	appends atomic.Uint64
 	syncs   atomic.Uint64
@@ -125,8 +130,10 @@ var errWALClosed = errors.New("persist: append to a closed WAL")
 
 // append makes one record group durable (or durable-within-the-sync-
 // window) as a single frame: replay applies a group all-or-nothing, so a
-// torn tail can never expose half an MBATCH.
-func (l *wal) append(group []byte) error {
+// torn tail can never expose half an MBATCH. maxPhase is the highest
+// commit phase of any record in the group; the fsync that covers the
+// group advances the durable phase watermark at least that far.
+func (l *wal) append(group []byte, maxPhase uint64) error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -136,6 +143,9 @@ func (l *wal) append(group []byte) error {
 	_, err := l.w.Write(l.scratch)
 	l.written++
 	n := l.written
+	if maxPhase > l.maxPhase {
+		l.maxPhase = maxPhase
+	}
 	l.mu.Unlock()
 	if err != nil {
 		return err
@@ -174,6 +184,8 @@ func (l *wal) syncNow() error {
 func (l *wal) syncLocked() error {
 	l.mu.Lock()
 	target := l.written
+	phase := l.maxPhase
+	seg := l.seg
 	err := l.w.Flush()
 	f := l.f
 	l.mu.Unlock()
@@ -187,8 +199,35 @@ func (l *wal) syncLocked() error {
 	if l.synced.Load() < target {
 		l.synced.Store(target) // only syncMu holders store
 	}
+	if l.syncedPhase.Load() < phase {
+		l.syncedPhase.Store(phase)
+	}
+	l.emitSync(obs.KindSync, phase, int64(target), int64(seg), false)
 	return nil
 }
+
+// emitSync flight-records a durable-watermark advance. Group-commit
+// fsyncs can run thousands of times a second under pipelined load, so
+// plain kind=sync emits are rate-limited (walSyncEmitEvery) to keep the
+// ring holding minutes of history instead of milliseconds; rotations
+// and the final close are rare, load-bearing marks (the soak audits
+// rotate phases against checkpoint cuts) and always emit. Caller holds
+// syncMu, which serializes lastEmitNS.
+func (l *wal) emitSync(kind uint8, phase uint64, groups, seg int64, force bool) {
+	if !obs.Enabled() {
+		return
+	}
+	now := time.Now().UnixNano()
+	if !force && now-l.lastEmitNS < int64(walSyncEmitEvery) {
+		return
+	}
+	l.lastEmitNS = now
+	obs.Emit(obs.EventWALSync, kind, -1, phase, groups, int64(l.syncs.Load()), seg)
+}
+
+// walSyncEmitEvery is the minimum spacing between kind=sync walsync
+// events.
+const walSyncEmitEvery = 25 * time.Millisecond
 
 // rotate seals the current segment and directs subsequent appends to a
 // fresh one, returning the new segment's index. Every record already
@@ -213,6 +252,7 @@ func (l *wal) rotate() (uint64, error) {
 	flushErr := l.w.Flush()
 	oldF := l.f
 	target := l.written
+	phase := l.maxPhase
 	l.f, l.w, l.seg = f, w, newSeg
 	l.mu.Unlock()
 	if flushErr != nil {
@@ -229,6 +269,13 @@ func (l *wal) rotate() (uint64, error) {
 		return 0, err
 	}
 	l.synced.Store(target)
+	if l.syncedPhase.Load() < phase {
+		l.syncedPhase.Store(phase)
+	}
+	// The rotate event's phase is the highest commit phase sealed below
+	// the new segment — by construction <= the checkpoint cut the caller
+	// is about to open. The soak audits exactly this relation.
+	l.emitSync(obs.KindRotate, phase, int64(target), int64(newSeg), true)
 	return newSeg, nil
 }
 
@@ -258,14 +305,18 @@ func (l *wal) close() error {
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
+	seg := l.seg
+	groups := l.written
+	l.mu.Unlock()
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
+	l.emitSync(obs.KindClose, l.syncedPhase.Load(), int64(groups), int64(seg), true)
 	return err
 }
 

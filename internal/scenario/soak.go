@@ -9,6 +9,7 @@ import (
 
 	"repro/bst"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -77,6 +78,13 @@ type SoakReport struct {
 	RecoveredKeys    int    // keys in the post-drain recovery image
 	RecoveryVerified bool   // recovered image == final live set
 
+	// Flight-recorder audit: events emitted during this run, by type
+	// name, and the recorder's one-line teardown summary. The phase
+	// cross-checks (monotone cuts, rotate <= following checkpoint cut,
+	// cuts bounded by the final clock) report into Violations.
+	EventCounts  map[string]uint64
+	EventSummary string
+
 	Violations []string
 }
 
@@ -99,6 +107,9 @@ func (r *SoakReport) String() string {
 	if r.Checkpoints > 0 || r.WALAppends > 0 {
 		s += fmt.Sprintf("\n  durability: checkpoints=%d wal appends=%d recovered=%d keys verified=%v",
 			r.Checkpoints, r.WALAppends, r.RecoveredKeys, r.RecoveryVerified)
+	}
+	if r.EventSummary != "" {
+		s += "\n  " + r.EventSummary
 	}
 	if len(r.Violations) > 0 {
 		s += fmt.Sprintf("\n  VIOLATIONS (%d):", len(r.Violations))
@@ -150,6 +161,15 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 		logf = func(string, ...any) {}
 	}
 	k := cfg.KeyRange
+
+	// The soak IS the all-features run, so the flight recorder rides
+	// along and its phase-stamped log is audited at teardown. Counts are
+	// delta'd from here (the ring may wrap; cumulative counters do not).
+	obsWasOn := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(obsWasOn)
+	obsMark := obs.Default.Seq()
+	obsCounts := obs.Default.Counts()
 
 	rep := &SoakReport{}
 	var vioMu sync.Mutex
@@ -567,8 +587,79 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 			}
 		}
 	}
+	auditEvents(rep, violate, obsMark, obsCounts, m, pm != nil)
 	logf("soak: %s", rep)
 	return rep, nil
+}
+
+// auditEvents cross-checks the flight recorder's log against the run:
+// the control-plane machinery that was provably active (rebalancer,
+// compactor, and with persist the checkpointer and WAL) must have left
+// events, and the phase stamps — all cut on the store's shared clock —
+// must be mutually consistent: per-type monotone for migration,
+// checkpoint and walsync (each has a single sequential emitter), every
+// WAL rotation's sealed-max phase at or below the cut of the checkpoint
+// that follows it, and nothing stamped beyond the final clock reading.
+// Presence is asserted on cumulative counters (ring eviction cannot hide
+// an event type); ordering on whatever the ring still holds.
+func auditEvents(rep *SoakReport, violate func(string, ...any), mark uint64,
+	base [obs.NumEventTypes]uint64, m *bst.ShardedMap, durable bool) {
+
+	counts := obs.Default.Counts()
+	rep.EventCounts = make(map[string]uint64, obs.NumEventTypes-1)
+	for t := 1; t < obs.NumEventTypes; t++ {
+		rep.EventCounts[obs.EventType(t).String()] = counts[t] - base[t]
+	}
+	rep.EventSummary = obs.Default.Summary()
+
+	// Presence: every control-plane action the store's own counters prove
+	// happened must have left an event. (Unconditional presence would
+	// flake on very short runs where e.g. no split ever triggered.)
+	if counts[obs.EventDrain] == base[obs.EventDrain] {
+		violate("flight recorder: no drain event despite a server shutdown")
+	}
+	if s, mg := m.Migrations(); s+mg > 0 && counts[obs.EventMigration] == base[obs.EventMigration] {
+		violate("flight recorder: %d migrations happened but no migration events", s+mg)
+	}
+	if st := m.Stats(); st.PrunedLinks > 0 && counts[obs.EventCompact] == base[obs.EventCompact] {
+		violate("flight recorder: compaction pruned %d links but left no compact events", st.PrunedLinks)
+	}
+	if durable {
+		if rep.Checkpoints > 0 && counts[obs.EventCheckpoint] == base[obs.EventCheckpoint] {
+			violate("flight recorder: %d checkpoints but no checkpoint events", rep.Checkpoints)
+		}
+		if counts[obs.EventWALSync] == base[obs.EventWALSync] {
+			violate("flight recorder: WAL ran but left no walsync events (close always emits)")
+		}
+	}
+
+	finalPhase, hasClock := m.ClockNow()
+	last := map[obs.EventType]uint64{}
+	var maxRotate uint64
+	for _, e := range obs.Default.Events(obs.Filter{SinceSeq: mark}) {
+		switch e.Type {
+		case obs.EventMigration, obs.EventCheckpoint, obs.EventWALSync:
+			// Recovery events are stamped with the recovered lineage's max
+			// phase, which predates this run's clock — skip them.
+			if e.Type == obs.EventCheckpoint && e.Kind == obs.KindRecovery {
+				continue
+			}
+			if p, ok := last[e.Type]; ok && e.Phase < p {
+				violate("flight recorder: %s phases went backwards: %d after %d", e.Type, e.Phase, p)
+			}
+			last[e.Type] = e.Phase
+			if hasClock && e.Phase > finalPhase {
+				violate("flight recorder: %s stamped phase %d beyond final clock %d", e.Type, e.Phase, finalPhase)
+			}
+			if e.Type == obs.EventWALSync && e.Kind == obs.KindRotate && e.Phase > maxRotate {
+				maxRotate = e.Phase
+			}
+			if e.Type == obs.EventCheckpoint && maxRotate > e.Phase {
+				violate("flight recorder: WAL rotation sealed phase %d above the following checkpoint cut %d",
+					maxRotate, e.Phase)
+			}
+		}
+	}
 }
 
 // int64Slices reports element-wise equality.

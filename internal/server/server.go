@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/bst"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -82,6 +83,12 @@ type Config struct {
 	// receive buffers to this many bytes. Experiments use it to make
 	// server-side backpressure deterministic; leave 0 in production.
 	SockBuf int
+	// SlowOp, if positive, flight-records every request whose
+	// decode+apply+flush time meets or exceeds it (obs.EventSlowOp, with
+	// the per-stage breakdown in the payload), provided the obs recorder
+	// is enabled. 0 disables sampling entirely — the per-request cost of
+	// the disabled path is one atomic load.
+	SlowOp time.Duration
 	// Logf, if set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -95,11 +102,20 @@ type Server struct {
 
 	draining atomic.Bool
 	wg       sync.WaitGroup // accept loop + per-connection handlers
+	mwg      sync.WaitGroup // metrics HTTP goroutine: outlives the data-plane drain
+
+	slowNs  int64         // Config.SlowOp in ns (0 = sampling off)
+	phaseOf func() uint64 // reads the store's shared clock; nil if it has none
 
 	mu         sync.Mutex
 	conns      map[*conn]struct{}
 	done       *connMetrics // folded metrics of closed connections
 	connsTotal uint64
+
+	promMu   sync.Mutex // exporter-side per-shard load EWMA state (prom.go)
+	promGen  uint64
+	promPrev []uint64
+	promEwma []float64
 }
 
 // Start binds the listeners and begins accepting. It returns once the
@@ -117,11 +133,19 @@ func Start(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
 	}
 	s := &Server{
-		cfg:   cfg,
-		ln:    ln,
-		start: time.Now(),
-		conns: make(map[*conn]struct{}),
-		done:  newConnMetrics(),
+		cfg:    cfg,
+		ln:     ln,
+		start:  time.Now(),
+		slowNs: cfg.SlowOp.Nanoseconds(),
+		conns:  make(map[*conn]struct{}),
+		done:   newConnMetrics(),
+	}
+	// Stores built on the shared phase clock report it; drain and
+	// slow-op events are stamped with the phase read at emit time.
+	if pr, ok := cfg.Store.(interface{ ClockNow() (uint64, bool) }); ok {
+		if _, hasClock := pr.ClockNow(); hasClock {
+			s.phaseOf = func() uint64 { p, _ := pr.ClockNow(); return p }
+		}
 	}
 	if cfg.MetricsAddr != "" {
 		if err := s.startMetrics(cfg.MetricsAddr); err != nil {
@@ -217,48 +241,99 @@ func (s *Server) serveConn(c *conn) {
 				return
 			}
 		}
-		req, err := dec.Request()
-		switch {
-		case err == nil:
-		case err == io.EOF:
-			return // orderly disconnect between frames
-		case isTimeout(err) && s.draining.Load():
-			// Shutdown interrupted the read. The decoder keeps any partial
-			// frame, so serving may resume: grant one grace window, renewed
-			// as long as requests keep completing, then part politely.
-			if progress {
-				progress = false
-				c.nc.SetReadDeadline(time.Now().Add(drainGrace)) //nolint:errcheck
-				continue
-			}
-			s.closeDraining(c, enc)
-			return
-		default:
-			// Framing is length-prefixed, so a malformed frame was still
-			// fully consumed or the stream is broken; either way resync is
-			// unsafe. Report and close.
-			if errors.Is(err, wire.ErrMalformed) {
-				enc.Error(err.Error()) //nolint:errcheck
-				enc.Flush()            //nolint:errcheck
-			}
-			s.logf("server: %s: %v", c.nc.RemoteAddr(), err)
-			return
-		}
-		progress = true
-		t0 := time.Now()
-		if req.Op == wire.OpMLoad {
-			// An MLOAD run spans frames and owns the read loop until its
-			// terminating chunk; it records once, as one logical request.
-			ok := s.serveMLoad(c, dec, enc, req)
-			c.metrics.record(req.Op, time.Since(t0))
-			if !ok {
+		// Slow-op sampling costs one atomic load per request when the
+		// recorder is off. When on, decode time is attributed only if
+		// bytes were already buffered (otherwise the "decode" would be
+		// idle time waiting for the client's next request).
+		sample := s.slowNs > 0 && obs.Enabled()
+		var decNs int64
+		if sample && dec.Buffered() > 0 {
+			td := time.Now()
+			req, err := dec.Request()
+			decNs = time.Since(td).Nanoseconds()
+			if !s.dispatch(c, dec, enc, req, err, &progress, decNs, true) {
 				return
 			}
 			continue
 		}
-		s.handle(c, enc, req)
-		c.metrics.record(req.Op, time.Since(t0))
+		req, err := dec.Request()
+		if !s.dispatch(c, dec, enc, req, err, &progress, 0, sample) {
+			return
+		}
 	}
+}
+
+// dispatch finishes one loop iteration of serveConn: request-read error
+// triage, then handling, latency recording, and (when sample is set)
+// slow-op flight recording with the decode/apply/flush breakdown. It
+// reports whether the connection should keep serving.
+func (s *Server) dispatch(c *conn, dec *wire.Decoder, enc *wire.Encoder, req wire.Request, err error, progress *bool, decNs int64, sample bool) bool {
+	switch {
+	case err == nil:
+	case err == io.EOF:
+		return false // orderly disconnect between frames
+	case isTimeout(err) && s.draining.Load():
+		// Shutdown interrupted the read. The decoder keeps any partial
+		// frame, so serving may resume: grant one grace window, renewed
+		// as long as requests keep completing, then part politely.
+		if *progress {
+			*progress = false
+			c.nc.SetReadDeadline(time.Now().Add(drainGrace)) //nolint:errcheck
+			return true
+		}
+		s.closeDraining(c, enc)
+		return false
+	default:
+		// Framing is length-prefixed, so a malformed frame was still
+		// fully consumed or the stream is broken; either way resync is
+		// unsafe. Report and close.
+		if errors.Is(err, wire.ErrMalformed) {
+			enc.Error(err.Error()) //nolint:errcheck
+			enc.Flush()            //nolint:errcheck
+		}
+		s.logf("server: %s: %v", c.nc.RemoteAddr(), err)
+		return false
+	}
+	*progress = true
+	t0 := time.Now()
+	if req.Op == wire.OpMLoad {
+		// An MLOAD run spans frames and owns the read loop until its
+		// terminating chunk; it records once, as one logical request.
+		// Bulk-ingest runs are expected to be long and are not slow-op
+		// sampled — they would drown the ring in by-design outliers.
+		ok := s.serveMLoad(c, dec, enc, req)
+		c.metrics.record(req.Op, time.Since(t0))
+		return ok
+	}
+	s.handle(c, enc, req)
+	apply := time.Since(t0)
+	c.metrics.record(req.Op, apply)
+	if sample {
+		// Flush now if this request drained the pipeline (the loop's
+		// top-of-iteration flush becomes a no-op), so the reply's write
+		// cost lands on the request that triggered it.
+		var flushNs int64
+		if dec.Buffered() == 0 {
+			tf := time.Now()
+			if err := enc.Flush(); err != nil {
+				return false
+			}
+			flushNs = time.Since(tf).Nanoseconds()
+		}
+		if total := decNs + apply.Nanoseconds() + flushNs; total >= s.slowNs {
+			obs.Emit(obs.EventSlowOp, uint8(req.Op), -1, s.phase(), decNs, apply.Nanoseconds(), flushNs)
+		}
+	}
+	return true
+}
+
+// phase reads the store's shared clock for event stamps (0 when the
+// store has no clock).
+func (s *Server) phase() uint64 {
+	if s.phaseOf != nil {
+		return s.phaseOf()
+	}
+	return 0
 }
 
 // isTimeout reports whether err is a read-deadline expiry.
@@ -390,29 +465,36 @@ func (s *Server) serveScan(c *conn, enc *wire.Encoder, a, b int64) {
 // Connections blocked reading are unblocked via a read deadline. If ctx
 // expires first the stragglers are closed hard; the returned error
 // reports that. Idempotent.
+//
+// The metrics listener stays up until the data plane has drained:
+// /healthz answers 503 for the whole drain window, so a load balancer
+// polling it sees "stop routing here" rather than connection-refused,
+// and a last /metrics scrape can still observe the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
+	first := s.draining.CompareAndSwap(false, true)
 	s.ln.Close()
-	if s.mln != nil {
-		s.mln.Close()
-	}
 	s.mu.Lock()
+	active := len(s.conns)
 	for c := range s.conns {
 		// Wake blocked readers now; serveConn sees draining and exits
 		// after flushing. Handlers mid-request are unaffected (deadlines
 		// only gate future reads).
 		c.nc.SetReadDeadline(time.Now()) //nolint:errcheck
 	}
+	total := s.connsTotal
 	s.mu.Unlock()
+	if first {
+		obs.Emit(obs.EventDrain, obs.KindNone, -1, s.phase(), int64(active), int64(total), 0)
+	}
 
 	finished := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(finished)
 	}()
+	var err error
 	select {
 	case <-finished:
-		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		n := len(s.conns)
@@ -421,8 +503,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-finished
-		return fmt.Errorf("server: drain deadline expired with %d connections open", n)
+		err = fmt.Errorf("server: drain deadline expired with %d connections open", n)
 	}
+	if s.mln != nil {
+		s.mln.Close()
+	}
+	s.mwg.Wait()
+	return err
 }
 
 // connMetrics is per-connection (single-goroutine) latency tracking,

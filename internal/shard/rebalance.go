@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Online shard rebalancing (DESIGN.md §7). A fixed range partition is an
@@ -153,7 +154,7 @@ func (s *Set) splitLocked(tab *table, i int) error {
 	if tab.trees[i].Len() < 2 {
 		return ErrSplitTooSmall // cheap pre-check before sealing anything
 	}
-	snaps, _ := s.cutShards(tab, i, i)
+	snaps, cut := s.cutShards(tab, i, i)
 	snap := snaps[0]
 	defer snap.Release()
 	keys := snap.RangeScan(core.MinKey, core.MaxKey)
@@ -183,6 +184,10 @@ func (s *Set) splitLocked(tab *table, i int) error {
 	starts = append(starts, tab.r.starts[i+1:]...)
 	s.install(tab, i, i, starts, []*core.Tree{left, right})
 	s.splits.Add(1)
+	// Flight-record at the migration's linearization point: the cut is
+	// the exact phase readers switch from T_old to the rebuilt shards.
+	obs.Emit(obs.EventMigration, obs.KindSplit, int32(i), cut,
+		int64(len(keys)), int64(len(tab.trees)+1), int64(tab.gen+1))
 	return nil
 }
 
@@ -193,7 +198,7 @@ func (s *Set) mergeLocked(tab *table, i int) error {
 	if i < 0 || i+1 >= len(tab.trees) {
 		return fmt.Errorf("shard: merge index %d outside [0, %d)", i, len(tab.trees)-1)
 	}
-	snaps, _ := s.cutShards(tab, i, i+1)
+	snaps, cut := s.cutShards(tab, i, i+1)
 	defer snaps[0].Release()
 	defer snaps[1].Release()
 	// Shards hold disjoint ascending ranges, so streaming the two
@@ -219,6 +224,8 @@ func (s *Set) mergeLocked(tab *table, i int) error {
 	starts = append(starts, tab.r.starts[i+2:]...)
 	s.install(tab, i, i+1, starts, []*core.Tree{merged})
 	s.merges.Add(1)
+	obs.Emit(obs.EventMigration, obs.KindMerge, int32(i), cut,
+		int64(n), int64(len(tab.trees)-1), int64(tab.gen+1))
 	return nil
 }
 

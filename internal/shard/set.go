@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -98,6 +99,15 @@ type Set struct {
 	// by migrations, so Stats stays cumulative across table swaps.
 	retiredMu sync.Mutex
 	retired   core.StatsSnapshot
+
+	// vgMu guards the throttle for the O(graph) VersionGraphSize walks
+	// ShardInfos embeds: a metrics scraper polling at 10Hz must not pay
+	// ten full-graph walks a second (on a one-core box that walk alone
+	// can eat most of the CPU). ShardInfos reuses vgVals while it is
+	// younger than vgMaxAge and was taken over the same shard count.
+	vgMu   sync.Mutex
+	vgAt   time.Time
+	vgVals []int
 }
 
 // Option configures a Set at construction.
@@ -262,6 +272,98 @@ func (s *Set) ShardLoads() []uint64 {
 		out[i] = tab.loads[i].total()
 	}
 	return out
+}
+
+// ShardInfo is one shard's introspection row: its key range, routing
+// generation, point-op load this generation, and the per-tree
+// instrumentation gauges the Prometheus exposition serves per shard
+// (the set-level Stats() folds these away across shards and
+// migrations). VersionGraph is an O(live graph) walk, throttled to at
+// most one walk per second across ShardInfos calls (between walks the
+// previous values are served — a gauge for humans, not an oracle).
+type ShardInfo struct {
+	Index        int
+	Lo, Hi       int64  // inclusive key range owned by the shard
+	Gen          uint64 // routing-table generation the row was read from
+	Load         uint64 // point ops routed to the shard in this generation
+	LiveNodes    uint64 // live version-graph nodes at the last Compact pass
+	Horizon      uint64 // reclamation horizon of the last Compact pass
+	VersionGraph int    // current version-graph size (nodes)
+	Retries      uint64 // insert+delete+find+horizon retries, this tree's lifetime
+	Helps        uint64
+	Aborts       uint64 // handshake aborts
+	Compactions  uint64
+	PrunedLinks  uint64
+	PoolNodeHits uint64
+	PoolNodePuts uint64
+	PoolInfoHits uint64
+	PoolInfoPuts uint64
+}
+
+// ShardInfos returns one ShardInfo per current shard, all read from a
+// single routing-table snapshot (consistent bounds/loads/gen even while
+// a migration swaps tables; the per-tree counters are racy reads of
+// live atomics, like Stats).
+func (s *Set) ShardInfos() []ShardInfo {
+	tab := s.tab.Load()
+	vg := s.versionGraphs(tab)
+	out := make([]ShardInfo, len(tab.trees))
+	for i, t := range tab.trees {
+		st := t.Stats()
+		lo, hi := tab.r.Bounds(i)
+		out[i] = ShardInfo{
+			Index:        i,
+			Lo:           lo,
+			Hi:           hi,
+			Gen:          tab.gen,
+			Load:         tab.loads[i].total(),
+			LiveNodes:    st.LastLiveNodes,
+			Horizon:      st.LastHorizon,
+			VersionGraph: vg[i],
+			Retries:      st.RetriesInsert + st.RetriesDelete + st.RetriesFind + st.RetriesHorizon,
+			Helps:        st.Helps,
+			Aborts:       st.HandshakeAborts,
+			Compactions:  st.Compactions,
+			PrunedLinks:  st.PrunedLinks,
+			PoolNodeHits: st.PoolNodeHits,
+			PoolNodePuts: st.PoolNodePuts,
+			PoolInfoHits: st.PoolInfoHits,
+			PoolInfoPuts: st.PoolInfoPuts,
+		}
+	}
+	return out
+}
+
+// vgMaxAge bounds how often ShardInfos re-walks the version graphs.
+const vgMaxAge = time.Second
+
+// versionGraphs returns one VersionGraphSize per tree of tab, walking
+// the graphs at most once per vgMaxAge. A shard-count change (post
+// Split/Merge table swap) invalidates the cache; the slice is replaced
+// wholesale and never mutated, so serving it to concurrent callers is
+// safe.
+func (s *Set) versionGraphs(tab *table) []int {
+	s.vgMu.Lock()
+	defer s.vgMu.Unlock()
+	if len(s.vgVals) == len(tab.trees) && time.Since(s.vgAt) < vgMaxAge {
+		return s.vgVals
+	}
+	vals := make([]int, len(tab.trees))
+	for i, t := range tab.trees {
+		vals[i] = t.VersionGraphSize()
+	}
+	s.vgVals, s.vgAt = vals, time.Now()
+	return vals
+}
+
+// ClockNow returns the current phase of the shared clock, or false for
+// a relaxed (clockless) set. Observability stamps drain and slow-op
+// events with it.
+func (s *Set) ClockNow() (uint64, bool) {
+	if s.clock == nil {
+		return 0, false
+	}
+	return s.clock.Now(), true
 }
 
 // openPhase opens one atomic cut across shards [first, last] of tab: it

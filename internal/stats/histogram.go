@@ -155,6 +155,43 @@ func (h *Histogram) Percentile(p float64) int64 {
 	return h.max
 }
 
+// Sum returns the running sum of all recorded samples (in sample
+// units, typically nanoseconds). The Prometheus renderer pairs it with
+// Count for the _sum/_count series.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Bucket is one cumulative histogram bucket: Count samples were
+// recorded with value <= Le (inclusive upper bound, in sample units).
+type Bucket struct {
+	Le    int64
+	Count uint64
+}
+
+// Buckets exports the histogram as cumulative buckets at power-of-two
+// granularity (one bucket per power-of-two row, collapsing the linear
+// sub-buckets), the shape Prometheus `le` series want. Bucket upper
+// bounds are fixed — independent of the recorded data — so successive
+// scrapes of a live histogram produce comparable series. Counts are
+// monotone non-decreasing and the last bucket's count equals Count().
+// Rows whose exact upper bound would overflow int64 saturate at
+// MaxInt64 (the renderer collapses the duplicates into +Inf).
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, 0, histBuckets)
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		for s := 0; s < histSubBuckets; s++ {
+			cum += h.counts[b*histSubBuckets+s]
+		}
+		// Row b spans [bucketLow(b*16), 2^(b+4)-1] (row 0: [0,15]).
+		le := int64(math.MaxInt64)
+		if b+4 < 63 {
+			le = 1<<uint(b+4) - 1
+		}
+		out = append(out, Bucket{Le: le, Count: cum})
+	}
+	return out
+}
+
 // Merge adds all of other's samples into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for i, c := range other.counts {

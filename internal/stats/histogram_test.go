@@ -239,3 +239,102 @@ func TestBars(t *testing.T) {
 		t.Fatal("empty Bars wrong")
 	}
 }
+
+// TestBucketsProperties checks the cumulative-bucket export contract:
+// monotone counts, last bucket == Count(), fixed monotone bounds, and
+// every recorded sample landing in a bucket whose bound covers it.
+func TestBucketsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	samples := make([]int64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		var v int64
+		switch i % 4 {
+		case 0:
+			v = rng.Int63n(16) // sub-16 linear region
+		case 1:
+			v = rng.Int63n(1 << 20)
+		case 2:
+			v = rng.Int63() >> uint(rng.Intn(40))
+		default:
+			v = rng.Int63() // huge values, saturated rows
+		}
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	bs := h.Buckets()
+	if len(bs) == 0 {
+		t.Fatal("no buckets")
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Count < bs[i-1].Count {
+			t.Fatalf("bucket counts not monotone at %d: %d < %d", i, bs[i].Count, bs[i-1].Count)
+		}
+		if bs[i].Le < bs[i-1].Le {
+			t.Fatalf("bucket bounds not monotone at %d: %d < %d", i, bs[i].Le, bs[i-1].Le)
+		}
+	}
+	if last := bs[len(bs)-1].Count; last != h.Count() {
+		t.Fatalf("last bucket count %d != Count() %d", last, h.Count())
+	}
+	// Cross-check each cumulative count against the raw samples.
+	for _, b := range bs {
+		var want uint64
+		for _, v := range samples {
+			if v <= b.Le {
+				want++
+			}
+		}
+		if b.Count != want {
+			t.Fatalf("bucket le=%d count=%d, want %d", b.Le, b.Count, want)
+		}
+	}
+	// Bounds are data-independent: an empty histogram exports the same les.
+	empty := NewHistogram().Buckets()
+	if len(empty) != len(bs) {
+		t.Fatalf("bucket count depends on data: %d vs %d", len(empty), len(bs))
+	}
+	for i := range bs {
+		if empty[i].Le != bs[i].Le {
+			t.Fatalf("bucket bound %d depends on data: %d vs %d", i, empty[i].Le, bs[i].Le)
+		}
+		if empty[i].Count != 0 {
+			t.Fatalf("empty histogram bucket %d has count %d", i, empty[i].Count)
+		}
+	}
+}
+
+// TestBucketsMerge checks that merging histograms adds bucket counts
+// elementwise — the property that lets per-conn histograms fold into
+// the server-wide series without re-bucketing.
+func TestBucketsMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 2000; i++ {
+		a.Record(rng.Int63() >> uint(rng.Intn(50)))
+		b.Record(rng.Int63() >> uint(rng.Intn(30)))
+	}
+	ab, bb := a.Buckets(), b.Buckets()
+	a.Merge(b)
+	mb := a.Buckets()
+	for i := range mb {
+		if mb[i].Count != ab[i].Count+bb[i].Count {
+			t.Fatalf("merge bucket %d: %d != %d + %d", i, mb[i].Count, ab[i].Count, bb[i].Count)
+		}
+	}
+	if mb[len(mb)-1].Count != a.Count() {
+		t.Fatalf("merged last bucket %d != Count %d", mb[len(mb)-1].Count, a.Count())
+	}
+}
+
+func TestSum(t *testing.T) {
+	h := NewHistogram()
+	if h.Sum() != 0 {
+		t.Fatalf("empty Sum = %v", h.Sum())
+	}
+	h.Record(5)
+	h.RecordN(10, 3)
+	if h.Sum() != 35 {
+		t.Fatalf("Sum = %v, want 35", h.Sum())
+	}
+}
